@@ -1,0 +1,100 @@
+//! Section 7 in wall-clock form: packet classification with and without
+//! clue-filters, against the naive and dst-grouped baselines.
+
+use clue_classify::{Action, ClueClassifier, Filter, FlowKey, GroupedClassifier, RuleSet};
+use clue_trie::{Cost, Ip4, Prefix};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn rules(rng: &mut StdRng, n: u32) -> Vec<Filter<Ip4>> {
+    let mut out: Vec<Filter<Ip4>> = (1..=n)
+        .map(|i| {
+            let len = *[8u8, 16, 16, 24].get(rng.random_range(0..4)).unwrap();
+            let lo = rng.random_range(0u16..2000);
+            Filter {
+                dst: Prefix::new(
+                    Ip4(rng.random_range(1u32..32) << 24 | rng.random::<u32>() & 0xFF_FF00),
+                    len,
+                ),
+                dst_ports: lo..=lo.saturating_add(rng.random_range(0..500)),
+                priority: i,
+                ..Filter::default_rule(Action::Permit)
+            }
+        })
+        .collect();
+    out.push(Filter::default_rule(Action::Deny));
+    out
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let shared = rules(&mut rng, 400);
+    let upstream = RuleSet::new(shared.clone());
+    let mut local = shared;
+    for i in 0..20 {
+        local.push(Filter {
+            dst: "10.1.0.0/24".parse().unwrap(),
+            priority: 500 + i,
+            ..Filter::default_rule(Action::Mark(1))
+        });
+    }
+    let cc = ClueClassifier::new(RuleSet::new(local.clone()), upstream.clone());
+    let grouped = GroupedClassifier::new(RuleSet::new(local.clone()));
+    let linear = RuleSet::new(local);
+
+    let keys: Vec<(FlowKey<Ip4>, Option<usize>)> = (0..2_000)
+        .map(|_| {
+            let key = FlowKey::<Ip4> {
+                src: Ip4(rng.random()),
+                dst: Ip4(rng.random_range(1u32..32) << 24 | rng.random::<u32>() & 0xFFFFFF),
+                src_port: rng.random(),
+                dst_port: rng.random_range(0..4000),
+                proto: 6,
+            };
+            let clue = upstream.classify_uncounted(&key).and_then(|f| upstream.position_of(f));
+            (key, clue)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("section7_classification");
+    group.throughput(Throughput::Elements(keys.len() as u64));
+    group.bench_function("linear", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for (key, _) in &keys {
+                if linear.classify(black_box(key), &mut Cost::new()).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("grouped", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for (key, _) in &keys {
+                if grouped.classify(black_box(key), &mut Cost::new()).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.bench_function("clue", |b| {
+        b.iter(|| {
+            let mut hits = 0u64;
+            for (key, clue) in &keys {
+                if cc.classify(black_box(key), *clue, &mut Cost::new()).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

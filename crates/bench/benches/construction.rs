@@ -1,0 +1,60 @@
+//! Section 3.3 in wall-clock form: what it costs to *build* the clue
+//! machinery — precomputed clue tables (the routing-algorithm-time path)
+//! vs learning a clue on the fly (`procedure new-clue`), across table
+//! sizes.
+
+use clue_bench::isp_pair;
+use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_lookup::Family;
+use clue_trie::Cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clue_table_construction");
+    group.sample_size(10);
+
+    for n in [1_000usize, 5_000, 20_000] {
+        let pair = isp_pair(n, 10, 90);
+        group.bench_function(BenchmarkId::new("precompute_advance", n), |b| {
+            b.iter(|| {
+                black_box(ClueEngine::precomputed(
+                    &pair.sender,
+                    &pair.receiver,
+                    EngineConfig::new(Family::Patricia, Method::Advance),
+                ))
+            })
+        });
+        group.bench_function(BenchmarkId::new("precompute_simple", n), |b| {
+            b.iter(|| {
+                black_box(ClueEngine::precomputed(
+                    &pair.sender,
+                    &pair.receiver,
+                    EngineConfig::new(Family::Patricia, Method::Simple),
+                ))
+            })
+        });
+    }
+    group.finish();
+
+    // Learning: per-clue cost of `procedure new-clue`.
+    let pair = isp_pair(10_000, 2_000, 91);
+    let mut group = c.benchmark_group("learning");
+    group.bench_function("learn_2000_clues", |b| {
+        b.iter(|| {
+            let mut engine = ClueEngine::learning(
+                &pair.receiver,
+                EngineConfig::new(Family::Patricia, Method::Advance),
+            );
+            for (&dest, &clue) in pair.dests.iter().zip(&pair.clues) {
+                let mut cost = Cost::new();
+                engine.lookup(dest, clue, None, &mut cost);
+            }
+            black_box(engine.table().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

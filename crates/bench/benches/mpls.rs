@@ -1,0 +1,54 @@
+//! Figure 8 in wall-clock form: a 4-router label-switched path with an
+//! aggregation point, plain MPLS vs the label-as-clue-index hybrid.
+
+use clue_core::mpls::MplsMode;
+use clue_netsim::LabelSwitchedPath;
+use clue_tablegen::{derive_neighbor, synthesize_ipv4, NeighborConfig};
+use clue_trie::{Address, Ip4, Prefix};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_mpls(c: &mut Criterion) {
+    let base = synthesize_ipv4(4_000, 77);
+    let fecs: Vec<Prefix<Ip4>> = {
+        let mut v: Vec<Prefix<Ip4>> = base.iter().map(|p| p.truncate(p.len().min(16))).collect();
+        v.sort();
+        v.dedup();
+        v
+    };
+    let full = derive_neighbor(&base, &NeighborConfig::same_isp(78));
+    let path = LabelSwitchedPath::new(fecs.clone(), vec![fecs.clone(), fecs.clone(), full]);
+
+    let mut rng = StdRng::seed_from_u64(79);
+    let dests: Vec<Ip4> = (0..2_000)
+        .map(|_| {
+            let p = fecs.choose(&mut rng).expect("non-empty");
+            let span = (32 - p.len()) as u32;
+            let host = if span == 0 { 0 } else { rng.random::<u32>() & ((1u32 << span) - 1) };
+            Ip4(p.bits().to_u128() as u32 | host)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("fig8_lsp");
+    group.throughput(Throughput::Elements(dests.len() as u64));
+    for mode in [MplsMode::Plain, MplsMode::WithClues] {
+        group.bench_function(BenchmarkId::from_parameter(mode), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for &d in &dests {
+                    if let Some(acc) = path.total_accesses(black_box(d), mode) {
+                        total += acc;
+                    }
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mpls);
+criterion_main!(benches);

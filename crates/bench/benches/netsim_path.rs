@@ -1,0 +1,42 @@
+//! Figure 1 in wall-clock form: end-to-end packet forwarding across a
+//! simulated backbone, clue-routed vs clue-less.
+
+use clue_core::{EngineConfig, Method};
+use clue_lookup::Family;
+use clue_netsim::{Network, NetworkConfig, Topology};
+use clue_trie::Ip4;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_backbone_path");
+    for method in [Method::Common, Method::Advance] {
+        let (topo, edges) = Topology::backbone(8, 2);
+        let mut cfg =
+            NetworkConfig::new(edges.clone(), EngineConfig::new(Family::Patricia, method));
+        cfg.specifics_per_origin = 30;
+        cfg.seed = 1999;
+        let mut net: Network<Ip4> = Network::build(topo, cfg);
+        let mut rng = StdRng::seed_from_u64(7);
+        let dests: Vec<Ip4> =
+            (0..500).map(|i| net.random_destination(i % edges.len(), &mut rng)).collect();
+        group.throughput(Throughput::Elements(dests.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter(method.label()), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (i, &dest) in dests.iter().enumerate() {
+                    let src = edges[(i + 3) % edges.len()];
+                    let trace = net.route_packet(black_box(src), dest);
+                    total += trace.total_cost();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_path);
+criterion_main!(benches);

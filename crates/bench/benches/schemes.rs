@@ -1,0 +1,48 @@
+//! Tables 4–9 in wall-clock form: per-packet lookup latency for every
+//! (family × method) combination on a same-ISP router pair.
+//!
+//! The experiment binaries report the paper's metric (memory accesses);
+//! this bench shows the same ordering holds for real time on a modern
+//! CPU — Advance ≈ one hash probe, common Regular ≈ a 24-step pointer
+//! chase.
+
+use clue_bench::isp_pair;
+use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_lookup::Family;
+use clue_trie::Cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_schemes(c: &mut Criterion) {
+    let pair = isp_pair(10_000, 2_000, 42);
+    let mut group = c.benchmark_group("tables4to9_lookup");
+    group.throughput(Throughput::Elements(pair.dests.len() as u64));
+
+    for family in Family::all() {
+        for method in Method::all() {
+            let mut engine = ClueEngine::precomputed(
+                &pair.sender,
+                &pair.receiver,
+                EngineConfig::new(family, method),
+            );
+            group.bench_function(
+                BenchmarkId::new(family.label(), method.label()),
+                |b| {
+                    b.iter(|| {
+                        let mut total = 0u64;
+                        for (&dest, &clue) in pair.dests.iter().zip(&pair.clues) {
+                            let mut cost = Cost::new();
+                            let bmp = engine.lookup(black_box(dest), clue, None, &mut cost);
+                            total += bmp.map_or(0, |p| p.len() as u64);
+                        }
+                        black_box(total)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes);
+criterion_main!(benches);

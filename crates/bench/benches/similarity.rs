@@ -1,0 +1,51 @@
+//! Ablation bench: lookup latency of the Advance method as the
+//! neighbor-table similarity degrades — the wall-clock twin of the
+//! `similarity_sweep` experiment binary.
+
+use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_lookup::Family;
+use clue_tablegen::{derive_neighbor, generate, synthesize_ipv4, NeighborConfig, TrafficConfig};
+use clue_trie::{BinaryTrie, Cost, Ip4};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let base = synthesize_ipv4(6_000, 601);
+    let mut group = c.benchmark_group("similarity_advance");
+
+    for share in [50u32, 85, 99] {
+        let receiver =
+            derive_neighbor(&base, &NeighborConfig::with_share(share as f64 / 100.0, 603));
+        let dests = generate(
+            &base,
+            &receiver,
+            &TrafficConfig { count: 1_000, ..TrafficConfig::paper(604) },
+        );
+        let t1: BinaryTrie<Ip4, ()> = base.iter().map(|p| (*p, ())).collect();
+        let clues: Vec<_> = dests
+            .iter()
+            .map(|&d| t1.lookup(d).map(|r| t1.prefix(r)).filter(|p| !p.is_empty()))
+            .collect();
+        let mut engine = ClueEngine::precomputed(
+            &base,
+            &receiver,
+            EngineConfig::new(Family::Patricia, Method::Advance),
+        );
+        group.throughput(Throughput::Elements(dests.len() as u64));
+        group.bench_function(BenchmarkId::from_parameter(format!("share_{share}")), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (&dest, &clue) in dests.iter().zip(&clues) {
+                    let mut cost = Cost::new();
+                    engine.lookup(black_box(dest), clue, None, &mut cost);
+                    total += cost.total();
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

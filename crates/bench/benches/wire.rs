@@ -1,0 +1,56 @@
+//! Section 5.3 in wall-clock form: the cost of parsing / rewriting /
+//! re-serializing clue-carrying headers at a router — the per-packet
+//! header-processing overhead the scheme adds on the wire.
+
+use clue_core::ClueHeader;
+use clue_trie::{Ip4, Prefix};
+use clue_wire::Ipv4Packet;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+fn bench_wire(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let packets: Vec<Vec<u8>> = (0..2_000)
+        .map(|_| {
+            let dst = Ip4(rng.random());
+            let mut pkt = Ipv4Packet::new(Ip4(rng.random()), dst, 6);
+            let len = rng.random_range(8u8..=24);
+            pkt.clue = ClueHeader::with_clue(&Prefix::new(dst, len));
+            pkt.to_bytes()
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Elements(packets.len() as u64));
+
+    group.bench_function("parse", |b| {
+        b.iter(|| {
+            let mut lens = 0u64;
+            for bytes in &packets {
+                let pkt = Ipv4Packet::parse(black_box(bytes)).expect("valid");
+                lens += pkt.clue.clue.map_or(0, |c| c.raw() as u64);
+            }
+            black_box(lens)
+        })
+    });
+
+    group.bench_function("router_rewrite", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for bytes in &packets {
+                let mut pkt = Ipv4Packet::parse(black_box(bytes)).expect("valid");
+                pkt.ttl -= 1;
+                pkt.clue = ClueHeader::with_clue(&Prefix::new(pkt.dst, 24));
+                total += pkt.to_bytes().len();
+            }
+            black_box(total)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench regenerates one of the paper's evaluation artifacts in
+//! wall-clock terms, complementing the memory-access counts printed by
+//! the `clue-experiments` binaries (DESIGN.md maps tables/figures to
+//! both).
+
+use clue_tablegen::{derive_neighbor, generate, NeighborConfig, TrafficConfig};
+use clue_trie::{BinaryTrie, Ip4, Prefix};
+
+/// A benchmark-sized sender/receiver pair with a prepared packet stream:
+/// destinations and the clues the sender would stamp.
+pub struct BenchPair {
+    /// Sender's prefixes.
+    pub sender: Vec<Prefix<Ip4>>,
+    /// Receiver's prefixes.
+    pub receiver: Vec<Prefix<Ip4>>,
+    /// Packet destinations.
+    pub dests: Vec<Ip4>,
+    /// Clue stamped by the sender for each destination.
+    pub clues: Vec<Option<Prefix<Ip4>>>,
+}
+
+/// Builds a same-ISP pair of `n` prefixes with `packets` destinations.
+pub fn isp_pair(n: usize, packets: usize, seed: u64) -> BenchPair {
+    let sender = clue_tablegen::synthesize_ipv4(n, seed);
+    let receiver = derive_neighbor(&sender, &NeighborConfig::same_isp(seed + 1));
+    let dests = generate(
+        &sender,
+        &receiver,
+        &TrafficConfig { count: packets, ..TrafficConfig::paper(seed + 2) },
+    );
+    let t1: BinaryTrie<Ip4, ()> = sender.iter().map(|p| (*p, ())).collect();
+    let clues = dests
+        .iter()
+        .map(|&d| t1.lookup(d).map(|r| t1.prefix(r)).filter(|c| !c.is_empty()))
+        .collect();
+    BenchPair { sender, receiver, dests, clues }
+}

@@ -1,0 +1,321 @@
+//! Classifiers: the clue-less linear scan and the Section 7
+//! clue-assisted variant.
+
+use std::collections::HashMap;
+
+use clue_trie::{Address, Cost};
+
+use crate::filter::{Filter, FlowKey};
+
+/// A priority-ordered rule set with a counted linear-scan classifier —
+/// the straightforward baseline a firewall or QoS stage runs.
+#[derive(Debug, Clone)]
+pub struct RuleSet<A: Address> {
+    /// Rules sorted by descending priority (stable on input order).
+    rules: Vec<Filter<A>>,
+}
+
+impl<A: Address> RuleSet<A> {
+    /// Builds a rule set (sorting by priority, descending).
+    pub fn new(mut rules: Vec<Filter<A>>) -> Self {
+        rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+        RuleSet { rules }
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` iff the set has no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// The rules, highest priority first.
+    pub fn rules(&self) -> &[Filter<A>] {
+        &self.rules
+    }
+
+    /// Classifies by linear scan: one memory access per rule examined,
+    /// stopping at the first (= highest-priority) match.
+    pub fn classify(&self, key: &FlowKey<A>, cost: &mut Cost) -> Option<&Filter<A>> {
+        for rule in &self.rules {
+            cost.indexed_read();
+            if rule.matches(key) {
+                return Some(rule);
+            }
+        }
+        None
+    }
+
+    /// Uncounted reference classification.
+    pub fn classify_uncounted(&self, key: &FlowKey<A>) -> Option<&Filter<A>> {
+        self.rules.iter().find(|r| r.matches(key))
+    }
+
+    /// Index of a rule equal (as a rule) to `f`, if present.
+    pub fn position_of(&self, f: &Filter<A>) -> Option<usize> {
+        self.rules.iter().position(|r| r.same_rule(f))
+    }
+}
+
+/// The Section 7 clue classifier.
+///
+/// The clue is *the filter the upstream router classified the packet
+/// by*. This router precomputes, per upstream filter `f`, the restricted
+/// candidate list it needs to examine:
+///
+/// * only filters **intersecting** `f` can match (the packet lies in
+///   `f`'s region);
+/// * among those, any filter that **both routers have** with a priority
+///   above `f`'s is discarded — had the packet matched it, the upstream
+///   router would have classified by it instead (the Claim 1 analogue).
+///
+/// Classification then scans the (usually tiny) candidate list, at one
+/// access each, plus the single clue-table access.
+#[derive(Debug)]
+pub struct ClueClassifier<A: Address> {
+    local: RuleSet<A>,
+    /// Per upstream-filter-id candidate lists (indices into `local`).
+    candidates: HashMap<usize, Vec<usize>>,
+    /// The upstream rule set (clue ids index into it).
+    upstream: RuleSet<A>,
+}
+
+impl<A: Address> ClueClassifier<A> {
+    /// Precomputes the candidate lists for every upstream filter.
+    pub fn new(local: RuleSet<A>, upstream: RuleSet<A>) -> Self {
+        let mut candidates = HashMap::with_capacity(upstream.len());
+        for (fid, f) in upstream.rules().iter().enumerate() {
+            let list: Vec<usize> = local
+                .rules()
+                .iter()
+                .enumerate()
+                .filter(|(_, g)| {
+                    if !g.intersects(f) {
+                        return false; // outside the clue's region
+                    }
+                    // The Claim 1 analogue: a shared higher-priority rule
+                    // would have claimed the packet upstream.
+                    let shared_higher = g.priority > f.priority
+                        && upstream.rules().iter().any(|u| u.same_rule(g));
+                    !shared_higher
+                })
+                .map(|(i, _)| i)
+                .collect();
+            candidates.insert(fid, list);
+        }
+        ClueClassifier { local, candidates, upstream }
+    }
+
+    /// The local rule set.
+    pub fn local(&self) -> &RuleSet<A> {
+        &self.local
+    }
+
+    /// The upstream rule set (what clue ids refer to).
+    pub fn upstream(&self) -> &RuleSet<A> {
+        &self.upstream
+    }
+
+    /// Mean candidate-list length over all upstream filters — the
+    /// precomputed work bound.
+    pub fn mean_candidates(&self) -> f64 {
+        if self.candidates.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.candidates.values().map(Vec::len).sum();
+        total as f64 / self.candidates.len() as f64
+    }
+
+    /// Classifies with a clue: one access for the clue table, then one
+    /// per candidate examined. A missing/unknown clue falls back to the
+    /// full scan.
+    pub fn classify(
+        &self,
+        key: &FlowKey<A>,
+        clue: Option<usize>,
+        cost: &mut Cost,
+    ) -> Option<&Filter<A>> {
+        let Some(fid) = clue else {
+            return self.local.classify(key, cost);
+        };
+        cost.hash_probe(); // the mandatory clue-table consult
+        let Some(list) = self.candidates.get(&fid) else {
+            return self.local.classify(key, cost);
+        };
+        for &i in list {
+            cost.indexed_read();
+            if self.local.rules()[i].matches(key) {
+                return Some(&self.local.rules()[i]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::Action;
+    use clue_trie::{Ip4, Prefix};
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    fn filter(dst: &str, dports: core::ops::RangeInclusive<u16>, prio: u32) -> Filter<Ip4> {
+        Filter {
+            src: p("0.0.0.0/0"),
+            dst: p(dst),
+            src_ports: 0..=u16::MAX,
+            dst_ports: dports,
+            proto: None,
+            priority: prio,
+            action: Action::Permit,
+        }
+    }
+
+    fn key(dst: &str, dport: u16) -> FlowKey<Ip4> {
+        FlowKey {
+            src: "1.2.3.4".parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            src_port: 50000,
+            dst_port: dport,
+            proto: 6,
+        }
+    }
+
+    fn rules() -> Vec<Filter<Ip4>> {
+        vec![
+            filter("10.1.0.0/16", 80..=80, 30),
+            filter("10.1.0.0/16", 0..=u16::MAX, 20),
+            filter("10.0.0.0/8", 0..=u16::MAX, 10),
+            filter("20.0.0.0/8", 22..=22, 25),
+            Filter::default_rule(Action::Deny),
+        ]
+    }
+
+    #[test]
+    fn linear_scan_picks_highest_priority() {
+        let rs = RuleSet::new(rules());
+        let mut c = Cost::new();
+        let f = rs.classify(&key("10.1.2.3", 80), &mut c).unwrap();
+        assert_eq!(f.priority, 30);
+        assert_eq!(c.total(), 1, "highest-priority rule matches first");
+        let f2 = rs.classify(&key("10.9.9.9", 80), &mut Cost::new()).unwrap();
+        assert_eq!(f2.priority, 10);
+        let f3 = rs.classify(&key("99.9.9.9", 80), &mut Cost::new()).unwrap();
+        assert_eq!(f3.action, Action::Deny);
+    }
+
+    #[test]
+    fn clue_restricts_the_scan() {
+        let shared = rules();
+        let local = RuleSet::new(shared.clone());
+        let upstream = RuleSet::new(shared);
+        let cc = ClueClassifier::new(local, upstream);
+        // Upstream classified by the 10/8 rule (priority 10, index 3 in
+        // sorted order 30,25,20,10,0).
+        let fid = cc.upstream().position_of(&filter("10.0.0.0/8", 0..=u16::MAX, 10)).unwrap();
+        let k = key("10.9.9.9", 80);
+        let mut with = Cost::new();
+        let got = cc.classify(&k, Some(fid), &mut with).unwrap();
+        assert_eq!(got.priority, 10);
+        let mut without = Cost::new();
+        let want = cc.local().classify(&k, &mut without).unwrap();
+        assert_eq!(got, want);
+        assert!(
+            with.total() < without.total(),
+            "clue {} !< full {}",
+            with.total(),
+            without.total()
+        );
+    }
+
+    #[test]
+    fn shared_higher_priority_rules_are_discarded() {
+        let shared = rules();
+        let cc = ClueClassifier::new(RuleSet::new(shared.clone()), RuleSet::new(shared));
+        // Clue = default rule (priority 0): every shared higher-priority
+        // rule is discarded, so the candidate list is exactly {default}.
+        let fid = cc.upstream().position_of(&Filter::default_rule(Action::Deny)).unwrap();
+        let k = key("99.9.9.9", 80);
+        let mut c = Cost::new();
+        let got = cc.classify(&k, Some(fid), &mut c).unwrap();
+        assert_eq!(got.action, Action::Deny);
+        // 1 clue access + 1 candidate examined.
+        assert_eq!(c.total(), 2, "{c}");
+    }
+
+    #[test]
+    fn receiver_only_rules_stay_candidates() {
+        let upstream_rules = rules();
+        let mut local_rules = upstream_rules.clone();
+        // Receiver-only refinement with a high priority: must never be
+        // discarded (the upstream could not have matched it).
+        local_rules.push(filter("10.1.2.0/24", 0..=u16::MAX, 40));
+        let cc = ClueClassifier::new(RuleSet::new(local_rules), RuleSet::new(upstream_rules));
+        let fid = cc.upstream().position_of(&filter("10.1.0.0/16", 0..=u16::MAX, 20)).unwrap();
+        let k = key("10.1.2.9", 9999);
+        let got = cc.classify(&k, Some(fid), &mut Cost::new()).unwrap();
+        assert_eq!(got.priority, 40, "the local refinement must win");
+    }
+
+    #[test]
+    fn missing_clue_falls_back() {
+        let shared = rules();
+        let cc = ClueClassifier::new(RuleSet::new(shared.clone()), RuleSet::new(shared));
+        let k = key("10.1.2.3", 80);
+        let a = cc.classify(&k, None, &mut Cost::new()).cloned();
+        let b = cc.classify(&k, Some(9999), &mut Cost::new()).cloned();
+        let want = cc.local().classify_uncounted(&k).cloned();
+        assert_eq!(a, want);
+        assert_eq!(b, want);
+    }
+
+    #[test]
+    fn randomized_equivalence_with_full_scan() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        // Random shared base + per-router extras.
+        let mut base: Vec<Filter<Ip4>> = (0..60)
+            .map(|i| {
+                let len = *[8u8, 16, 24].get(rng.random_range(0..3)).unwrap();
+                let lo = rng.random_range(0u16..1000);
+                filter(
+                    &format!("{}.{}.0.0/{len}", rng.random_range(1..20), rng.random_range(0..4)),
+                    lo..=lo + rng.random_range(0..2000),
+                    i + 1,
+                )
+            })
+            .collect();
+        base.push(Filter::default_rule(Action::Deny));
+        let mut local_rules = base.clone();
+        for i in 0..10 {
+            local_rules.push(filter("10.1.0.0/24", 0..=u16::MAX, 100 + i));
+        }
+        let upstream = RuleSet::new(base);
+        let cc = ClueClassifier::new(RuleSet::new(local_rules), upstream.clone());
+
+        for _ in 0..500 {
+            let k = key(
+                &format!(
+                    "{}.{}.{}.{}",
+                    rng.random_range(1..20),
+                    rng.random_range(0..4),
+                    rng.random_range(0..4),
+                    rng.random_range(0..255)
+                ),
+                rng.random_range(0..3000),
+            );
+            // Honest clue: the upstream's own classification.
+            let clue = upstream.classify_uncounted(&k).and_then(|f| upstream.position_of(f));
+            let want = cc.local().classify_uncounted(&k).cloned();
+            let got = cc.classify(&k, clue, &mut Cost::new()).cloned();
+            assert_eq!(got, want, "key {k:?} clue {clue:?}");
+        }
+    }
+}

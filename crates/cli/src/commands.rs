@@ -1,0 +1,288 @@
+//! Sub-command implementations.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_lookup::{reference_bmp, Family};
+use clue_tablegen::{
+    format_prefixes, generate, length_histogram, minimize, parse_prefixes, parse_table,
+    synthesize_ipv4, PairStats, TrafficConfig,
+};
+use clue_trie::{BinaryTrie, Cost, CostStats, Ip4, Prefix};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage:
+  clue stats  <table.txt>                        table statistics
+  clue pair   <sender.txt> <receiver.txt> [n]    pair stats + method matrix
+                                                 (n packets, default 10000)
+  clue lookup <table.txt> <addr> [clue-prefix]   one lookup, per-family costs
+  clue synth  <count> [seed]                     emit a synthetic table
+  clue minimize <table.txt>                      ORTC-minimize (next hops
+                                                 read from the 2nd column)";
+
+/// Entry point: dispatches on the first argument.
+pub fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("stats") => stats(args.get(1).ok_or("stats needs a table file")?),
+        Some("pair") => pair(
+            args.get(1).ok_or("pair needs a sender file")?,
+            args.get(2).ok_or("pair needs a receiver file")?,
+            args.get(3).map(String::as_str),
+        ),
+        Some("lookup") => lookup(
+            args.get(1).ok_or("lookup needs a table file")?,
+            args.get(2).ok_or("lookup needs an address")?,
+            args.get(3).map(String::as_str),
+        ),
+        Some("synth") => synth(
+            args.get(1).ok_or("synth needs a prefix count")?,
+            args.get(2).map(String::as_str),
+        ),
+        Some("minimize") => minimize_cmd(args.get(1).ok_or("minimize needs a table file")?),
+        Some(other) => Err(format!("unknown command {other:?}")),
+        None => Err("no command given".to_owned()),
+    }
+}
+
+fn load(path: &str) -> Result<Vec<Prefix<Ip4>>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_prefixes::<Ip4>(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let table = load(path)?;
+    println!("table: {path}");
+    println!("prefixes: {}", table.len());
+    let hist = length_histogram(&table);
+    println!("\nlength histogram:");
+    let max = hist.iter().copied().max().unwrap_or(1).max(1);
+    for (len, &n) in hist.iter().enumerate() {
+        if n > 0 {
+            let bar = "#".repeat((n * 40).div_ceil(max));
+            println!("  /{len:<3} {n:>8}  {bar}");
+        }
+    }
+    let trie: BinaryTrie<Ip4, ()> = table.iter().map(|p| (*p, ())).collect();
+    println!("\ntrie vertices: {}", trie.node_count());
+    println!("trie memory:   {} bytes", trie.memory_bytes());
+    let nested = table
+        .iter()
+        .filter(|p| table.iter().any(|q| q.is_strict_prefix_of(p)))
+        .count();
+    println!("nested prefixes (have a shorter covering prefix): {nested}");
+    Ok(())
+}
+
+fn pair(sender_path: &str, receiver_path: &str, packets: Option<&str>) -> Result<(), String> {
+    let sender = load(sender_path)?;
+    let receiver = load(receiver_path)?;
+    let n: usize = packets.unwrap_or("10000").parse().map_err(|_| "bad packet count")?;
+
+    let ps = PairStats::compute(&sender, &receiver);
+    println!("sender:    {sender_path} ({} prefixes)", ps.sender_size);
+    println!("receiver:  {receiver_path} ({} prefixes)", ps.receiver_size);
+    println!(
+        "intersection: {} ({:.1}%); problematic clues: {} ({:.2}%)",
+        ps.intersection,
+        ps.similarity() * 100.0,
+        ps.problematic,
+        ps.problematic_fraction() * 100.0
+    );
+
+    let dests = generate(&sender, &receiver, &TrafficConfig { count: n, ..TrafficConfig::paper(1) });
+    let t1: BinaryTrie<Ip4, ()> = sender.iter().map(|p| (*p, ())).collect();
+    let clues: Vec<Option<Prefix<Ip4>>> = dests
+        .iter()
+        .map(|&d| t1.lookup(d).map(|r| t1.prefix(r)).filter(|c| !c.is_empty()))
+        .collect();
+
+    println!("\naverage memory accesses over {} packets:", dests.len());
+    println!("{:<10} {:>10} {:>10} {:>10}", "family", "common", "Simple", "Advance");
+    for family in Family::all_extended() {
+        let mut row = format!("{:<10}", family.label());
+        for method in Method::all() {
+            let mut engine =
+                ClueEngine::precomputed(&sender, &receiver, EngineConfig::new(family, method));
+            let mut acc = CostStats::new();
+            for (&dest, &clue) in dests.iter().zip(&clues) {
+                let mut cost = Cost::new();
+                engine.lookup(dest, clue, None, &mut cost);
+                acc.record(cost);
+            }
+            write!(row, " {:>10.2}", acc.mean()).expect("write to string");
+        }
+        println!("{row}");
+    }
+    Ok(())
+}
+
+fn lookup(path: &str, addr: &str, clue: Option<&str>) -> Result<(), String> {
+    let table = load(path)?;
+    let dest: Ip4 = addr.parse().map_err(|e| format!("{addr}: {e}"))?;
+    let clue: Option<Prefix<Ip4>> = match clue {
+        Some(c) => Some(c.parse().map_err(|e| format!("{c}: {e}"))?),
+        None => None,
+    };
+    if let Some(c) = &clue {
+        if !c.contains(dest) {
+            return Err(format!("clue {c} is not a prefix of {dest}"));
+        }
+    }
+    let want = reference_bmp(&table, dest);
+    println!("destination: {dest}");
+    match want {
+        Some(b) => println!("best matching prefix: {b}"),
+        None => println!("best matching prefix: (none)"),
+    }
+    if let Some(c) = &clue {
+        println!("clue: {c}");
+    }
+    println!("\nper-family cost (memory accesses):");
+    println!("{:<10} {:>10} {:>12}", "family", "clue-less", "with clue");
+    for family in Family::all_extended() {
+        let mut engine = ClueEngine::precomputed(
+            &table, // standalone: assume the sender has the same table
+            &table,
+            EngineConfig::new(family, Method::Advance),
+        );
+        let mut c0 = Cost::new();
+        let r0 = engine.common_lookup(dest, &mut c0);
+        if r0 != want {
+            return Err(format!("{family} disagrees with the reference"));
+        }
+        let with = match clue {
+            Some(cl) => {
+                let mut c1 = Cost::new();
+                let r1 = engine.lookup(dest, Some(cl), None, &mut c1);
+                if r1 != want {
+                    return Err(format!("{family} with clue disagrees with the reference"));
+                }
+                format!("{:>12}", c1.total())
+            }
+            None => format!("{:>12}", "-"),
+        };
+        println!("{:<10} {:>10} {with}", family.label(), c0.total());
+    }
+    Ok(())
+}
+
+fn synth(count: &str, seed: Option<&str>) -> Result<(), String> {
+    let n: usize = count.parse().map_err(|_| "bad prefix count")?;
+    let seed: u64 = seed.unwrap_or("0").parse().map_err(|_| "bad seed")?;
+    print!("{}", format_prefixes(&synthesize_ipv4(n, seed)));
+    Ok(())
+}
+
+fn minimize_cmd(path: &str) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let lines = parse_table::<Ip4>(&text).map_err(|e| format!("{path}: {e}"))?;
+    // Next hops: the optional second column, hashed to a small id space;
+    // rows without one share a single implicit hop.
+    let mut hop_ids: std::collections::HashMap<String, u32> = std::collections::HashMap::new();
+    let entries: Vec<(Prefix<Ip4>, u32)> = lines
+        .iter()
+        .map(|l| {
+            let hop = match &l.next_hop {
+                Some(h) => {
+                    let next = hop_ids.len() as u32 + 1;
+                    *hop_ids.entry(h.clone()).or_insert(next)
+                }
+                None => 0,
+            };
+            (l.prefix, hop)
+        })
+        .collect();
+    let id_to_hop: std::collections::HashMap<u32, &String> =
+        hop_ids.iter().map(|(k, v)| (*v, k)).collect();
+    let min = minimize(&entries);
+    eprintln!("{} prefixes -> {} after ORTC", entries.len(), min.len());
+    for (p, hop) in min {
+        match id_to_hop.get(&hop) {
+            Some(h) => println!("{p} {h}"),
+            None => println!("{p}"),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&[]).is_err());
+    }
+
+    #[test]
+    fn missing_arguments_are_errors() {
+        assert!(run(&s(&["stats"])).is_err());
+        assert!(run(&s(&["pair", "only-one"])).is_err());
+        assert!(run(&s(&["lookup", "table"])).is_err());
+        assert!(run(&s(&["synth"])).is_err());
+    }
+
+    #[test]
+    fn synth_and_stats_roundtrip() {
+        let dir = std::env::temp_dir().join("clue-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        std::fs::write(&path, format_prefixes(&synthesize_ipv4(100, 1))).unwrap();
+        let p = path.to_str().unwrap().to_owned();
+        run(&s(&["stats", &p])).unwrap();
+        run(&s(&["lookup", &p, "10.1.2.3"])).unwrap();
+    }
+
+    #[test]
+    fn pair_runs_on_small_tables() {
+        let dir = std::env::temp_dir().join("clue-cli-test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.txt");
+        let b = dir.join("b.txt");
+        let base = synthesize_ipv4(150, 2);
+        std::fs::write(&a, format_prefixes(&base)).unwrap();
+        let nb = clue_tablegen::derive_neighbor(
+            &base,
+            &clue_tablegen::NeighborConfig::same_isp(3),
+        );
+        std::fs::write(&b, format_prefixes(&nb)).unwrap();
+        run(&s(&[
+            "pair",
+            a.to_str().unwrap(),
+            b.to_str().unwrap(),
+            "200",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn minimize_runs_on_a_table_file() {
+        let dir = std::env::temp_dir().join("clue-cli-test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        std::fs::write(&path, "10.0.0.0/8 a
+10.1.0.0/16 a
+10.2.0.0/16 b
+").unwrap();
+        run(&s(&["minimize", path.to_str().unwrap()])).unwrap();
+        assert!(run(&s(&["minimize"])).is_err());
+    }
+
+    #[test]
+    fn lookup_rejects_malformed_clue() {
+        let dir = std::env::temp_dir().join("clue-cli-test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.txt");
+        std::fs::write(&path, "10.0.0.0/8\n").unwrap();
+        let p = path.to_str().unwrap().to_owned();
+        assert!(run(&s(&["lookup", &p, "10.1.2.3", "20.0.0.0/8"])).is_err());
+        assert!(run(&s(&["lookup", &p, "not-an-addr"])).is_err());
+    }
+}

@@ -1,0 +1,29 @@
+//! `clue` — command-line front end for the *Routing with a Clue*
+//! workspace.
+//!
+//! ```text
+//! clue stats  <table.txt>                       table statistics
+//! clue pair   <sender.txt> <receiver.txt>       pair stats + 15-method matrix
+//! clue lookup <table.txt> <addr> [clue-prefix]  one lookup, per-family costs
+//! clue synth  <count> [seed]                    emit a synthetic table
+//! ```
+//!
+//! Tables are plain text, one `A.B.C.D/len` per line (`#` comments,
+//! optional next-hop token) — convert any real RIB dump to this format.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

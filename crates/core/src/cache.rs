@@ -1,0 +1,323 @@
+//! A fast cache in front of the clue table — Section 3.5's “parts of the
+//! clues hash table can be cached and placed into the cache only if
+//! touched recently”.
+//!
+//! The cache is an LRU over clue-table entries. A hit serves the entry
+//! from fast memory (one [`clue_trie::Cost::cache_read`]); a miss falls
+//! through to the backing table (one ordinary probe) and promotes the
+//! entry. Because clue popularity in real traffic is heavily skewed, a
+//! cache holding a small fraction of the table reaches the ≈90 % hit
+//! rates the paper cites for lookup caches (Section 2, [18, 16]) — but
+//! at clue-table prices: the cached object is a tiny FD/Ptr record, not
+//! an expensive CAM line.
+
+use std::collections::HashMap;
+
+use clue_trie::Prefix;
+
+use crate::table::ClueEntry;
+
+/// Hit/miss accounting for a [`ClueCache`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to the backing table.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when empty).
+    pub fn hit_rate(&self) -> f64 {
+        let n = self.hits + self.misses;
+        if n == 0 {
+            0.0
+        } else {
+            self.hits as f64 / n as f64
+        }
+    }
+}
+
+/// Intrusive doubly-linked LRU list node (indices into the arena).
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A fixed-capacity LRU cache.
+///
+/// Operations are O(1): a `HashMap` finds the slot, an intrusive doubly
+/// linked list maintains recency, and eviction pops the tail.
+#[derive(Debug)]
+pub struct LruCache<K: Copy + Eq + core::hash::Hash, V> {
+    capacity: usize,
+    map: HashMap<K, usize>,
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    head: usize,
+    tail: usize,
+    stats: CacheStats,
+}
+
+/// The Section 3.5 clue cache: LRU over full clue-table entries.
+pub type ClueCache<A> = LruCache<Prefix<A>, ClueEntry<A>>;
+
+/// A presence-only cache: tracks *which* clues are resident in fast
+/// memory while the entry bytes stay in the backing table — the form
+/// [`crate::ClueEngine`] uses internally.
+pub type PresenceCache<A> = LruCache<Prefix<A>, ()>;
+
+impl<K: Copy + Eq + core::hash::Hash, V> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruCache {
+            capacity,
+            map: HashMap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` iff nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Hit/miss statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets the statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = (self.slots[i].prev, self.slots[i].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, i: usize) {
+        self.slots[i].prev = NIL;
+        self.slots[i].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = i;
+        }
+        self.head = i;
+        if self.tail == NIL {
+            self.tail = i;
+        }
+    }
+
+    /// Looks up a key, recording a hit or miss and refreshing recency.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        match self.map.get(key).copied() {
+            Some(i) => {
+                self.stats.hits += 1;
+                if self.head != i {
+                    self.unlink(i);
+                    self.push_front(i);
+                }
+                Some(&self.slots[i].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) a key/value, evicting the least recently
+    /// used one when full. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        if let Some(&i) = self.map.get(&key) {
+            self.slots[i].value = value;
+            if self.head != i {
+                self.unlink(i);
+                self.push_front(i);
+            }
+            return None;
+        }
+        let mut evicted = None;
+        let slot_index = if self.map.len() >= self.capacity {
+            // Evict the tail.
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL, "capacity > 0 implies a tail when full");
+            self.unlink(victim);
+            let old = self.slots[victim].key;
+            self.map.remove(&old);
+            evicted = Some(old);
+            victim
+        } else if let Some(free) = self.free.pop() {
+            free
+        } else {
+            self.slots.push(Slot { key, value, prev: NIL, next: NIL });
+            let i = self.slots.len() - 1;
+            self.map.insert(key, i);
+            self.push_front(i);
+            return None;
+        };
+        self.slots[slot_index] = Slot { key, value, prev: NIL, next: NIL };
+        self.map.insert(key, slot_index);
+        self.push_front(slot_index);
+        evicted
+    }
+
+    /// Drops a key (e.g. when the backing table reclassified its entry).
+    pub fn invalidate(&mut self, key: &K) -> bool {
+        match self.map.remove(key) {
+            Some(i) => {
+                self.unlink(i);
+                self.free.push(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Drops everything, keeping statistics.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// The cached keys, most recent first (diagnostics / tests).
+    pub fn keys_by_recency(&self) -> Vec<K> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.slots[cur].key);
+            cur = self.slots[cur].next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_trie::Ip4;
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    fn e(s: &str) -> ClueEntry<Ip4> {
+        ClueEntry { clue: p(s), fd: Some(p(s)), cont: None }
+    }
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c = ClueCache::new(2);
+        assert!(c.get(&p("10.0.0.0/8")).is_none());
+        c.insert(p("10.0.0.0/8"), e("10.0.0.0/8"));
+        assert!(c.get(&p("10.0.0.0/8")).is_some());
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = ClueCache::new(2);
+        c.insert(p("1.0.0.0/8"), e("1.0.0.0/8"));
+        c.insert(p("2.0.0.0/8"), e("2.0.0.0/8"));
+        // Touch 1/8 so 2/8 becomes the LRU victim.
+        assert!(c.get(&p("1.0.0.0/8")).is_some());
+        let evicted = c.insert(p("3.0.0.0/8"), e("3.0.0.0/8"));
+        assert_eq!(evicted, Some(p("2.0.0.0/8")));
+        assert!(c.get(&p("2.0.0.0/8")).is_none());
+        assert!(c.get(&p("1.0.0.0/8")).is_some());
+        assert!(c.get(&p("3.0.0.0/8")).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let mut c = ClueCache::new(2);
+        c.insert(p("1.0.0.0/8"), e("1.0.0.0/8"));
+        c.insert(p("2.0.0.0/8"), e("2.0.0.0/8"));
+        assert_eq!(c.insert(p("1.0.0.0/8"), e("1.0.0.0/8")), None);
+        assert_eq!(c.keys_by_recency(), vec![p("1.0.0.0/8"), p("2.0.0.0/8")]);
+    }
+
+    #[test]
+    fn invalidate_frees_slot() {
+        let mut c = ClueCache::new(2);
+        c.insert(p("1.0.0.0/8"), e("1.0.0.0/8"));
+        assert!(c.invalidate(&p("1.0.0.0/8")));
+        assert!(!c.invalidate(&p("1.0.0.0/8")));
+        assert!(c.is_empty());
+        // The freed slot is reused.
+        c.insert(p("2.0.0.0/8"), e("2.0.0.0/8"));
+        c.insert(p("3.0.0.0/8"), e("3.0.0.0/8"));
+        assert_eq!(c.len(), 2);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn recency_list_is_consistent_under_churn() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut c = ClueCache::new(8);
+        for _ in 0..2000 {
+            let k = rng.random_range(0u32..32);
+            let clue = Prefix::new(Ip4(k << 24), 8);
+            match rng.random_range(0..3) {
+                0 => {
+                    c.insert(clue, ClueEntry { clue, fd: None, cont: None });
+                }
+                1 => {
+                    let _ = c.get(&clue);
+                }
+                _ => {
+                    c.invalidate(&clue);
+                }
+            }
+            assert!(c.len() <= 8);
+            assert_eq!(c.keys_by_recency().len(), c.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = ClueCache::<Ip4>::new(0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The Advance method's clue classifier — Claim 1 and the three cases of
+//! Section 3.1.2.
+//!
+//! Given a clue `s` (a prefix of the sender's trie `t1`) and the receiver's
+//! trie `t2`, the classifier decides whether a continued search below `s`
+//! can ever be necessary:
+//!
+//! * **Case 1** — `s` is not a vertex of `t2`: the receiver's BMP is the
+//!   least marked ancestor of `s`, final.
+//! * **Case 2** — Claim 1 holds: *on every path descending from `s` in
+//!   `t2`, a prefix of `t1` is met before (or at) the first prefix of
+//!   `t2`*. Had the destination matched anything longer, the sender would
+//!   have sent that longer clue — so the FD is final.
+//! * **Case 3** — the inverse of Claim 1: some prefix of `t2` is reachable
+//!   from `s` without crossing a prefix of `t1`. Those reachable prefixes
+//!   form the **candidate set** `P(s)` (Definition 1 / Condition C1 of
+//!   Section 4); only they can beat the FD, and the continued search may
+//!   be restricted to them.
+//!
+//! The classifier is deliberately independent of *how* `t1` is known: full
+//! precomputed knowledge (a snapshot of the neighbor's table), or the
+//! incrementally-learned clue set (Section 3.3.1). Partial knowledge only
+//! moves clues from Case 2 to Case 3 — the continuation still returns the
+//! correct BMP, just at a higher cost — so learning is always safe.
+
+use clue_trie::{Address, BinaryTrie, Prefix};
+
+/// How a clue behaves at the receiving router, per the Advance method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Classification<A: Address> {
+    /// Case 1: the clue vertex does not exist in the receiver's trie.
+    /// `fd` is the least marked ancestor of the clue (may be `None`).
+    AbsentVertex {
+        /// Final decision: BMP of the clue string in the receiver's trie.
+        fd: Option<Prefix<A>>,
+    },
+    /// Case 2: Claim 1 holds — no longer match is possible, `fd` is final.
+    Covered {
+        /// Final decision: BMP of the clue string in the receiver's trie.
+        fd: Option<Prefix<A>>,
+    },
+    /// Case 3: a continued search is needed. `candidates` is `P(s)` —
+    /// every receiver prefix reachable from the clue without crossing a
+    /// sender prefix, sorted by (bits, length).
+    Problematic {
+        /// Fallback when the continued search fails.
+        fd: Option<Prefix<A>>,
+        /// The candidate set `P(s)` of Definition 1.
+        candidates: Vec<Prefix<A>>,
+    },
+}
+
+impl<A: Address> Classification<A> {
+    /// The FD (final-decision) field of the clue-table entry.
+    pub fn fd(&self) -> Option<Prefix<A>> {
+        match self {
+            Classification::AbsentVertex { fd }
+            | Classification::Covered { fd }
+            | Classification::Problematic { fd, .. } => *fd,
+        }
+    }
+
+    /// `true` iff this clue needs a continued search (Case 3).
+    pub fn is_problematic(&self) -> bool {
+        matches!(self, Classification::Problematic { .. })
+    }
+
+    /// The candidate set, empty unless Case 3.
+    pub fn candidates(&self) -> &[Prefix<A>] {
+        match self {
+            Classification::Problematic { candidates, .. } => candidates,
+            _ => &[],
+        }
+    }
+}
+
+/// Classifies clue `s` against receiver trie `t2`, with `sender_knows`
+/// answering “is this string a prefix in (what we know of) the sender's
+/// table?”.
+///
+/// `sender_knows` is consulted only for strings strictly longer than the
+/// clue itself (the clue is a sender prefix by definition, and Condition
+/// C1 exempts it).
+pub fn classify<A: Address, T>(
+    clue: &Prefix<A>,
+    t2: &BinaryTrie<A, T>,
+    sender_knows: &dyn Fn(&Prefix<A>) -> bool,
+) -> Classification<A> {
+    let fd = t2.best_match_of_prefix(clue).map(|r| t2.prefix(r));
+    let Some(node) = t2.node_of_prefix(clue) else {
+        return Classification::AbsentVertex { fd };
+    };
+
+    // Pruned DFS below the clue vertex: stop descending at any vertex that
+    // is a sender prefix (paths through it are covered by Claim 1); record
+    // receiver prefixes reached before that as candidates.
+    let mut candidates = Vec::new();
+    let [l, r] = t2.children(node);
+    let mut stack: Vec<_> = [l, r].into_iter().flatten().collect();
+    while let Some(v) = stack.pop() {
+        let vp = t2.node_prefix(v);
+        if sender_knows(&vp) {
+            continue; // covered: the sender would have sent this instead
+        }
+        if t2.is_marked(v) {
+            candidates.push(vp);
+        }
+        for c in t2.children(v).into_iter().flatten() {
+            stack.push(c);
+        }
+    }
+
+    if candidates.is_empty() {
+        Classification::Covered { fd }
+    } else {
+        candidates.sort_unstable();
+        Classification::Problematic { fd, candidates }
+    }
+}
+
+/// Convenience: classification of every clue a sender table could emit,
+/// with full knowledge of the sender — the *pre-processing construction*
+/// of Section 3.3.2. Returns `(clue, classification)` pairs.
+pub fn classify_all<A: Address, T, U>(
+    t1: &BinaryTrie<A, T>,
+    t2: &BinaryTrie<A, U>,
+) -> Vec<(Prefix<A>, Classification<A>)> {
+    let knows = |p: &Prefix<A>| t1.contains_prefix(p);
+    t1.prefixes()
+        .map(|clue| {
+            let c = classify(&clue, t2, &knows);
+            (clue, c)
+        })
+        .collect()
+}
+
+/// The fraction of a sender's clues that are problematic at the receiver —
+/// the statistic of the paper's Table 2 (measured there at 0.05 %–7 %).
+pub fn problematic_fraction<A: Address, T, U>(
+    t1: &BinaryTrie<A, T>,
+    t2: &BinaryTrie<A, U>,
+) -> f64 {
+    let all = classify_all(t1, t2);
+    if all.is_empty() {
+        return 0.0;
+    }
+    let bad = all.iter().filter(|(_, c)| c.is_problematic()).count();
+    bad as f64 / all.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_trie::Ip4;
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    fn trie(prefixes: &[&str]) -> BinaryTrie<Ip4, ()> {
+        prefixes.iter().map(|s| (p(s), ())).collect()
+    }
+
+    #[test]
+    fn case1_absent_vertex() {
+        let t1 = trie(&["77.0.0.0/8"]);
+        let t2 = trie(&["10.0.0.0/8"]);
+        let c = classify(&p("77.0.0.0/8"), &t2, &|q| t1.contains_prefix(q));
+        assert_eq!(c, Classification::AbsentVertex { fd: None });
+    }
+
+    #[test]
+    fn case1_absent_vertex_with_ancestor_fd() {
+        let t1 = trie(&["10.1.0.0/16"]);
+        let t2 = trie(&["10.0.0.0/8"]);
+        // 10.1/16 is not a vertex of t2 (t2's only path stops at /8).
+        let c = classify(&p("10.1.0.0/16"), &t2, &|q| t1.contains_prefix(q));
+        assert_eq!(c, Classification::AbsentVertex { fd: Some(p("10.0.0.0/8")) });
+    }
+
+    #[test]
+    fn case2_identical_tables_are_fully_covered() {
+        let t1 = trie(&["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]);
+        let t2 = trie(&["10.0.0.0/8", "10.1.0.0/16", "10.1.2.0/24"]);
+        for (clue, c) in classify_all(&t1, &t2) {
+            assert!(
+                matches!(c, Classification::Covered { .. }),
+                "clue {clue} should be covered, got {c:?}"
+            );
+            assert_eq!(c.fd(), Some(clue));
+        }
+        assert_eq!(problematic_fraction(&t1, &t2), 0.0);
+    }
+
+    #[test]
+    fn case3_receiver_refines_beyond_sender() {
+        // t2 refines 10/8 into a /16 the sender does not know about.
+        let t1 = trie(&["10.0.0.0/8"]);
+        let t2 = trie(&["10.0.0.0/8", "10.1.0.0/16"]);
+        let c = classify(&p("10.0.0.0/8"), &t2, &|q| t1.contains_prefix(q));
+        assert!(c.is_problematic());
+        assert_eq!(c.candidates(), &[p("10.1.0.0/16")]);
+        assert_eq!(c.fd(), Some(p("10.0.0.0/8")));
+    }
+
+    #[test]
+    fn claim1_prunes_at_sender_prefixes() {
+        // The only extension of 10/8 in t2 is 10.1.2/24, but the sender
+        // also has 10.1/16 on the way there — Claim 1 holds: had the
+        // destination matched 10.1.2/24 it would match 10.1/16 too, and
+        // the sender would have sent that longer clue.
+        let t1 = trie(&["10.0.0.0/8", "10.1.0.0/16"]);
+        let t2 = trie(&["10.0.0.0/8", "10.1.2.0/24"]);
+        let c = classify(&p("10.0.0.0/8"), &t2, &|q| t1.contains_prefix(q));
+        assert_eq!(c, Classification::Covered { fd: Some(p("10.0.0.0/8")) });
+    }
+
+    #[test]
+    fn inverse_claim1_candidate_on_its_own_branch() {
+        // 10.2/16 in t2 is reachable from the 10/8 clue without crossing
+        // any sender prefix — problematic, with exactly that candidate.
+        let t1 = trie(&["10.0.0.0/8", "10.1.0.0/16"]);
+        let t2 = trie(&["10.0.0.0/8", "10.1.2.0/24", "10.2.0.0/16"]);
+        let c = classify(&p("10.0.0.0/8"), &t2, &|q| t1.contains_prefix(q));
+        assert!(c.is_problematic());
+        assert_eq!(c.candidates(), &[p("10.2.0.0/16")]);
+    }
+
+    #[test]
+    fn candidates_descend_through_receiver_prefixes() {
+        // Both 10.2/16 and its refinement 10.2.3/24 are candidates: a
+        // receiver prefix does not block the path, only a sender prefix
+        // does (Condition C1).
+        let t1 = trie(&["10.0.0.0/8"]);
+        let t2 = trie(&["10.0.0.0/8", "10.2.0.0/16", "10.2.3.0/24"]);
+        let c = classify(&p("10.0.0.0/8"), &t2, &|q| t1.contains_prefix(q));
+        let mut cand = c.candidates().to_vec();
+        cand.sort();
+        assert_eq!(cand, vec![p("10.2.0.0/16"), p("10.2.3.0/24")]);
+    }
+
+    #[test]
+    fn sender_prefix_at_receiver_prefix_blocks() {
+        // 10.2/16 is a prefix of *both* tries: it blocks (the sender
+        // would have sent it), so nothing below it is a candidate and the
+        // vertex itself is not one either.
+        let t1 = trie(&["10.0.0.0/8", "10.2.0.0/16"]);
+        let t2 = trie(&["10.0.0.0/8", "10.2.0.0/16", "10.2.3.0/24"]);
+        let c = classify(&p("10.0.0.0/8"), &t2, &|q| t1.contains_prefix(q));
+        assert_eq!(c, Classification::Covered { fd: Some(p("10.0.0.0/8")) });
+    }
+
+    #[test]
+    fn partial_knowledge_is_conservative() {
+        // With full knowledge the clue is covered; with no knowledge it
+        // degrades to problematic — never to a wrong final decision.
+        let t1 = trie(&["10.0.0.0/8", "10.1.0.0/16"]);
+        let t2 = trie(&["10.0.0.0/8", "10.1.0.0/16"]);
+        let full = classify(&p("10.0.0.0/8"), &t2, &|q| t1.contains_prefix(q));
+        assert!(matches!(full, Classification::Covered { .. }));
+        let none = classify(&p("10.0.0.0/8"), &t2, &|_| false);
+        assert!(none.is_problematic());
+        assert_eq!(none.candidates(), &[p("10.1.0.0/16")]);
+        assert_eq!(none.fd(), full.fd());
+    }
+
+    #[test]
+    fn problematic_fraction_counts() {
+        let t1 = trie(&["10.0.0.0/8", "20.0.0.0/8"]);
+        let t2 = trie(&["10.0.0.0/8", "10.9.0.0/16", "20.0.0.0/8"]);
+        // 10/8 is problematic (10.9/16 uncovered), 20/8 covered.
+        assert!((problematic_fraction(&t1, &t2) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fd_is_least_marked_ancestor_when_clue_unmarked_in_t2() {
+        let t1 = trie(&["10.1.0.0/16"]);
+        let t2 = trie(&["10.0.0.0/8", "10.1.2.0/24"]);
+        // 10.1/16 is a vertex of t2 (on the path to /24) but unmarked.
+        let c = classify(&p("10.1.0.0/16"), &t2, &|q| t1.contains_prefix(q));
+        assert!(c.is_problematic());
+        assert_eq!(c.fd(), Some(p("10.0.0.0/8")));
+        assert_eq!(c.candidates(), &[p("10.1.2.0/24")]);
+    }
+}

@@ -1,0 +1,783 @@
+//! The router-side distributed-lookup engine: one per (incoming neighbor,
+//! lookup family, method) triple.
+//!
+//! [`ClueEngine::lookup`] implements the per-packet procedure of Figure 5
+//! in the paper:
+//!
+//! 1. consult the clue table (the one mandatory memory access);
+//! 2. on a hit with an empty `Ptr`, route by the FD field — done;
+//! 3. on a hit with a continuation, resume the lookup *from the clue*
+//!    using the engine's family (trie walk, Patricia walk, candidate
+//!    range search, or candidate length search), falling back to FD;
+//! 4. on a miss, perform a full common lookup and — in learning mode —
+//!    compute and insert the new clue's entry (`procedure new-clue`).
+//!
+//! The engine also implements the Section 4 refinement for the trie
+//! families: a per-vertex Boolean (computed from Claim 1 against the
+//! sender's table) that stops a continued walk as soon as no candidate
+//! can lie below the current vertex.
+
+use std::collections::HashSet;
+
+use clue_lookup::{Family, LengthBinarySearch, RangeIndex, StrideTrie};
+use clue_trie::{Address, BinaryTrie, Cost, Location, NodeId, PatriciaTrie, Prefix};
+
+use crate::cache::{CacheStats, PresenceCache};
+use crate::classify::{classify, Classification};
+use crate::clue::ClueHeader;
+use crate::table::{CandidateRange, ClueEntry, ClueTable, Continuation, TableKind};
+
+/// The three per-family method variants of the paper's Tables 4–9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// No clue use at all — the plain lookup scheme (“common”).
+    Common,
+    /// Section 3.1.1: continue the search whenever the clue vertex has
+    /// descendants; no knowledge of the sender's table needed.
+    Simple,
+    /// Section 3.1.2: precompute Claim 1 against the sender's table so
+    /// that only genuinely problematic clues trigger a continued search.
+    Advance,
+}
+
+impl Method {
+    /// All three methods, in the paper's table order.
+    pub fn all() -> [Method; 3] {
+        [Method::Common, Method::Simple, Method::Advance]
+    }
+
+    /// The label used in the paper's tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Common => "common",
+            Method::Simple => "Simple",
+            Method::Advance => "Advance",
+        }
+    }
+}
+
+impl core::fmt::Display for Method {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The lookup family used for common lookups and continuations.
+    pub family: Family,
+    /// Common / Simple / Advance.
+    pub method: Method,
+    /// Clue-table addressing (hash vs 16-bit sender index).
+    pub table_kind: TableKind,
+    /// Candidate sets up to this size ride in the clue entry's cache line
+    /// and are searched for free (Section 4, SDRAM observation).
+    pub line_capacity: usize,
+    /// Learn unknown clues on the fly (`procedure new-clue`); otherwise
+    /// misses just fall back to the common lookup.
+    pub learning: bool,
+    /// Use the per-vertex Claim 1 Booleans of Section 4 to stop trie
+    /// continuations early (precomputed engines only).
+    pub vertex_bits: bool,
+    /// Upper bound on entries a *learning* table may grow to — a guard
+    /// against clue flooding by a buggy or adversarial sender. Beyond
+    /// the cap, unknown clues still resolve (full lookup) but are not
+    /// learned. `None` = unbounded.
+    pub max_learned_entries: Option<usize>,
+}
+
+impl EngineConfig {
+    /// A configuration with the paper's defaults: hashed table, cache
+    /// lines holding 3 candidates, no learning, vertex bits on.
+    pub fn new(family: Family, method: Method) -> Self {
+        EngineConfig {
+            family,
+            method,
+            table_kind: TableKind::Hashed,
+            line_capacity: 3,
+            learning: false,
+            vertex_bits: true,
+            max_learned_entries: None,
+        }
+    }
+
+    /// Enables on-the-fly learning.
+    pub fn with_learning(mut self) -> Self {
+        self.learning = true;
+        self
+    }
+
+    /// Selects the indexing technique (16-bit sender-stamped indices).
+    pub fn with_indexed_table(mut self) -> Self {
+        self.table_kind = TableKind::Indexed;
+        self
+    }
+}
+
+/// Family-specific search structures.
+#[derive(Debug)]
+enum Inner<A: Address> {
+    /// Uses the engine's binary trie directly.
+    Regular,
+    Patricia(PatriciaTrie<A>),
+    Ranges { index: RangeIndex<A>, b: Option<u8> },
+    LogW(LengthBinarySearch<A>),
+    Stride(StrideTrie<A>),
+}
+
+/// Per-engine lookup telemetry: how often each resolution path ran.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Lookups that arrived with no usable clue (or Method::Common).
+    pub clueless: u64,
+    /// Clue-table hits resolved by the FD alone (Ptr empty).
+    pub finals: u64,
+    /// Clue-table hits that ran a continuation search.
+    pub continued: u64,
+    /// Clue-table misses (unknown clue → full lookup).
+    pub misses: u64,
+    /// Malformed clues ignored (not a prefix of the destination).
+    pub malformed: u64,
+}
+
+impl EngineStats {
+    /// Total lookups observed.
+    pub fn total(&self) -> u64 {
+        self.clueless + self.finals + self.continued + self.misses + self.malformed
+    }
+
+    /// Fraction of clue-carrying lookups resolved by the FD alone.
+    pub fn final_rate(&self) -> f64 {
+        let clued = self.finals + self.continued + self.misses;
+        if clued == 0 {
+            0.0
+        } else {
+            self.finals as f64 / clued as f64
+        }
+    }
+}
+
+/// A distributed-IP-lookup engine for one incoming neighbor.
+#[derive(Debug)]
+pub struct ClueEngine<A: Address> {
+    config: EngineConfig,
+    /// The receiver's trie `t2` (always kept: classification, FD
+    /// computation and the Regular family all need it).
+    t2: BinaryTrie<A, ()>,
+    inner: Inner<A>,
+    table: ClueTable<A>,
+    /// What we know of the sender's prefixes: the full snapshot
+    /// (precomputed mode) or the clues seen so far (learning mode).
+    sender: HashSet<Prefix<A>>,
+    /// Section 4 per-vertex continuation Booleans, by arena index.
+    bits_bin: Option<Vec<bool>>,
+    bits_pat: Option<Vec<bool>>,
+    /// Section 3.5 fast cache in front of the clue table: resident clues
+    /// are served with a cache read instead of a slow-memory probe.
+    cache: Option<PresenceCache<A>>,
+    /// Resolution-path counters.
+    stats: EngineStats,
+}
+
+impl<A: Address> ClueEngine<A> {
+    /// Builds an engine with a fully precomputed clue table, knowing the
+    /// sender's table exactly (the Section 3.3.2 construction).
+    ///
+    /// `clues` is the set of prefixes the sender may send as clues — all
+    /// of its table in the standalone setting, or only the prefixes whose
+    /// next hop is this router in a network setting.
+    pub fn precomputed(
+        clues: &[Prefix<A>],
+        receiver: &[Prefix<A>],
+        config: EngineConfig,
+    ) -> Self {
+        let mut engine = Self::learning_base(receiver, config);
+        if config.method == Method::Common {
+            // A clue-less engine needs no table, knowledge, or bits.
+            return engine;
+        }
+        engine.sender = clues.iter().copied().collect();
+        if config.vertex_bits && config.method == Method::Advance {
+            engine.compute_vertex_bits();
+        }
+        for (i, clue) in clues.iter().enumerate() {
+            if clue.is_empty() {
+                continue; // a zero-length BMP is never sent as a clue
+            }
+            let entry = engine.build_entry(*clue);
+            let index = match config.table_kind {
+                TableKind::Hashed => None,
+                TableKind::Indexed => {
+                    Some(u16::try_from(i).expect("more than 64K clues for one neighbor"))
+                }
+            };
+            engine.table.insert(entry, index);
+        }
+        engine
+    }
+
+    /// Builds an engine with an empty clue table that learns entries on
+    /// the fly (Section 3.3.1). Knowledge of the sender accrues from the
+    /// clues themselves — conservative but always correct.
+    pub fn learning(receiver: &[Prefix<A>], config: EngineConfig) -> Self {
+        let mut config = config;
+        config.learning = true;
+        Self::learning_base(receiver, config)
+    }
+
+    fn learning_base(receiver: &[Prefix<A>], config: EngineConfig) -> Self {
+        let t2: BinaryTrie<A, ()> = receiver.iter().map(|p| (*p, ())).collect();
+        let inner = match config.family {
+            Family::Regular => Inner::Regular,
+            Family::Patricia => Inner::Patricia(receiver.iter().copied().collect()),
+            Family::Binary => {
+                Inner::Ranges { index: RangeIndex::new(receiver.iter().copied()), b: None }
+            }
+            Family::BWay(b) => {
+                Inner::Ranges { index: RangeIndex::new(receiver.iter().copied()), b: Some(b) }
+            }
+            Family::LogW => Inner::LogW(LengthBinarySearch::new(receiver.iter().copied())),
+            Family::Stride => Inner::Stride(StrideTrie::new(receiver.iter().copied())),
+        };
+        ClueEngine {
+            config,
+            t2,
+            inner,
+            table: ClueTable::new(config.table_kind),
+            sender: HashSet::new(),
+            bits_bin: None,
+            bits_pat: None,
+            cache: None,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Lookup telemetry so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Resets the telemetry (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = EngineStats::default();
+    }
+
+    /// Puts an LRU cache of `capacity` clue entries in front of the clue
+    /// table (Section 3.5). Cached consults cost a
+    /// [`Cost::cache_read`] instead of a slow-memory probe; misses pay
+    /// both and promote the entry.
+    pub fn enable_cache(&mut self, capacity: usize) {
+        self.cache = Some(PresenceCache::new(capacity));
+    }
+
+    /// Cache hit/miss statistics, if a cache is enabled.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(|c| c.stats())
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The clue table (for statistics: size, problematic fraction,
+    /// memory model).
+    pub fn table(&self) -> &ClueTable<A> {
+        &self.table
+    }
+
+    /// The receiver's prefixes.
+    pub fn receiver_prefixes(&self) -> Vec<Prefix<A>> {
+        self.t2.prefixes().collect()
+    }
+
+    /// A one-line human-readable summary (diagnostics / CLI output).
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{} engine: {} receiver prefixes, {} clue entries ({:.2}% problematic), {} B (paper model){}",
+            self.config.family,
+            self.config.method,
+            self.t2.len(),
+            self.table.len(),
+            self.table.problematic_fraction() * 100.0,
+            self.table.memory_bytes_model(),
+            match &self.cache {
+                Some(c) => format!(", cache {}/{}", c.len(), c.capacity()),
+                None => String::new(),
+            }
+        )
+    }
+
+    /// The full per-packet lookup of Figure 5: returns the BMP of `dest`
+    /// in this router's table, charging every memory access to `cost`.
+    ///
+    /// `clue`/`index` come from the packet header (see
+    /// [`Self::lookup_with_header`]). A `None` clue, or
+    /// [`Method::Common`], degrades to the plain common lookup.
+    pub fn lookup(
+        &mut self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        index: Option<u16>,
+        cost: &mut Cost,
+    ) -> Option<Prefix<A>> {
+        let s = match (self.config.method, clue) {
+            (Method::Common, _) | (_, None) => {
+                self.stats.clueless += 1;
+                return self.common_lookup(dest, cost);
+            }
+            (_, Some(s)) => s,
+        };
+        if !s.contains(dest) {
+            self.stats.malformed += 1;
+            // A clue that is not a prefix of the destination is malformed
+            // (corrupted header or a confused sender). The paper's
+            // robustness property: bad clues can never cause confusion —
+            // fall back to the full lookup. Not learned either.
+            return self.common_lookup(dest, cost);
+        }
+        // Section 3.5 cache: a resident clue is served from fast memory;
+        // a miss pays the cache probe *and* the slow table probe, then
+        // promotes the entry.
+        let mut cached = false;
+        if let Some(cache) = &mut self.cache {
+            cost.cache_read();
+            cached = cache.get(&s).is_some();
+        }
+        let mut was_final = false;
+        let resolved = match self.table.get_with_residency(&s, index, cached, cost) {
+            Some(entry) => {
+                was_final = entry.is_final();
+                Some(self.resolve(entry, dest, cost))
+            }
+            None => None,
+        };
+        if !cached && resolved.is_some() {
+            if let Some(cache) = &mut self.cache {
+                cache.insert(s, ());
+            }
+        }
+        match resolved {
+            Some(r) => {
+                if was_final {
+                    self.stats.finals += 1;
+                } else {
+                    self.stats.continued += 1;
+                }
+                r
+            }
+            None => {
+                self.stats.misses += 1;
+                // Never saw this clue: full lookup, then learn it.
+                let r = self.common_lookup(dest, cost);
+                if self.config.learning {
+                    self.learn(s, index);
+                }
+                r
+            }
+        }
+    }
+
+    /// As [`Self::lookup`], decoding the clue from a packet header.
+    pub fn lookup_with_header(
+        &mut self,
+        dest: A,
+        header: &ClueHeader,
+        cost: &mut Cost,
+    ) -> Option<Prefix<A>> {
+        self.lookup(dest, header.decode(dest), header.index, cost)
+    }
+
+    /// The plain lookup of this engine's family, with no clue at all.
+    pub fn common_lookup(&self, dest: A, cost: &mut Cost) -> Option<Prefix<A>> {
+        match &self.inner {
+            Inner::Regular => self.t2.lookup_counted(dest, cost).map(|r| self.t2.prefix(r)),
+            Inner::Patricia(p) => p.lookup_counted(dest, cost),
+            Inner::Ranges { index, b } => match b {
+                Some(b) => index.lookup_bway(dest, *b, cost),
+                None => index.lookup_binary(dest, cost),
+            },
+            Inner::LogW(l) => l.lookup(dest, cost),
+            Inner::Stride(s) => s.lookup_counted(dest, cost),
+        }
+    }
+
+    /// Uncounted reference BMP (for correctness checks).
+    pub fn reference_lookup(&self, dest: A) -> Option<Prefix<A>> {
+        self.t2.lookup(dest).map(|r| self.t2.prefix(r))
+    }
+
+    fn resolve(&self, entry: &ClueEntry<A>, dest: A, cost: &mut Cost) -> Option<Prefix<A>> {
+        let Some(cont) = &entry.cont else {
+            return entry.fd; // Ptr empty: the FD is final
+        };
+        let found = match cont {
+            Continuation::TrieNode(n) => match &self.bits_bin {
+                Some(bits) => self.trie_walk_bits(*n, bits, dest, cost),
+                None => self.t2.lookup_from(*n, dest, cost).map(|r| self.t2.prefix(r)),
+            },
+            Continuation::PatriciaLoc(loc) => {
+                let Inner::Patricia(p) = &self.inner else {
+                    unreachable!("Patricia continuation in non-Patricia engine")
+                };
+                match &self.bits_pat {
+                    Some(bits) => Self::patricia_walk_bits(p, bits, *loc, dest, cost),
+                    None => p.lookup_from(*loc, dest, cost),
+                }
+            }
+            Continuation::Range(cr) => {
+                let b = match &self.inner {
+                    Inner::Ranges { b, .. } => *b,
+                    _ => None,
+                };
+                cr.lookup(dest, b, cost)
+            }
+            Continuation::Lengths(l) => l.lookup(dest, cost),
+            Continuation::StrideNode(n) => {
+                let Inner::Stride(s) = &self.inner else {
+                    unreachable!("stride continuation in non-stride engine")
+                };
+                // Expanded slots below a non-stride-aligned clue can
+                // carry prefixes *shorter* than the clue; those must not
+                // shadow a longer FD, so merge by length.
+                let found = s.lookup_from(*n, dest, cost);
+                return match (found, entry.fd) {
+                    (Some(f), Some(fd)) if fd.len() > f.len() => Some(fd),
+                    (None, fd) => fd,
+                    (f, _) => f,
+                };
+            }
+        };
+        found.or(entry.fd)
+    }
+
+    /// Builds the clue-table entry for `clue` against current knowledge
+    /// (`procedure new-clue` in Figure 5, generalised to all families).
+    fn build_entry(&self, clue: Prefix<A>) -> ClueEntry<A> {
+        let cls = match self.config.method {
+            // Simple pretends to know nothing about the sender: any
+            // marked descendant makes the clue worth continuing from.
+            Method::Common | Method::Simple => classify(&clue, &self.t2, &|_| false),
+            Method::Advance => classify(&clue, &self.t2, &|p| self.sender.contains(p)),
+        };
+        let fd = cls.fd();
+        let cont = match cls {
+            Classification::Problematic { candidates, .. } => Some(match &self.inner {
+                Inner::Regular => Continuation::TrieNode(
+                    self.t2.node_of_prefix(&clue).expect("problematic clue vertex exists"),
+                ),
+                Inner::Patricia(p) => {
+                    let loc = p.locate(&clue);
+                    debug_assert!(
+                        !matches!(loc, Location::Absent { .. }),
+                        "problematic clue must lie in the Patricia trie"
+                    );
+                    Continuation::PatriciaLoc(loc)
+                }
+                Inner::Ranges { .. } => Continuation::Range(CandidateRange::new(
+                    candidates,
+                    self.config.line_capacity,
+                )),
+                Inner::LogW(_) => Continuation::Lengths(LengthBinarySearch::new(candidates)),
+                Inner::Stride(s) => match s.node_at_clue(&clue) {
+                    // The clue determines at least one full level: resume
+                    // below it.
+                    Some(n) => Continuation::StrideNode(n),
+                    // Clue shorter than the first stride: fall back to a
+                    // full multibit walk from the root, which is what a
+                    // missing continuation plus candidates would cost
+                    // anyway. Encode as "walk the binary trie from the
+                    // clue" — cheaper and always available.
+                    None => Continuation::TrieNode(
+                        self.t2.node_of_prefix(&clue).expect("problematic clue vertex exists"),
+                    ),
+                },
+            }),
+            _ => None,
+        };
+        ClueEntry { clue, fd, cont }
+    }
+
+    /// Learns a previously unseen clue (`procedure new-clue`).
+    fn learn(&mut self, clue: Prefix<A>, index: Option<u16>) {
+        if let Some(cap) = self.config.max_learned_entries {
+            if self.table.len() >= cap {
+                return; // flood guard: resolve but do not grow the table
+            }
+        }
+        // The clue is a sender prefix by definition: grow our knowledge
+        // first, then classify against it.
+        self.sender.insert(clue);
+        let entry = self.build_entry(clue);
+        let index = match self.config.table_kind {
+            TableKind::Hashed => None,
+            // With the indexing technique the sender stamps the slot; a
+            // clue arriving without one cannot be stored.
+            TableKind::Indexed => match index {
+                Some(i) => Some(i),
+                None => return,
+            },
+        };
+        self.table.insert(entry, index);
+    }
+
+    /// Rebuilds every table entry against the current sender knowledge.
+    /// Useful in learning mode: early entries were classified against
+    /// less knowledge and may be pessimistically problematic.
+    pub fn reclassify_all(&mut self) {
+        match self.config.table_kind {
+            TableKind::Hashed => {
+                let clues: Vec<Prefix<A>> = self.table.entries().map(|e| e.clue).collect();
+                for clue in clues {
+                    let entry = self.build_entry(clue);
+                    self.table.insert(entry, None);
+                }
+            }
+            TableKind::Indexed => {
+                let slots: Vec<(u16, Prefix<A>)> =
+                    self.table.entries_with_indices().map(|(i, e)| (i, e.clue)).collect();
+                for (i, clue) in slots {
+                    let entry = self.build_entry(clue);
+                    self.table.insert(entry, Some(i));
+                }
+            }
+        }
+    }
+
+    /// Adds a route to the receiver's table, updating the search
+    /// structures and reclassifying the clue-table entries the change
+    /// can affect (clues on the ancestor/descendant chain of `prefix`).
+    ///
+    /// The trie families update incrementally; the Binary/B-way/Log W
+    /// index structures are rebuilt (they are precomputed arrays — the
+    /// paper assumes reconstruction alongside routing-table updates).
+    pub fn add_receiver_route(&mut self, prefix: Prefix<A>) {
+        self.t2.insert(prefix, ());
+        self.apply_receiver_change(&prefix, true);
+    }
+
+    /// Removes a route from the receiver's table; see
+    /// [`Self::add_receiver_route`]. Returns `false` if it was absent.
+    pub fn remove_receiver_route(&mut self, prefix: &Prefix<A>) -> bool {
+        if self.t2.remove(prefix).is_none() {
+            return false;
+        }
+        self.apply_receiver_change(prefix, false);
+        true
+    }
+
+    /// Records that the sender announced a new prefix (it may now appear
+    /// as a clue, and Claim 1 classifications along its chain change).
+    pub fn add_sender_prefix(&mut self, prefix: Prefix<A>) {
+        self.sender.insert(prefix);
+        if !prefix.is_empty() && self.config.table_kind == TableKind::Hashed {
+            let entry = self.build_entry(prefix);
+            self.table.insert(entry, None);
+        }
+        self.reclassify_chain(&prefix);
+        self.refresh_vertex_bits();
+    }
+
+    /// Records that the sender withdrew a prefix. The entry itself is
+    /// kept (the paper suggests clues are never removed, only ignored);
+    /// classifications that relied on it are loosened.
+    pub fn remove_sender_prefix(&mut self, prefix: &Prefix<A>) {
+        self.sender.remove(prefix);
+        self.reclassify_chain(prefix);
+        self.refresh_vertex_bits();
+    }
+
+    fn apply_receiver_change(&mut self, prefix: &Prefix<A>, _added: bool) {
+        // Patricia updates incrementally; array-based indexes rebuild.
+        let receiver: Vec<Prefix<A>> = self.t2.prefixes().collect();
+        match &mut self.inner {
+            Inner::Regular => {}
+            Inner::Patricia(p) => {
+                if _added {
+                    p.insert(*prefix);
+                } else {
+                    p.remove(prefix);
+                }
+            }
+            Inner::Ranges { index, .. } => *index = RangeIndex::new(receiver.iter().copied()),
+            Inner::LogW(l) => *l = LengthBinarySearch::new(receiver.iter().copied()),
+            Inner::Stride(s) => *s = StrideTrie::new(receiver.iter().copied()),
+        }
+        self.reclassify_chain(prefix);
+        self.refresh_vertex_bits();
+    }
+
+    /// Rebuilds every clue-table entry on the ancestor/descendant chain
+    /// of `changed` — the only entries whose FD, classification,
+    /// continuation pointer or candidate set a single-prefix change can
+    /// affect. (Trie vertices elsewhere are untouched by insert/remove
+    /// pruning, so their stored `NodeId`s remain valid.)
+    fn reclassify_chain(&mut self, changed: &Prefix<A>) {
+        let related = |clue: &Prefix<A>| {
+            clue.is_prefix_of(changed) || changed.is_prefix_of(clue)
+        };
+        match self.config.table_kind {
+            TableKind::Hashed => {
+                let clues: Vec<Prefix<A>> =
+                    self.table.entries().map(|e| e.clue).filter(|c| related(c)).collect();
+                for clue in clues {
+                    let entry = self.build_entry(clue);
+                    self.table.insert(entry, None);
+                }
+            }
+            TableKind::Indexed => {
+                let slots: Vec<(u16, Prefix<A>)> = self
+                    .table
+                    .entries_with_indices()
+                    .filter(|(_, e)| related(&e.clue))
+                    .map(|(i, e)| (i, e.clue))
+                    .collect();
+                for (i, clue) in slots {
+                    let entry = self.build_entry(clue);
+                    self.table.insert(entry, Some(i));
+                }
+            }
+        }
+    }
+
+    /// Recomputes the Section 4 per-vertex Booleans if they are in use
+    /// (their values can change anywhere under a modified chain, and the
+    /// arena may have recycled vertices).
+    fn refresh_vertex_bits(&mut self) {
+        if self.bits_bin.is_some() {
+            self.compute_vertex_bits();
+        }
+    }
+
+    /// Computes the Section 4 per-vertex continuation Booleans for the
+    /// trie families (Advance only): `bit[v]` is `true` iff some receiver
+    /// prefix lies strictly below `v` with no sender prefix on the way.
+    fn compute_vertex_bits(&mut self) {
+        let knows = |p: &Prefix<A>| self.sender.contains(p);
+        // Pre-order collection: ancestors precede descendants, so the
+        // reversed order is a valid bottom-up schedule.
+        let mut order = Vec::with_capacity(self.t2.node_count());
+        self.t2.walk_subtree(self.t2.root(), |n| {
+            order.push(n);
+            true
+        });
+        let size = order.iter().map(|n| n.index() + 1).max().unwrap_or(1);
+        let mut bits = vec![false; size];
+        for &v in order.iter().rev() {
+            let mut b = false;
+            for c in self.t2.children(v).into_iter().flatten() {
+                let cp = self.t2.node_prefix(c);
+                if !knows(&cp) && (self.t2.is_marked(c) || bits[c.index()]) {
+                    b = true;
+                    break;
+                }
+            }
+            bits[v.index()] = b;
+        }
+
+        if let Inner::Patricia(p) = &self.inner {
+            // Project onto Patricia vertices via their labels.
+            let mut pat_bits = vec![false; 0];
+            let mut stack = vec![p.root()];
+            while let Some(id) = stack.pop() {
+                if pat_bits.len() <= id.index() {
+                    pat_bits.resize(id.index() + 1, false);
+                }
+                let label = p.node_prefix(id);
+                let bin = self
+                    .t2
+                    .node_of_prefix(&label)
+                    .expect("Patricia label exists in the binary trie");
+                pat_bits[id.index()] = bits[bin.index()];
+                for c in p.children(id).into_iter().flatten() {
+                    stack.push(c);
+                }
+            }
+            self.bits_pat = Some(pat_bits);
+        }
+        self.bits_bin = Some(bits);
+    }
+
+    /// Bit-by-bit continuation walk that stops as soon as the per-vertex
+    /// Boolean says no candidate lies below (Section 4).
+    fn trie_walk_bits(
+        &self,
+        start: NodeId,
+        bits: &[bool],
+        dest: A,
+        cost: &mut Cost,
+    ) -> Option<Prefix<A>> {
+        cost.trie_node();
+        let mut cur = start;
+        let mut best = self.t2.route_at(cur).map(|r| self.t2.prefix(r));
+        loop {
+            // Reading the Boolean is free: it lives in the vertex just
+            // fetched.
+            if !bits.get(cur.index()).copied().unwrap_or(false) {
+                break;
+            }
+            let depth = self.t2.node_prefix(cur).len();
+            if depth >= A::BITS {
+                break;
+            }
+            let Some(c) = self.t2.children(cur)[dest.bit(depth) as usize] else {
+                break;
+            };
+            cur = c;
+            cost.trie_node();
+            if let Some(r) = self.t2.route_at(cur) {
+                best = Some(self.t2.prefix(r));
+            }
+        }
+        best
+    }
+
+    /// Patricia continuation walk with the per-vertex Booleans.
+    fn patricia_walk_bits(
+        p: &PatriciaTrie<A>,
+        bits: &[bool],
+        loc: Location,
+        dest: A,
+        cost: &mut Cost,
+    ) -> Option<Prefix<A>> {
+        let (start, mut best) = match loc {
+            Location::AtNode(id) => {
+                cost.trie_node();
+                let marked = p.is_marked(id).then(|| p.node_prefix(id));
+                (id, marked)
+            }
+            Location::OnEdge { below, .. } => {
+                cost.trie_node();
+                let bp = p.node_prefix(below);
+                if !bp.contains(dest) {
+                    return None;
+                }
+                (below, p.is_marked(below).then_some(bp))
+            }
+            Location::Absent { .. } => return None,
+        };
+        let mut cur = start;
+        loop {
+            if !bits.get(cur.index()).copied().unwrap_or(false) {
+                return best;
+            }
+            let depth = p.node_prefix(cur).len();
+            if depth >= A::BITS {
+                return best;
+            }
+            let Some(c) = p.children(cur)[dest.bit(depth) as usize] else {
+                return best;
+            };
+            cost.trie_node();
+            let cp = p.node_prefix(c);
+            if !cp.contains(dest) {
+                return best;
+            }
+            if p.is_marked(c) {
+                best = Some(cp);
+            }
+            cur = c;
+        }
+    }
+}

@@ -1,0 +1,446 @@
+//! The clue table: the per-neighbor structure a receiving router consults
+//! once per packet (Sections 3.2–3.3 of the paper).
+//!
+//! Each entry holds the paper's two fields:
+//!
+//! * **FD** (final decision) — the BMP of the clue string in this router's
+//!   trie, used directly when no continued search is needed (`Ptr` empty)
+//!   or as the fallback when a continued search fails;
+//! * **Ptr** — here a [`Continuation`]: where and how to resume the
+//!   lookup. The paper stores a trie pointer; when the engine runs the
+//!   Binary/B-way/Log W families the continuation instead holds the
+//!   precomputed candidate set `P(s)` of Section 4.
+//!
+//! The table itself comes in the two flavours of Section 3.3.1:
+//!
+//! * **Hashed** — keyed by the clue string, one hash probe per consult;
+//! * **Indexed** — the sender enumerates its clues and stamps a 16-bit
+//!   index on each packet; the receiver reads the slot directly (no hash
+//!   function), verifying the stored clue against the received one (a
+//!   one-instruction check the paper treats as free). A mismatch means
+//!   the slot is stale and is overwritten by the learner.
+
+use std::collections::HashMap;
+
+use clue_lookup::{LengthBinarySearch, RangeIndex, SNodeId};
+use clue_trie::{Address, Cost, Location, NodeId, Prefix};
+
+/// How the clue table is addressed (Section 3.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TableKind {
+    /// Keyed by the clue string through a hash function (5 header bits).
+    Hashed,
+    /// Directly indexed by a sender-assigned 16-bit index (21 header
+    /// bits, no hash function).
+    Indexed,
+}
+
+/// The candidate set of a problematic clue, organised for the
+/// binary/B-way continuation of Section 4.
+///
+/// When the set fits in the clue entry's cache line (the paper's SDRAM
+/// observation), scanning it costs **no** extra memory access — the line
+/// arrived with the entry. Larger sets get a [`RangeIndex`] searched with
+/// counted probes.
+#[derive(Debug, Clone)]
+pub struct CandidateRange<A: Address> {
+    inline: Vec<Prefix<A>>,
+    index: Option<RangeIndex<A>>,
+}
+
+impl<A: Address> CandidateRange<A> {
+    /// Builds from the (sorted) candidate set; sets of at most
+    /// `line_capacity` prefixes are kept in line.
+    pub fn new(candidates: Vec<Prefix<A>>, line_capacity: usize) -> Self {
+        if candidates.len() <= line_capacity {
+            CandidateRange { inline: candidates, index: None }
+        } else {
+            let index = RangeIndex::new(candidates.iter().copied());
+            CandidateRange { inline: candidates, index: Some(index) }
+        }
+    }
+
+    /// Longest candidate containing `dest`. `bway` selects B-way search
+    /// with the given branching factor; `None` selects binary search.
+    pub fn lookup(&self, dest: A, bway: Option<u8>, cost: &mut Cost) -> Option<Prefix<A>> {
+        match &self.index {
+            None => {
+                // In-line scan: free, the line came with the entry.
+                self.inline.iter().filter(|p| p.contains(dest)).max_by_key(|p| p.len()).copied()
+            }
+            Some(index) => match bway {
+                Some(b) => index.lookup_bway(dest, b, cost),
+                None => index.lookup_binary(dest, cost),
+            },
+        }
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.inline.len()
+    }
+
+    /// `true` iff there are no candidates.
+    pub fn is_empty(&self) -> bool {
+        self.inline.is_empty()
+    }
+
+    /// `true` iff the set fits the entry's cache line.
+    pub fn is_inline(&self) -> bool {
+        self.index.is_none()
+    }
+
+    /// Approximate resident bytes beyond the base entry.
+    pub fn memory_bytes(&self) -> usize {
+        self.inline.len() * core::mem::size_of::<Prefix<A>>()
+            + self.index.as_ref().map_or(0, RangeIndex::memory_bytes)
+    }
+}
+
+/// Where and how a continued search proceeds — the family-specific
+/// incarnation of the paper's `Ptr` field.
+#[derive(Debug, Clone)]
+pub enum Continuation<A: Address> {
+    /// Resume the bit-by-bit walk at this vertex (Regular family).
+    TrieNode(NodeId),
+    /// Resume the Patricia walk at this location (Patricia family).
+    PatriciaLoc(Location),
+    /// Search the candidate range set (Binary and B-way families).
+    Range(CandidateRange<A>),
+    /// Binary-search the candidate lengths (Log W family, Section 4's
+    /// “adapting the log W method”).
+    Lengths(LengthBinarySearch<A>),
+    /// Resume the multibit walk at this stride node (Stride family,
+    /// extension): the clue's bits already determined the earlier
+    /// levels.
+    StrideNode(SNodeId),
+}
+
+/// One clue-table entry: the clue string (kept for verification, as the
+/// paper prescribes), the FD field and the optional continuation.
+#[derive(Debug, Clone)]
+pub struct ClueEntry<A: Address> {
+    /// The clue this entry describes (verified on every consult).
+    pub clue: Prefix<A>,
+    /// Final decision / fallback: the BMP of the clue in this router.
+    pub fd: Option<Prefix<A>>,
+    /// `None` = the paper's “Ptr = Empty”: FD is final.
+    pub cont: Option<Continuation<A>>,
+}
+
+impl<A: Address> ClueEntry<A> {
+    /// `true` iff consulting this entry resolves the lookup with no
+    /// continued search.
+    pub fn is_final(&self) -> bool {
+        self.cont.is_none()
+    }
+}
+
+/// The per-neighbor clue table.
+#[derive(Debug, Clone)]
+pub struct ClueTable<A: Address> {
+    kind: TableKind,
+    map: HashMap<Prefix<A>, ClueEntry<A>>,
+    slots: Vec<Option<ClueEntry<A>>>,
+}
+
+impl<A: Address> ClueTable<A> {
+    /// An empty table of the given kind.
+    pub fn new(kind: TableKind) -> Self {
+        ClueTable { kind, map: HashMap::new(), slots: Vec::new() }
+    }
+
+    /// The addressing flavour.
+    pub fn kind(&self) -> TableKind {
+        self.kind
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        match self.kind {
+            TableKind::Hashed => self.map.len(),
+            TableKind::Indexed => self.slots.iter().flatten().count(),
+        }
+    }
+
+    /// `true` iff the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Consults the table for a received clue — **the one mandatory
+    /// memory access of every clue-routed lookup**.
+    ///
+    /// For an [`TableKind::Indexed`] table the sender-stamped `index` is
+    /// required; the stored clue is compared against the received one (a
+    /// free check) and a mismatch reads as a miss, which makes stale slots
+    /// harmless (the paper's robustness argument).
+    pub fn get(&self, clue: &Prefix<A>, index: Option<u16>, cost: &mut Cost) -> Option<&ClueEntry<A>> {
+        self.get_with_residency(clue, index, false, cost)
+    }
+
+    /// As [`Self::get`], but when `cached` is `true` the entry bytes are
+    /// already resident in fast memory (Section 3.5's cache) and the
+    /// slow-memory probe is skipped — the caller has charged a
+    /// [`Cost::cache_read`] instead.
+    pub fn get_with_residency(
+        &self,
+        clue: &Prefix<A>,
+        index: Option<u16>,
+        cached: bool,
+        cost: &mut Cost,
+    ) -> Option<&ClueEntry<A>> {
+        match self.kind {
+            TableKind::Hashed => {
+                if !cached {
+                    cost.hash_probe();
+                }
+                self.map.get(clue)
+            }
+            TableKind::Indexed => {
+                if !cached {
+                    cost.indexed_read();
+                }
+                let slot = self.slots.get(index? as usize)?.as_ref()?;
+                if slot.clue == *clue {
+                    Some(slot)
+                } else {
+                    None // stale slot: the clue moved; treat as a miss
+                }
+            }
+        }
+    }
+
+    /// Inserts or overwrites an entry. For indexed tables `index` selects
+    /// the slot (required); for hashed tables it is ignored.
+    pub fn insert(&mut self, entry: ClueEntry<A>, index: Option<u16>) {
+        match self.kind {
+            TableKind::Hashed => {
+                self.map.insert(entry.clue, entry);
+            }
+            TableKind::Indexed => {
+                let idx = index.expect("indexed clue table requires an index") as usize;
+                if self.slots.len() <= idx {
+                    self.slots.resize_with(idx + 1, || None);
+                }
+                self.slots[idx] = Some(entry);
+            }
+        }
+    }
+
+    /// Iterates over the live entries.
+    pub fn entries(&self) -> Box<dyn Iterator<Item = &ClueEntry<A>> + '_> {
+        match self.kind {
+            TableKind::Hashed => Box::new(self.map.values()),
+            TableKind::Indexed => Box::new(self.slots.iter().flatten()),
+        }
+    }
+
+    /// Iterates over indexed slots as `(index, entry)`. Empty for hashed
+    /// tables (their entries carry no index).
+    pub fn entries_with_indices(&self) -> impl Iterator<Item = (u16, &ClueEntry<A>)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|e| (i as u16, e)))
+    }
+
+    /// Removes every entry (e.g. after a routing-table change when not
+    /// using the paper's keep-and-mark-invalid option).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+    }
+
+    /// The paper's Section 3.5 size model: clue value + FD always, plus a
+    /// `Ptr` for problematic entries — each field one address wide
+    /// (4 bytes in IPv4). The paper's arithmetic: ~60 000 entries × ~9
+    /// bytes ≈ 540 KB.
+    pub fn memory_bytes_model(&self) -> usize {
+        let field = (A::BITS as usize) / 8;
+        self.entries()
+            .map(|e| 2 * field + if e.is_final() { 0 } else { field })
+            .sum()
+    }
+
+    /// Actual resident bytes of this implementation, including candidate
+    /// sets (which the paper keeps in the same cache lines).
+    pub fn memory_bytes_actual(&self) -> usize {
+        let base = core::mem::size_of::<ClueEntry<A>>();
+        self.entries()
+            .map(|e| {
+                base + match &e.cont {
+                    Some(Continuation::Range(r)) => r.memory_bytes(),
+                    Some(Continuation::Lengths(l)) => l.memory_bytes(),
+                    _ => 0,
+                }
+            })
+            .sum()
+    }
+
+    /// Fraction of entries that require a continued search — the paper's
+    /// “problematic clue” ratio (Table 2: under 10 %, usually ≪ 1 %).
+    pub fn problematic_fraction(&self) -> f64 {
+        let n = self.len();
+        if n == 0 {
+            return 0.0;
+        }
+        let bad = self.entries().filter(|e| !e.is_final()).count();
+        bad as f64 / n as f64
+    }
+}
+
+/// Sender-side enumerator for the indexing technique: assigns each clue a
+/// stable 16-bit index the first time it is sent to a given neighbor
+/// (Section 3.3.1 assumes at most 64 K clues per neighbor pair).
+#[derive(Debug, Clone, Default)]
+pub struct ClueIndexer<A: Address> {
+    indices: HashMap<Prefix<A>, u16>,
+}
+
+impl<A: Address> ClueIndexer<A> {
+    /// An empty indexer.
+    pub fn new() -> Self {
+        ClueIndexer { indices: HashMap::new() }
+    }
+
+    /// The index for `clue`, assigning the next free one on first use.
+    ///
+    /// # Panics
+    /// Panics after 65 536 distinct clues (the paper's 16-bit budget).
+    pub fn index_of(&mut self, clue: &Prefix<A>) -> u16 {
+        let next = self.indices.len();
+        *self.indices.entry(*clue).or_insert_with(|| {
+            u16::try_from(next).expect("more than 64K clues for one neighbor")
+        })
+    }
+
+    /// Number of clues enumerated so far.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// `true` iff no clue has been enumerated.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_trie::Ip4;
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    fn entry(clue: &str, fd: Option<&str>) -> ClueEntry<Ip4> {
+        ClueEntry { clue: p(clue), fd: fd.map(p), cont: None }
+    }
+
+    #[test]
+    fn hashed_get_costs_one_probe() {
+        let mut t = ClueTable::new(TableKind::Hashed);
+        t.insert(entry("10.0.0.0/8", Some("10.0.0.0/8")), None);
+        let mut c = Cost::new();
+        let e = t.get(&p("10.0.0.0/8"), None, &mut c).unwrap();
+        assert_eq!(e.fd, Some(p("10.0.0.0/8")));
+        assert_eq!(c.hash_probes, 1);
+        assert_eq!(c.total(), 1);
+        // Miss also costs exactly one probe.
+        let mut c2 = Cost::new();
+        assert!(t.get(&p("77.0.0.0/8"), None, &mut c2).is_none());
+        assert_eq!(c2.total(), 1);
+    }
+
+    #[test]
+    fn indexed_get_verifies_stored_clue() {
+        let mut t = ClueTable::new(TableKind::Indexed);
+        t.insert(entry("10.0.0.0/8", None), Some(3));
+        let mut c = Cost::new();
+        assert!(t.get(&p("10.0.0.0/8"), Some(3), &mut c).is_some());
+        assert_eq!(c.indexed_reads, 1);
+        // Stale slot: stored clue differs → miss, not confusion.
+        assert!(t.get(&p("20.0.0.0/8"), Some(3), &mut c).is_none());
+        // Unknown slot → miss.
+        assert!(t.get(&p("10.0.0.0/8"), Some(9), &mut c).is_none());
+        // Missing index → miss.
+        assert!(t.get(&p("10.0.0.0/8"), None, &mut c).is_none());
+    }
+
+    #[test]
+    fn indexed_overwrite_replaces_slot() {
+        let mut t = ClueTable::new(TableKind::Indexed);
+        t.insert(entry("10.0.0.0/8", None), Some(0));
+        t.insert(entry("20.0.0.0/8", None), Some(0));
+        let mut c = Cost::new();
+        assert!(t.get(&p("10.0.0.0/8"), Some(0), &mut c).is_none());
+        assert!(t.get(&p("20.0.0.0/8"), Some(0), &mut c).is_some());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn memory_model_matches_paper_arithmetic() {
+        let mut t = ClueTable::new(TableKind::Hashed);
+        for i in 0..100u32 {
+            let mut e = entry(&format!("{}.0.0.0/8", i + 1), None);
+            if i < 10 {
+                e.cont = Some(Continuation::Range(CandidateRange::new(vec![], 3)));
+            }
+            t.insert(e, None);
+        }
+        // 90 final entries at 8 B + 10 problematic at 12 B = 840 B.
+        assert_eq!(t.memory_bytes_model(), 90 * 8 + 10 * 12);
+        assert!((t.problematic_fraction() - 0.10).abs() < 1e-9);
+    }
+
+    #[test]
+    fn candidate_range_inline_is_free() {
+        let cr = CandidateRange::new(vec![p("10.1.0.0/16"), p("10.2.0.0/16")], 3);
+        assert!(cr.is_inline());
+        let mut c = Cost::new();
+        assert_eq!(
+            cr.lookup("10.1.9.9".parse().unwrap(), None, &mut c),
+            Some(p("10.1.0.0/16"))
+        );
+        assert_eq!(c.total(), 0);
+        assert_eq!(cr.lookup("10.9.9.9".parse().unwrap(), None, &mut c), None);
+    }
+
+    #[test]
+    fn candidate_range_large_uses_counted_search() {
+        let cands: Vec<Prefix<Ip4>> =
+            (0..32u32).map(|i| Prefix::new(Ip4(0x0A00_0000 | i << 16), 16)).collect();
+        let cr = CandidateRange::new(cands, 3);
+        assert!(!cr.is_inline());
+        let mut c = Cost::new();
+        let addr: Ip4 = "10.5.1.2".parse().unwrap();
+        assert_eq!(cr.lookup(addr, None, &mut c), Some(p("10.5.0.0/16")));
+        assert!(c.range_probes > 0);
+        let mut c6 = Cost::new();
+        assert_eq!(cr.lookup(addr, Some(6), &mut c6), Some(p("10.5.0.0/16")));
+        assert!(c6.range_probes <= c.range_probes);
+    }
+
+    #[test]
+    fn indexer_assigns_stable_indices() {
+        let mut ix = ClueIndexer::new();
+        let a = ix.index_of(&p("10.0.0.0/8"));
+        let b = ix.index_of(&p("20.0.0.0/8"));
+        assert_ne!(a, b);
+        assert_eq!(ix.index_of(&p("10.0.0.0/8")), a);
+        assert_eq!(ix.len(), 2);
+    }
+
+    #[test]
+    fn clear_empties_both_kinds() {
+        for kind in [TableKind::Hashed, TableKind::Indexed] {
+            let mut t = ClueTable::new(kind);
+            t.insert(entry("10.0.0.0/8", None), Some(0));
+            assert!(!t.is_empty());
+            t.clear();
+            assert!(t.is_empty());
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the Section 3.4 multi-neighbor sharing
+//! strategies: all four must return the receiver's true BMP for every
+//! neighbor, clue and destination.
+
+use clue_core::neighbors::{MultiNeighborTable, Strategy as Sharing};
+use clue_lookup::reference_bmp;
+use clue_trie::{Cost, Ip4, Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix<Ip4>> {
+    (0u32..64, prop_oneof![Just(6u8), Just(8), Just(12), Just(16), Just(24)])
+        .prop_map(|(bits, len)| Prefix::new(Ip4(bits << 26 | bits << 10), len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn all_strategies_agree_with_reference(
+        receiver in proptest::collection::hash_set(arb_prefix(), 1..30),
+        s1 in proptest::collection::hash_set(arb_prefix(), 1..20),
+        s2 in proptest::collection::hash_set(arb_prefix(), 1..20),
+        s3 in proptest::collection::hash_set(arb_prefix(), 0..10),
+        raws in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let receiver: Vec<Prefix<Ip4>> = receiver.into_iter().collect();
+        let senders: Vec<Vec<Prefix<Ip4>>> = [s1, s2, s3]
+            .into_iter()
+            .map(|s| s.into_iter().collect())
+            .collect();
+        let tables: Vec<MultiNeighborTable<Ip4>> = Sharing::all()
+            .into_iter()
+            .map(|st| MultiNeighborTable::build(&receiver, &senders, st))
+            .collect();
+        for (j, sender) in senders.iter().enumerate() {
+            for (k, &raw) in raws.iter().enumerate() {
+                // Bias half the destinations into the sender's space.
+                let dest = if k % 2 == 0 && !sender.is_empty() {
+                    let q = sender[k % sender.len()];
+                    let noise = if q.len() == 32 { 0 } else { raw >> q.len() };
+                    Ip4(q.bits().0 | noise)
+                } else {
+                    Ip4(raw)
+                };
+                let clue = reference_bmp(sender, dest).filter(|c| !c.is_empty());
+                let want = reference_bmp(&receiver, dest);
+                for (t, st) in tables.iter().zip(Sharing::all()) {
+                    let mut cost = Cost::new();
+                    let got = t.lookup(j, dest, clue, &mut cost);
+                    prop_assert_eq!(
+                        got, want,
+                        "strategy {} neighbor {} dest {} clue {:?}", st, j, dest, clue
+                    );
+                    if clue.is_some() {
+                        prop_assert!(cost.total() >= 1);
+                        // Sub-tables may probe twice; nothing probes more.
+                        prop_assert!(cost.hash_probes <= 2);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Space ordering invariant: union ≤ bitmap ≤ separate, and
+    /// sub-tables never exceed separate.
+    #[test]
+    fn memory_ordering_holds(
+        receiver in proptest::collection::hash_set(arb_prefix(), 1..30),
+        s1 in proptest::collection::hash_set(arb_prefix(), 1..20),
+        s2 in proptest::collection::hash_set(arb_prefix(), 1..20),
+    ) {
+        let receiver: Vec<Prefix<Ip4>> = receiver.into_iter().collect();
+        let senders: Vec<Vec<Prefix<Ip4>>> =
+            [s1, s2].into_iter().map(|s| s.into_iter().collect()).collect();
+        let size = |st: Sharing| {
+            MultiNeighborTable::build(&receiver, &senders, st).memory_bytes_model()
+        };
+        let (sep, uni, bm, sub) = (
+            size(Sharing::Separate),
+            size(Sharing::Union),
+            size(Sharing::Bitmap),
+            size(Sharing::SubTables),
+        );
+        prop_assert!(uni <= bm, "union {} > bitmap {}", uni, bm);
+        prop_assert!(uni <= sep, "union {} > separate {}", uni, sep);
+        prop_assert!(sub <= sep + bm, "sub-tables {} unexpectedly large", sub);
+    }
+}

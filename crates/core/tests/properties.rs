@@ -1,0 +1,170 @@
+//! Property tests for the clue machinery: arbitrary table pairs, honest
+//! clues, every method/family combination — the invariant is always
+//! “clues change cost, never the result”.
+
+use clue_core::{classify, ClueEngine, Classification, EngineConfig, Method};
+use clue_lookup::{reference_bmp, Family};
+use clue_trie::{BinaryTrie, Cost, Ip4, Prefix};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix<Ip4>> {
+    (0u32..256, prop_oneof![Just(6u8), Just(8), Just(12), Just(16), Just(20), Just(24)])
+        .prop_map(|(bits, len)| Prefix::new(Ip4(bits << 24 | bits << 16 | bits << 4), len))
+}
+
+fn arb_tables() -> impl Strategy<Value = (Vec<Prefix<Ip4>>, Vec<Prefix<Ip4>>)> {
+    (
+        proptest::collection::hash_set(arb_prefix(), 1..40),
+        proptest::collection::hash_set(arb_prefix(), 1..40),
+        proptest::collection::hash_set(arb_prefix(), 0..20),
+    )
+        .prop_map(|(shared, s_only, r_only)| {
+            let sender: Vec<_> = shared.union(&s_only).copied().collect();
+            let receiver: Vec<_> = shared.union(&r_only).copied().collect();
+            (sender, receiver)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every (family × method) combination returns the receiver's true
+    /// BMP for every destination, given the sender's honest clue.
+    #[test]
+    fn engines_always_return_the_reference_bmp(
+        (sender, receiver) in arb_tables(),
+        raw_dests in proptest::collection::vec(any::<u32>(), 1..25),
+    ) {
+        // Destinations biased into covered space.
+        let dests: Vec<Ip4> = raw_dests
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| {
+                if i % 2 == 0 && !sender.is_empty() {
+                    let p = sender[i % sender.len()];
+                    let noise = if p.len() == 32 { 0 } else { r >> p.len() };
+                    Ip4(p.bits().0 | noise)
+                } else {
+                    Ip4(r)
+                }
+            })
+            .collect();
+        for family in Family::all_extended() {
+            for method in [Method::Simple, Method::Advance] {
+                let mut engine = ClueEngine::precomputed(
+                    &sender, &receiver, EngineConfig::new(family, method));
+                for &dest in &dests {
+                    let clue = reference_bmp(&sender, dest).filter(|c| !c.is_empty());
+                    let mut cost = Cost::new();
+                    let got = engine.lookup(dest, clue, None, &mut cost);
+                    prop_assert_eq!(
+                        got,
+                        reference_bmp(&receiver, dest),
+                        "{}/{} dest {} clue {:?}", family, method, dest, clue
+                    );
+                    if clue.is_some() {
+                        prop_assert!(cost.total() >= 1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Claim 1 soundness: when the classifier says a clue is covered, no
+    /// honestly-clued destination can have a longer receiver BMP.
+    #[test]
+    fn claim1_never_finalises_wrongly(
+        (sender, receiver) in arb_tables(),
+        raw in any::<u32>(),
+    ) {
+        let t2: BinaryTrie<Ip4, ()> = receiver.iter().map(|p| (*p, ())).collect();
+        let sset: HashSet<Prefix<Ip4>> = sender.iter().copied().collect();
+        for clue in &sender {
+            if clue.is_empty() { continue; }
+            let cls = classify(clue, &t2, &|p| sset.contains(p));
+            if matches!(cls, Classification::Problematic { .. }) { continue; }
+            // Build a destination honestly clued with `clue`: it must
+            // match the clue and nothing longer in the *sender's* table.
+            let noise = if clue.len() == 32 { 0 } else { raw >> clue.len() };
+            let dest = Ip4(clue.bits().0 | noise);
+            if reference_bmp(&sender, dest) != Some(*clue) { continue; }
+            // The final decision (BMP of the clue string) must equal the
+            // receiver's true BMP for dest.
+            let fd = cls.fd();
+            prop_assert_eq!(
+                fd, reference_bmp(&receiver, dest),
+                "covered clue {} finalised wrongly for {}", clue, dest
+            );
+        }
+    }
+
+    /// The candidate set is complete: for a problematic clue, any
+    /// honestly-clued destination whose receiver BMP is longer than the
+    /// clue finds that BMP **inside the candidate set**.
+    #[test]
+    fn candidate_sets_are_complete(
+        (sender, receiver) in arb_tables(),
+        raws in proptest::collection::vec(any::<u32>(), 1..16),
+    ) {
+        let t2: BinaryTrie<Ip4, ()> = receiver.iter().map(|p| (*p, ())).collect();
+        let sset: HashSet<Prefix<Ip4>> = sender.iter().copied().collect();
+        for clue in &sender {
+            if clue.is_empty() { continue; }
+            let cls = classify(clue, &t2, &|p| sset.contains(p));
+            for &raw in &raws {
+                let noise = if clue.len() == 32 { 0 } else { raw >> clue.len() };
+                let dest = Ip4(clue.bits().0 | noise);
+                if reference_bmp(&sender, dest) != Some(*clue) { continue; }
+                let bmp = reference_bmp(&receiver, dest);
+                if let Some(b) = bmp {
+                    if b.len() > clue.len() {
+                        prop_assert!(
+                            cls.candidates().contains(&b),
+                            "BMP {} of {} missing from candidates of clue {}", b, dest, clue
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Learning engines never disagree with precomputed ones on results,
+    /// regardless of the packet order that trained them.
+    #[test]
+    fn learning_equals_precomputed_results(
+        (sender, receiver) in arb_tables(),
+        raws in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let cfg = EngineConfig::new(Family::Patricia, Method::Advance);
+        let mut pre = ClueEngine::precomputed(&sender, &receiver, cfg);
+        let mut learn = ClueEngine::learning(&receiver, cfg);
+        for (i, &raw) in raws.iter().enumerate() {
+            let p = sender[i % sender.len()];
+            let noise = if p.len() == 32 { 0 } else { raw >> p.len() };
+            let dest = Ip4(p.bits().0 | noise);
+            let clue = reference_bmp(&sender, dest).filter(|c| !c.is_empty());
+            let a = pre.lookup(dest, clue, None, &mut Cost::new());
+            let b = learn.lookup(dest, clue, None, &mut Cost::new());
+            prop_assert_eq!(a, b, "dest {}", dest);
+        }
+    }
+
+    /// FD contract: the FD of any classification is the receiver's BMP
+    /// of the clue string itself.
+    #[test]
+    fn fd_is_bmp_of_clue_string((sender, receiver) in arb_tables()) {
+        let t2: BinaryTrie<Ip4, ()> = receiver.iter().map(|p| (*p, ())).collect();
+        let sset: HashSet<Prefix<Ip4>> = sender.iter().copied().collect();
+        for clue in &sender {
+            if clue.is_empty() { continue; }
+            let cls = classify(clue, &t2, &|p| sset.contains(p));
+            let want = receiver
+                .iter()
+                .filter(|p| p.is_prefix_of(clue))
+                .max_by_key(|p| p.len())
+                .copied();
+            prop_assert_eq!(cls.fd(), want, "clue {}", clue);
+        }
+    }
+}

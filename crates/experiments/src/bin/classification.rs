@@ -1,0 +1,90 @@
+//! Section 7's classification extension, quantified: filters examined
+//! per packet with and without a clue-filter.
+//!
+//! ```sh
+//! cargo run --release -p clue-experiments --bin classification
+//! ```
+
+use clue_classify::{Action, ClueClassifier, Filter, FlowKey, GroupedClassifier, RuleSet};
+use clue_trie::{Cost, Ip4, Prefix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn random_filter(rng: &mut StdRng, priority: u32) -> Filter<Ip4> {
+    let len = *[8u8, 16, 16, 24].get(rng.random_range(0..4)).unwrap();
+    let dst = Prefix::new(Ip4(rng.random_range(1u32..32) << 24 | rng.random::<u32>() & 0xFF_FF00), len);
+    let src_len = *[0u8, 8, 16].get(rng.random_range(0..3)).unwrap();
+    let lo = rng.random_range(0u16..2000);
+    Filter {
+        src: Prefix::new(Ip4(rng.random()), src_len),
+        dst,
+        src_ports: 0..=u16::MAX,
+        dst_ports: lo..=lo.saturating_add(rng.random_range(0..500)),
+        proto: [None, Some(6), Some(17)][rng.random_range(0..3)],
+        priority,
+        action: if rng.random_bool(0.5) { Action::Permit } else { Action::Deny },
+    }
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1234);
+    // A shared firewall policy plus a handful of local refinements on
+    // the receiving router.
+    let mut shared: Vec<Filter<Ip4>> = (1..=400).map(|i| random_filter(&mut rng, i)).collect();
+    shared.push(Filter::default_rule(Action::Deny));
+    let mut local = shared.clone();
+    for i in 0..20 {
+        local.push(random_filter(&mut rng, 500 + i));
+    }
+    let upstream = RuleSet::new(shared);
+    let cc = ClueClassifier::new(RuleSet::new(local), upstream.clone());
+
+    println!("=== Section 7: clue-assisted packet classification ===");
+    println!(
+        "{} upstream rules, {} local rules, mean candidate-list length {:.1}\n",
+        cc.upstream().len(),
+        cc.local().len(),
+        cc.mean_candidates()
+    );
+
+    let grouped = GroupedClassifier::new(RuleSet::new(cc.local().rules().to_vec()));
+    let (mut with, mut without, mut mid, mut n) = (0u64, 0u64, 0u64, 0u64);
+    for _ in 0..20_000 {
+        let key = FlowKey::<Ip4> {
+            src: Ip4(rng.random()),
+            dst: Ip4(rng.random_range(1u32..32) << 24 | rng.random::<u32>() & 0xFFFFFF),
+            src_port: rng.random(),
+            dst_port: rng.random_range(0..4000),
+            proto: [6u8, 17][rng.random_range(0..2)],
+        };
+        let clue = upstream.classify_uncounted(&key).and_then(|f| upstream.position_of(f));
+        let mut cw = Cost::new();
+        let got = cc.classify(&key, clue, &mut cw);
+        let mut co = Cost::new();
+        let want = cc.local().classify(&key, &mut co);
+        let mut cg = Cost::new();
+        let gg = grouped.classify(&key, &mut cg);
+        assert_eq!(got, want, "clue changed the classification");
+        assert_eq!(gg, want, "grouping changed the classification");
+        with += cw.total();
+        without += co.total();
+        mid += cg.total();
+        n += 1;
+    }
+    println!("{:<28} {:>12}", "scheme", "accesses/pkt");
+    println!("{:<28} {:>12.2}", "full linear scan", without as f64 / n as f64);
+    println!("{:<28} {:>12.2}", "dst-trie grouped scan", mid as f64 / n as f64);
+    println!("{:<28} {:>12.2}", "clue-filter restricted", with as f64 / n as f64);
+    println!(
+        "\nclue speedup over the naive scan: {:.1}x — the Claim 1 analogue discards\n\
+         every shared higher-priority rule before the scan.",
+        without as f64 / with as f64
+    );
+    println!(
+        "note: the dst-trie grouping is competitive here because most random flows\n\
+         carry the *default-rule* clue, whose candidate list holds all {} local-only\n\
+         refinements. The two techniques compose: grouping the candidate lists by\n\
+         destination would combine both cuts.",
+        cc.local().len() - cc.upstream().len()
+    );
+}

@@ -1,0 +1,99 @@
+//! Section 3.3.2 grounded in a protocol: run a BGP-like path-vector to
+//! convergence, then measure — on the *converged RIBs themselves* — the
+//! neighbor-similarity statistics (Tables 1–3 style) and the clue-engine
+//! costs, inside an AS and across its border.
+//!
+//! ```sh
+//! cargo run --release -p clue-experiments --bin convergence
+//! ```
+//!
+//! This closes the loop the synthetic generator only models: here the
+//! neighboring tables are similar *because the protocol made them so*,
+//! and the border aggregation policy produces exactly the Case 3
+//! refinement structure the Advance method classifies.
+
+use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_lookup::Family;
+use clue_netsim::{Aggregation, PathVector, Topology};
+use clue_tablegen::PairStats;
+use clue_trie::{BinaryTrie, Cost, CostStats, Ip4, Prefix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn measure_pair(name: &str, sender: &[Prefix<Ip4>], receiver: &[Prefix<Ip4>], seed: u64) {
+    let stats = PairStats::compute(sender, receiver);
+    println!(
+        "\n{name}: sender {} / receiver {} prefixes, intersection {:.1}%, problematic {:.2}%",
+        stats.sender_size,
+        stats.receiver_size,
+        stats.similarity() * 100.0,
+        stats.problematic_fraction() * 100.0
+    );
+    // Traffic: hosts inside random sender prefixes.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t1: BinaryTrie<Ip4, ()> = sender.iter().map(|p| (*p, ())).collect();
+    let dests: Vec<Ip4> = (0..4000)
+        .map(|_| {
+            let p = sender[rng.random_range(0..sender.len())];
+            let noise = if p.len() == 32 { 0 } else { rng.random::<u32>() >> p.len() };
+            Ip4(p.bits().0 | noise)
+        })
+        .collect();
+    print!("    mean accesses:");
+    for method in [Method::Common, Method::Simple, Method::Advance] {
+        let mut engine =
+            ClueEngine::precomputed(sender, receiver, EngineConfig::new(Family::Patricia, method));
+        let mut acc = CostStats::new();
+        for &d in &dests {
+            let clue = t1.lookup(d).map(|r| t1.prefix(r)).filter(|c| !c.is_empty());
+            let mut cost = Cost::new();
+            engine.lookup(d, clue, None, &mut cost);
+            acc.record(cost);
+        }
+        print!("  {}={:.2}", method.label(), acc.mean());
+    }
+    println!();
+}
+
+fn main() {
+    // Two ASes on a line of 8 routers: AS 1 = routers 0..4 (origin 0),
+    // AS 2 = routers 4..8 (origin 7). Each origin announces 60 /24s.
+    let topo = Topology::line(8);
+    let as_of = vec![1, 1, 1, 1, 2, 2, 2, 2];
+    let mut originated: Vec<Vec<Prefix<Ip4>>> = vec![Vec::new(); 8];
+    originated[0] =
+        (0..60u32).map(|j| Prefix::new(Ip4(0x0A00_0000 | j << 8), 24)).collect();
+    originated[7] =
+        (0..60u32).map(|j| Prefix::new(Ip4(0x1400_0000 | j << 8), 24)).collect();
+
+    let mut pv = PathVector::new(topo, as_of, originated, Aggregation::OwnAtBorder(16));
+    let rounds = pv.converge(64).expect("path vector must converge");
+    println!("=== path-vector convergence: 8 routers, 2 ASes, border aggregation /16 ===");
+    println!("converged in {rounds} synchronous rounds");
+    for r in 0..8 {
+        println!("router {r} (AS {}): {} prefixes", pv.as_of(r), pv.ribs()[r].prefixes().len());
+    }
+
+    // Pairs: within AS 1 (identical tables expected), across the border
+    // (aggregation: the AS-2 side sees only AS-1's /16).
+    let r1 = pv.ribs()[1].prefixes();
+    let r2 = pv.ribs()[2].prefixes();
+    let r3 = pv.ribs()[3].prefixes();
+    let r4 = pv.ribs()[4].prefixes();
+    measure_pair("intra-AS pair (router 1 -> 2)", &r1, &r2, 11);
+    measure_pair("border pair (router 3 -> 4)", &r3, &r4, 12);
+    measure_pair("border pair reversed (router 4 -> 3)", &r4, &r3, 13);
+
+    // Dynamics: announce a new /24 at origin 7 and reconverge.
+    let new_prefix: Prefix<Ip4> = "20.0.99.0/24".parse().unwrap();
+    pv.announce(7, new_prefix);
+    let rounds2 = pv.converge(64).expect("reconverges");
+    println!("\nannounce {new_prefix} at router 7: reconverged in {rounds2} rounds");
+    pv.withdraw(7, &new_prefix);
+    let rounds3 = pv.converge(64).expect("reconverges");
+    println!("withdraw it again: reconverged in {rounds3} rounds");
+
+    println!("\nthe intra-AS pair reproduces the paper's ISP regime (≈100% similar,");
+    println!("Advance ≈ 1); the border pair shows the aggregation boundary — still");
+    println!("correct, with the Advance cost reflecting the Case 3 refinements.");
+}

@@ -1,0 +1,65 @@
+//! Figure 1 of the paper: the best-matching-prefix length of a packet
+//! along its path, and the per-router work under distributed IP lookup.
+//!
+//! ```sh
+//! cargo run --release -p clue-experiments --bin fig1
+//! ```
+//!
+//! The paper's (speculative) figure predicts: the BMP length rises from
+//! source to destination, so the *work* — which under clue routing is
+//! proportional to the BMP-length increments — concentrates near the
+//! edges while the heavily-loaded backbone routers do almost nothing.
+//! This binary measures both curves on a simulated backbone.
+
+use clue_core::{EngineConfig, Method};
+use clue_lookup::Family;
+use clue_netsim::{run_workload, Network, NetworkConfig, Topology};
+use clue_trie::Ip4;
+
+fn bar(len: f64, scale: f64) -> String {
+    "#".repeat((len * scale).round().max(0.0) as usize)
+}
+
+fn main() {
+    // A long transit path: edge -> 8 core hops -> edge, with detail
+    // decaying over three bands.
+    let (topo, edges) = Topology::backbone(8, 2);
+    let mut cfg =
+        NetworkConfig::new(edges.clone(), EngineConfig::new(Family::Patricia, Method::Advance));
+    cfg.specifics_per_origin = 30;
+    cfg.bands = vec![(1, 24), (2, 20), (4, 16), (usize::MAX, 14)];
+    cfg.seed = 1999;
+    let mut net: Network<Ip4> = Network::build(topo, cfg);
+
+    let stats = run_workload(&mut net, &edges, 2_000, 7);
+    println!("=== Figure 1 (measured): 2,000 edge-to-edge packets, 8-core backbone ===\n");
+    println!("BMP length along the path (paper: grows toward the destination)\n");
+    println!("{:<5} {:>8}  {}", "hop", "mean len", "");
+    for (i, len) in stats.bmp_len_by_position.iter().enumerate() {
+        if stats.per_hop_position[i].samples() == 0 {
+            continue;
+        }
+        println!("{:<5} {:>8.1}  {}", i, len, bar(*len, 1.0));
+    }
+
+    println!("\nWork at each router position (paper: backbone ≈ idle, edges do the lookups)\n");
+    println!("{:<5} {:>10}  {}", "hop", "accesses", "");
+    for (i, s) in stats.per_hop_position.iter().enumerate() {
+        if s.samples() == 0 {
+            continue;
+        }
+        println!("{:<5} {:>10.2}  {}", i, s.mean(), bar(s.mean(), 2.0));
+    }
+
+    let first = stats.per_hop_position[0].mean();
+    let mid: f64 = stats.per_hop_position[2..stats.per_hop_position.len() - 1]
+        .iter()
+        .filter(|s| s.samples() > 0)
+        .map(|s| s.mean())
+        .sum::<f64>()
+        / (stats.per_hop_position.len() - 3).max(1) as f64;
+    println!(
+        "\nsource hop pays {first:.1} accesses; mid-path (backbone) hops pay {mid:.2} on average"
+    );
+    println!("=> the derivative of the BMP curve is where the work lives, exactly Figure 1.");
+}

@@ -1,0 +1,102 @@
+//! The showcase: a multi-AS "mini internet" whose forwarding tables come
+//! from the path-vector protocol (not from the synthetic band plan), and
+//! whose packets are clue-routed end to end.
+//!
+//! ```sh
+//! cargo run --release -p clue-experiments --bin internet_like
+//! ```
+//!
+//! 5 ASes, each a small ring of core routers with stub edges; inter-AS
+//! peering links between cores; every stub originates /24s; borders
+//! aggregate own-AS space to /12. After convergence we measure the
+//! Figure 1 curves and the Tables 4–9 headline on the *protocol-derived*
+//! tables — no generator knobs anywhere.
+
+use clue_core::{EngineConfig, Method};
+use clue_lookup::Family;
+use clue_netsim::{run_workload, Aggregation, Network, NetworkConfig, PathVector, Topology};
+use clue_trie::{Ip4, Prefix};
+
+fn main() {
+    // Topology: 5 ASes x (3 cores in a triangle + 2 stubs) = 25 routers.
+    // Inter-AS: core 0 of AS k peers with core 0 of AS k+1 (a line of
+    // ASes), plus a shortcut AS0-AS3.
+    let as_count = 5usize;
+    let per_as = 5usize; // 3 cores + 2 stubs
+    let n = as_count * per_as;
+    let mut topo = Topology::new(n);
+    let mut as_of = vec![0u32; n];
+    let mut stubs = Vec::new();
+    for a in 0..as_count {
+        let base = a * per_as;
+        for i in 0..per_as {
+            as_of[base + i] = a as u32 + 1;
+        }
+        // Core triangle.
+        topo.add_link(base, base + 1);
+        topo.add_link(base + 1, base + 2);
+        topo.add_link(base + 2, base);
+        // Stubs on cores 1 and 2.
+        topo.add_link(base + 1, base + 3);
+        topo.add_link(base + 2, base + 4);
+        stubs.push(base + 3);
+        stubs.push(base + 4);
+    }
+    for a in 1..as_count {
+        topo.add_link((a - 1) * per_as, a * per_as); // AS chain via core 0s
+    }
+    topo.add_link(0, 3 * per_as); // shortcut AS1-AS4
+
+    // Origination: each stub announces 25 /24s inside its AS's /12.
+    let mut originated: Vec<Vec<Prefix<Ip4>>> = vec![Vec::new(); n];
+    for (si, &s) in stubs.iter().enumerate() {
+        let a = s / per_as;
+        let block = ((a as u32 + 1) << 20) | ((si as u32 & 1) << 19);
+        originated[s] = (0..25u32)
+            .map(|j| Prefix::new(Ip4((block | j << 9) << 8), 24))
+            .collect();
+    }
+
+    let mut pv = PathVector::new(topo, as_of, originated, Aggregation::OwnAtBorder(12));
+    let rounds = pv.converge(128).expect("the mini internet converges");
+    println!("=== mini internet: {as_count} ASes, {n} routers, {} origin stubs ===", stubs.len());
+    println!("path-vector converged in {rounds} rounds");
+    let sizes: Vec<usize> = (0..n).map(|r| pv.ribs()[r].prefixes().len()).collect();
+    println!(
+        "table sizes: min {}, max {} (specifics at home, /12 aggregates abroad)\n",
+        sizes.iter().min().unwrap(),
+        sizes.iter().max().unwrap()
+    );
+
+    for method in [Method::Common, Method::Simple, Method::Advance] {
+        let cfg = NetworkConfig::new(vec![], EngineConfig::new(Family::Patricia, method));
+        let mut net = Network::from_path_vector(&pv, cfg);
+        let stats = run_workload(&mut net, &stubs, 3_000, 99);
+        println!(
+            "{:<8} total {:>8} accesses, {:>6.2}/hop overall, {:>6.2}/hop past the first, {}/{} delivered",
+            method.label(),
+            stats.total_accesses,
+            stats.mean_per_hop(),
+            stats.mean_per_clue_hop(),
+            stats.delivered,
+            stats.packets
+        );
+    }
+
+    // Figure 1 on protocol tables.
+    let cfg = NetworkConfig::new(vec![], EngineConfig::new(Family::Patricia, Method::Advance));
+    let mut net = Network::from_path_vector(&pv, cfg);
+    let stats = run_workload(&mut net, &stubs, 3_000, 100);
+    println!("\nBMP length / work by hop position (Figure 1 on protocol-derived tables):");
+    for (i, s) in stats.per_hop_position.iter().enumerate() {
+        if s.samples() < 50 {
+            continue;
+        }
+        println!(
+            "  hop {:<2} len {:>5.1}  work {:>5.2}",
+            i, stats.bmp_len_by_position[i], s.mean()
+        );
+    }
+    println!("\nno synthetic knobs were used: the similarity, the aggregates and the");
+    println!("problematic clues all came out of the routing protocol itself.");
+}

@@ -1,0 +1,56 @@
+//! Section 3.5: clue-table space accounting.
+//!
+//! ```sh
+//! cargo run --release -p clue-experiments --bin table_size
+//! ```
+//!
+//! The paper's arithmetic: a large router's clue table has about as many
+//! entries as its forwarding table (~60,000), each averaging ~9 bytes
+//! (clue + FD always; Ptr only for the <10 % problematic entries), for a
+//! total of ≈ 540 KB. This binary reproduces that accounting on the
+//! synthetic ISP-B pair, and also reports the Section 3.4 multi-neighbor
+//! sharing strategies.
+
+use clue_core::neighbors::{MultiNeighborTable, Strategy};
+use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_experiments::{fmt_count, partner_table, router_table};
+use clue_lookup::Family;
+
+fn main() {
+    let ispb1 = router_table("ISP-B-1");
+    let ispb2 = partner_table(&ispb1, 204);
+
+    println!("=== Section 3.5: clue-table size (ISP-B-2's table for clues from ISP-B-1) ===\n");
+    let engine = ClueEngine::precomputed(
+        &ispb1,
+        &ispb2,
+        EngineConfig::new(Family::Patricia, Method::Advance),
+    );
+    let t = engine.table();
+    println!("entries:                {:>10}", fmt_count(t.len()));
+    println!("problematic fraction:   {:>9.2}%", t.problematic_fraction() * 100.0);
+    println!("paper size model:       {:>10} bytes ({:.1} B/entry)",
+        fmt_count(t.memory_bytes_model()),
+        t.memory_bytes_model() as f64 / t.len() as f64);
+    println!("actual resident size:   {:>10} bytes", fmt_count(t.memory_bytes_actual()));
+    println!("\npaper: ~60,000 entries x ~9 B = ~540 KB for the largest routers.");
+
+    println!("\n=== Section 3.4: sharing one table among d neighbors ===\n");
+    // Three upstream neighbors with similar tables.
+    let n1 = partner_table(&ispb1, 211);
+    let n2 = partner_table(&ispb1, 212);
+    let n3 = partner_table(&ispb1, 213);
+    let senders = vec![n1, n2, n3];
+    println!("{:<12} {:>10} {:>14}", "strategy", "entries", "bytes (model)");
+    for strategy in Strategy::all() {
+        let mt = MultiNeighborTable::build(&ispb2, &senders, strategy);
+        println!(
+            "{:<12} {:>10} {:>14}",
+            strategy.to_string(),
+            fmt_count(mt.entry_count()),
+            fmt_count(mt.memory_bytes_model())
+        );
+    }
+    println!("\nunion/bitmap keep one entry per distinct clue; sub-tables add small");
+    println!("per-neighbor overflow tables; separate tables triple the space.");
+}

@@ -1,0 +1,75 @@
+//! Tables 1–3 of the paper: table sizes, problematic-clue counts and
+//! pairwise intersections, over the synthetic stand-ins for the paper's
+//! seven routers.
+//!
+//! ```sh
+//! cargo run --release -p clue-experiments --bin tables1to3
+//! # quick run at 1/10 size:
+//! CLUE_SCALE=small cargo run --release -p clue-experiments --bin tables1to3
+//! ```
+
+use clue_experiments::{exchange_view, fmt_count, partner_table, router_table};
+use clue_tablegen::PairStats;
+
+fn main() {
+    // Route servers: three views of the same exchange fabric.
+    let mae_east = router_table("MAE-East");
+    let mae_west = exchange_view(&mae_east, mae_east.len() * 23_382 / 42_123, 201);
+    let paix = exchange_view(&mae_east, mae_east.len() * 5_974 / 42_123, 202);
+    // ISP pairs: direct neighbors inside one ISP.
+    let att1 = router_table("AT&T-1");
+    let att2 = partner_table(&att1, 203);
+    let ispb1 = router_table("ISP-B-1");
+    let ispb2 = partner_table(&ispb1, 204);
+
+    let routers: Vec<(&str, &Vec<_>)> = vec![
+        ("MAE-East", &mae_east),
+        ("MAE-West", &mae_west),
+        ("Paix", &paix),
+        ("AT&T-1", &att1),
+        ("AT&T-2", &att2),
+        ("ISP-B-1", &ispb1),
+        ("ISP-B-2", &ispb2),
+    ];
+
+    println!("=== Table 1: total number of prefixes in each table ===");
+    println!("(paper: MAE-East 42,123 · MAE-West 23,382 · Paix 5,974 · AT&T ≈23,400 · ISP-B ≈56,000)\n");
+    for (name, t) in &routers {
+        println!("{name:<10} {:>8}", fmt_count(t.len()));
+    }
+
+    let pairs: Vec<(&str, &Vec<_>, &str, &Vec<_>)> = vec![
+        ("MAE-East", &mae_east, "MAE-West", &mae_west),
+        ("MAE-East", &mae_east, "Paix", &paix),
+        ("Paix", &paix, "MAE-East", &mae_east),
+        ("AT&T-1", &att1, "AT&T-2", &att2),
+        ("AT&T-2", &att2, "AT&T-1", &att1),
+        ("ISP-B-1", &ispb1, "ISP-B-2", &ispb2),
+        ("ISP-B-2", &ispb2, "ISP-B-1", &ispb1),
+    ];
+
+    println!("\n=== Table 2: problematic clues (Claim 1 fails at the receiver) ===");
+    println!("(paper: 35–457 per pair, i.e. ≲ 2% — up to 7% for route-server pairs)\n");
+    println!("{:<10} {:<10} {:>12} {:>10}", "sender", "receiver", "problematic", "fraction");
+    let mut stats_cache = Vec::new();
+    for (sn, s, rn, r) in &pairs {
+        let st = PairStats::compute(s, r);
+        println!(
+            "{sn:<10} {rn:<10} {:>12} {:>9.2}%",
+            fmt_count(st.problematic),
+            st.problematic_fraction() * 100.0
+        );
+        stats_cache.push(st);
+    }
+
+    println!("\n=== Table 3: prefixes appearing in both tables (intersection) ===");
+    println!("(paper: MAE-East∩MAE-West 23,382 · MAE-East∩Paix 5,899 · AT&T 23,381 · ISP-B 55,540)\n");
+    println!("{:<10} {:<10} {:>12} {:>12}", "table A", "table B", "intersection", "similarity");
+    for ((sn, _, rn, _), st) in pairs.iter().zip(&stats_cache) {
+        println!(
+            "{sn:<10} {rn:<10} {:>12} {:>11.1}%",
+            fmt_count(st.intersection),
+            st.similarity() * 100.0
+        );
+    }
+}

@@ -1,0 +1,83 @@
+//! Property tests: every lookup family returns the identical best matching
+//! prefix as the naive reference scan, for arbitrary tables and addresses.
+
+use clue_lookup::{build_scheme, reference_bmp, Family};
+use clue_trie::{Cost, Ip4, Ip6, Prefix};
+use proptest::prelude::*;
+
+/// Strategy: a plausible prefix — random bits, length biased toward the
+/// 8..=28 range that real IPv4 tables use (plus occasional /0 and /32).
+fn arb_prefix4() -> impl Strategy<Value = Prefix<Ip4>> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Prefix::new(Ip4(bits), len))
+}
+
+fn arb_prefix6() -> impl Strategy<Value = Prefix<Ip6>> {
+    (any::<u128>(), 0u8..=128).prop_map(|(bits, len)| Prefix::new(Ip6(bits), len))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn all_families_agree_with_reference_ip4(
+        prefixes in proptest::collection::vec(arb_prefix4(), 1..80),
+        addrs in proptest::collection::vec(any::<u32>(), 1..40),
+    ) {
+        let schemes: Vec<_> = Family::all_extended()
+            .into_iter()
+            .map(|f| build_scheme(f, &prefixes))
+            .collect();
+        for &raw in &addrs {
+            let addr = Ip4(raw);
+            let expected = reference_bmp(&prefixes, addr);
+            for s in &schemes {
+                let mut cost = Cost::new();
+                let got = s.lookup(addr, &mut cost);
+                prop_assert_eq!(
+                    got, expected,
+                    "family {} disagrees on {}", s.family(), addr
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_families_agree_with_reference_ip6(
+        prefixes in proptest::collection::vec(arb_prefix6(), 1..40),
+        addrs in proptest::collection::vec(any::<u128>(), 1..20),
+    ) {
+        let schemes: Vec<_> = Family::all_extended()
+            .into_iter()
+            .map(|f| build_scheme(f, &prefixes))
+            .collect();
+        for &raw in &addrs {
+            let addr = Ip6(raw);
+            let expected = reference_bmp(&prefixes, addr);
+            for s in &schemes {
+                let mut cost = Cost::new();
+                prop_assert_eq!(s.lookup(addr, &mut cost), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_of_covered_addresses_always_hit(
+        prefixes in proptest::collection::vec(arb_prefix4(), 1..50),
+    ) {
+        // Probing the first address of each stored prefix must match at
+        // least that prefix.
+        let schemes: Vec<_> = Family::all_extended()
+            .into_iter()
+            .map(|f| build_scheme(f, &prefixes))
+            .collect();
+        for p in &prefixes {
+            let addr = p.first_address();
+            for s in &schemes {
+                let mut cost = Cost::new();
+                let got = s.lookup(addr, &mut cost);
+                prop_assert!(got.is_some());
+                prop_assert!(got.unwrap().len() >= p.len() || got.unwrap().contains(addr));
+            }
+        }
+    }
+}

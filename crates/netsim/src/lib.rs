@@ -1,0 +1,40 @@
+//! # clue-netsim
+//!
+//! A packet-level simulator for the network-wide behaviour of distributed
+//! IP lookup:
+//!
+//! * [`Topology`] — lines, rings, stars, two-level ISP backbones and
+//!   random connected graphs, with BFS route trees standing in for
+//!   OSPF/BGP;
+//! * [`Network`] — per-router FIBs built with distance-decaying detail
+//!   (the BGP-aggregation structure behind the paper's Figure 1), and a
+//!   [`clue_core::ClueEngine`] per incoming link whose clue set is
+//!   exactly “the upstream router's prefixes routed through me”;
+//! * [`Network::route_packet`] — end-to-end forwarding with clue
+//!   piggybacking, heterogeneous participation (Section 5.3: clue-less
+//!   routers relay clues) and the Section 5.4 load-shifting mode;
+//! * [`run_workload`] — multi-packet runs with per-router / per-hop
+//!   statistics (Figure 1's two curves fall straight out);
+//! * [`LabelSwitchedPath`] — the Figure 8 MPLS aggregation-point
+//!   scenario, plain vs label-as-clue-index hybrid;
+//! * [`PathVector`] — a BGP-like path-vector protocol run to
+//!   convergence, with the paper's border-only aggregation policy: the
+//!   distributed origin of the neighbor-table similarity the clue
+//!   scheme exploits (Section 3.3.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mpls_path;
+mod network;
+mod pathvector;
+mod sim;
+mod topology;
+
+pub use mpls_path::{LabelSwitchedPath, LspHop};
+pub use pathvector::{Aggregation, PathVector, Rib, Route};
+pub use network::{
+    DetailBands, Hop, HopRecord, Network, NetworkConfig, PathTrace, RouterNode,
+};
+pub use sim::{run_workload, RunStats};
+pub use topology::{RouteTree, RouterId, Topology};

@@ -1,0 +1,217 @@
+//! Workload runner: many packets over a network, with the per-router and
+//! per-hop aggregations the paper's Figure 1 and Sections 5.3–5.4 need.
+
+use clue_trie::{Address, CostStats};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::network::Network;
+use crate::topology::RouterId;
+
+/// Aggregated results of a multi-packet run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Per-router access statistics (indexed by router id).
+    pub per_router: Vec<CostStats>,
+    /// Access statistics by hop position along the path (0 = source).
+    pub per_hop_position: Vec<CostStats>,
+    /// Mean BMP length by hop position.
+    pub bmp_len_by_position: Vec<f64>,
+    /// Packets routed.
+    pub packets: usize,
+    /// Packets that reached their destination.
+    pub delivered: usize,
+    /// Total accesses across the whole run.
+    pub total_accesses: u64,
+    /// Hops that actually consulted a clue.
+    pub clue_hops: u64,
+    /// All hops taken.
+    pub total_hops: u64,
+}
+
+impl RunStats {
+    /// Mean accesses per hop over the whole run.
+    pub fn mean_per_hop(&self) -> f64 {
+        let hops: u64 = self.per_router.iter().map(|s| s.samples()).sum();
+        if hops == 0 {
+            0.0
+        } else {
+            self.total_accesses as f64 / hops as f64
+        }
+    }
+
+    /// Mean accesses per hop, excluding each packet's first (clue-less)
+    /// hop — the steady-state cost of a clue-routed core.
+    pub fn mean_per_clue_hop(&self) -> f64 {
+        let (mut total, mut n) = (0.0, 0u64);
+        for s in self.per_hop_position.iter().skip(1) {
+            total += s.mean() * s.samples() as f64;
+            n += s.samples();
+        }
+        if n == 0 {
+            0.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+/// Runs `packets` random edge-to-edge packets over the network.
+///
+/// Sources are drawn from `sources`; destinations from random origins'
+/// address space (excluding an origin co-located with the source, so
+/// every packet actually crosses the network).
+pub fn run_workload<A: Address>(
+    net: &mut Network<A>,
+    sources: &[RouterId],
+    packets: usize,
+    seed: u64,
+) -> RunStats {
+    assert!(!sources.is_empty(), "need at least one source");
+    let origins = net.config().origins.clone();
+    assert!(!origins.is_empty(), "need at least one origin");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let n = net.topology().len();
+    let mut per_router = vec![CostStats::new(); n];
+    let mut per_hop_position: Vec<CostStats> = Vec::new();
+    let mut bmp_len_sum: Vec<(f64, u64)> = Vec::new();
+    let mut delivered = 0usize;
+    let mut total = 0u64;
+    let mut clue_hops = 0u64;
+    let mut total_hops = 0u64;
+
+    for _ in 0..packets {
+        let src = *sources.choose(&mut rng).expect("non-empty sources");
+        // Pick an origin different from the source router itself.
+        let oi = loop {
+            let i = rng.random_range(0..origins.len());
+            if origins[i] != src || origins.len() == 1 {
+                break i;
+            }
+        };
+        let dest = net.random_destination(oi, &mut rng);
+        let trace = net.route_packet(src, dest);
+        if trace.delivered {
+            delivered += 1;
+        }
+        for (pos, hop) in trace.hops.iter().enumerate() {
+            // A router's load includes any Section 5.4 work it performs
+            // on behalf of its downstream neighbor.
+            let mut full = hop.cost;
+            full += hop.shift_cost;
+            per_router[hop.router].record(full);
+            if per_hop_position.len() <= pos {
+                per_hop_position.resize(pos + 1, CostStats::new());
+                bmp_len_sum.resize(pos + 1, (0.0, 0));
+            }
+            per_hop_position[pos].record(full);
+            let (s, c) = &mut bmp_len_sum[pos];
+            *s += hop.bmp.map_or(0, |p| p.len()) as f64;
+            *c += 1;
+            total += full.total();
+            total_hops += 1;
+            if hop.used_clue {
+                clue_hops += 1;
+            }
+        }
+    }
+
+    RunStats {
+        per_router,
+        bmp_len_by_position: bmp_len_sum
+            .iter()
+            .map(|(s, c)| if *c == 0 { 0.0 } else { s / *c as f64 })
+            .collect(),
+        per_hop_position,
+        packets,
+        delivered,
+        total_accesses: total,
+        clue_hops,
+        total_hops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use crate::topology::Topology;
+    use clue_core::{EngineConfig, Method};
+    use clue_lookup::Family;
+    use clue_trie::Ip4;
+
+    fn build(method: Method, participation: f64) -> (Network<Ip4>, Vec<RouterId>) {
+        let (topo, edges) = Topology::backbone(4, 2);
+        let mut cfg = NetworkConfig::new(edges.clone(), EngineConfig::new(Family::Regular, method));
+        cfg.specifics_per_origin = 12;
+        cfg.participation = participation;
+        cfg.seed = 42;
+        (Network::build(topo, cfg), edges)
+    }
+
+    #[test]
+    fn workload_delivers_everything_on_connected_topology() {
+        let (mut net, edges) = build(Method::Advance, 1.0);
+        let stats = run_workload(&mut net, &edges, 200, 1);
+        assert_eq!(stats.packets, 200);
+        assert_eq!(stats.delivered, 200);
+        assert!(stats.total_accesses > 0);
+    }
+
+    #[test]
+    fn clue_hops_are_much_cheaper_than_first_hops() {
+        let (mut net, edges) = build(Method::Advance, 1.0);
+        let stats = run_workload(&mut net, &edges, 300, 2);
+        let first = stats.per_hop_position[0].mean();
+        let steady = stats.mean_per_clue_hop();
+        assert!(
+            steady * 3.0 < first,
+            "steady {steady:.2} not ≪ first-hop {first:.2}"
+        );
+    }
+
+    #[test]
+    fn advance_beats_common_network_wide() {
+        let (mut adv, edges) = build(Method::Advance, 1.0);
+        let (mut com, _) = build(Method::Common, 1.0);
+        let sa = run_workload(&mut adv, &edges, 200, 3);
+        let sc = run_workload(&mut com, &edges, 200, 3);
+        assert!(
+            sa.total_accesses * 2 < sc.total_accesses,
+            "advance {} vs common {}",
+            sa.total_accesses,
+            sc.total_accesses
+        );
+    }
+
+    #[test]
+    fn partial_participation_still_helps() {
+        let (mut full, edges) = build(Method::Advance, 1.0);
+        let (mut half, _) = build(Method::Advance, 0.5);
+        let (mut none, _) = build(Method::Common, 1.0);
+        let sf = run_workload(&mut full, &edges, 200, 4);
+        let sh = run_workload(&mut half, &edges, 200, 4);
+        let sn = run_workload(&mut none, &edges, 200, 4);
+        assert!(sf.total_accesses <= sh.total_accesses);
+        assert!(
+            sh.total_accesses < sn.total_accesses,
+            "half {} should beat none {}",
+            sh.total_accesses,
+            sn.total_accesses
+        );
+    }
+
+    #[test]
+    fn bmp_length_curve_is_increasing() {
+        let (mut net, edges) = build(Method::Advance, 1.0);
+        let stats = run_workload(&mut net, &edges, 200, 5);
+        let curve = &stats.bmp_len_by_position;
+        assert!(curve.len() >= 3);
+        assert!(
+            curve.last().unwrap() > &curve[0],
+            "BMP curve should grow: {curve:?}"
+        );
+    }
+}

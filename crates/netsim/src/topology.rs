@@ -1,0 +1,273 @@
+//! Network topologies and shortest-path route computation.
+//!
+//! The simulator needs only unweighted shortest paths (the paper's
+//! arguments are about *which prefixes* neighboring tables hold, not
+//! about link metrics), so routing is all-pairs BFS producing, per
+//! destination router, a next-hop tree — the role OSPF/BGP play in
+//! Section 3.3.2.
+
+use std::collections::VecDeque;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Index of a router in the topology.
+pub type RouterId = usize;
+
+/// An undirected multigraph-free topology over `n` routers.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    n: usize,
+    adjacency: Vec<Vec<RouterId>>,
+}
+
+impl Topology {
+    /// An empty topology with `n` routers and no links.
+    pub fn new(n: usize) -> Self {
+        Topology { n, adjacency: vec![Vec::new(); n] }
+    }
+
+    /// Number of routers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` iff the topology has no routers.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds an undirected link (idempotent).
+    ///
+    /// # Panics
+    /// Panics on out-of-range endpoints or self-loops.
+    pub fn add_link(&mut self, a: RouterId, b: RouterId) {
+        assert!(a < self.n && b < self.n, "link endpoint out of range");
+        assert_ne!(a, b, "self-loops are not allowed");
+        if !self.adjacency[a].contains(&b) {
+            self.adjacency[a].push(b);
+            self.adjacency[b].push(a);
+        }
+    }
+
+    /// The neighbors of a router.
+    pub fn neighbors(&self, r: RouterId) -> &[RouterId] {
+        &self.adjacency[r]
+    }
+
+    /// Total number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// A simple path `0 – 1 – … – n-1`: the backbone-transit shape of the
+    /// paper's Figure 1.
+    pub fn line(n: usize) -> Self {
+        let mut t = Topology::new(n);
+        for i in 1..n {
+            t.add_link(i - 1, i);
+        }
+        t
+    }
+
+    /// A ring.
+    pub fn ring(n: usize) -> Self {
+        let mut t = Topology::line(n);
+        if n > 2 {
+            t.add_link(n - 1, 0);
+        }
+        t
+    }
+
+    /// A star with router 0 in the center.
+    pub fn star(n: usize) -> Self {
+        let mut t = Topology::new(n);
+        for i in 1..n {
+            t.add_link(0, i);
+        }
+        t
+    }
+
+    /// A two-level ISP-like topology: a ring of `core` backbone routers,
+    /// each with `edges_per_core` stub routers attached. Returns the
+    /// topology and the list of edge (stub) routers — the natural packet
+    /// sources/sinks.
+    pub fn backbone(core: usize, edges_per_core: usize) -> (Self, Vec<RouterId>) {
+        assert!(core >= 1, "need at least one core router");
+        let n = core + core * edges_per_core;
+        let mut t = Topology::new(n);
+        for i in 1..core {
+            t.add_link(i - 1, i);
+        }
+        if core > 2 {
+            t.add_link(core - 1, 0);
+        }
+        let mut edges = Vec::new();
+        for c in 0..core {
+            for e in 0..edges_per_core {
+                let id = core + c * edges_per_core + e;
+                t.add_link(c, id);
+                edges.push(id);
+            }
+        }
+        (t, edges)
+    }
+
+    /// A connected random graph: a spanning random tree plus `extra`
+    /// random chords. Deterministic in the seed.
+    pub fn random_connected(n: usize, extra: usize, seed: u64) -> Self {
+        assert!(n >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = Topology::new(n);
+        for i in 1..n {
+            let parent = rng.random_range(0..i);
+            t.add_link(parent, i);
+        }
+        let mut added = 0;
+        let mut guard = 0;
+        while added < extra && guard < extra * 20 + 50 && n > 2 {
+            guard += 1;
+            let a = rng.random_range(0..n);
+            let b = rng.random_range(0..n);
+            if a != b && !t.adjacency[a].contains(&b) {
+                t.add_link(a, b);
+                added += 1;
+            }
+        }
+        t
+    }
+
+    /// BFS from `dest`: per router, its distance to `dest` and the next
+    /// hop toward it (`None` at `dest` itself and on unreachable
+    /// routers).
+    pub fn routes_toward(&self, dest: RouterId) -> RouteTree {
+        assert!(dest < self.n, "destination out of range");
+        let mut dist = vec![usize::MAX; self.n];
+        let mut next_hop: Vec<Option<RouterId>> = vec![None; self.n];
+        let mut q = VecDeque::new();
+        dist[dest] = 0;
+        q.push_back(dest);
+        while let Some(u) = q.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    // v reaches dest through u.
+                    next_hop[v] = Some(u);
+                    q.push_back(v);
+                }
+            }
+        }
+        RouteTree { dest, dist, next_hop }
+    }
+
+    /// All-pairs route trees (one BFS per router).
+    pub fn all_routes(&self) -> Vec<RouteTree> {
+        (0..self.n).map(|d| self.routes_toward(d)).collect()
+    }
+}
+
+/// The shortest-path tree toward one destination router.
+#[derive(Debug, Clone)]
+pub struct RouteTree {
+    /// The tree's destination.
+    pub dest: RouterId,
+    /// Hop distance per router (`usize::MAX` if unreachable).
+    pub dist: Vec<usize>,
+    /// Next hop toward `dest` per router.
+    pub next_hop: Vec<Option<RouterId>>,
+}
+
+impl RouteTree {
+    /// Hop distance from `r` to the destination, `None` if unreachable.
+    pub fn distance(&self, r: RouterId) -> Option<usize> {
+        (self.dist[r] != usize::MAX).then_some(self.dist[r])
+    }
+
+    /// The path from `r` to the destination (inclusive of both ends).
+    pub fn path_from(&self, r: RouterId) -> Option<Vec<RouterId>> {
+        self.distance(r)?;
+        let mut path = vec![r];
+        let mut cur = r;
+        while cur != self.dest {
+            cur = self.next_hop[cur].expect("reachable router has a next hop");
+            path.push(cur);
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_routes_and_distances() {
+        let t = Topology::line(5);
+        assert_eq!(t.link_count(), 4);
+        let rt = t.routes_toward(4);
+        assert_eq!(rt.distance(0), Some(4));
+        assert_eq!(rt.next_hop[0], Some(1));
+        assert_eq!(rt.path_from(0).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(rt.next_hop[4], None);
+    }
+
+    #[test]
+    fn ring_takes_the_short_way() {
+        let t = Topology::ring(6);
+        let rt = t.routes_toward(0);
+        assert_eq!(rt.distance(5), Some(1));
+        assert_eq!(rt.distance(3), Some(3));
+    }
+
+    #[test]
+    fn star_is_two_hops_between_leaves() {
+        let t = Topology::star(5);
+        let rt = t.routes_toward(3);
+        assert_eq!(rt.distance(4), Some(2));
+        assert_eq!(rt.next_hop[4], Some(0));
+    }
+
+    #[test]
+    fn backbone_shape() {
+        let (t, edges) = Topology::backbone(4, 2);
+        assert_eq!(t.len(), 12);
+        assert_eq!(edges.len(), 8);
+        // Every edge router hangs off exactly one core router.
+        for &e in &edges {
+            assert_eq!(t.neighbors(e).len(), 1);
+            assert!(t.neighbors(e)[0] < 4);
+        }
+    }
+
+    #[test]
+    fn random_connected_is_connected() {
+        for seed in 0..5 {
+            let t = Topology::random_connected(30, 10, seed);
+            let rt = t.routes_toward(0);
+            assert!((0..30).all(|r| rt.distance(r).is_some()), "seed {seed} disconnected");
+        }
+    }
+
+    #[test]
+    fn unreachable_routers_have_no_route() {
+        let t = Topology::new(3); // no links at all
+        let rt = t.routes_toward(0);
+        assert_eq!(rt.distance(1), None);
+        assert_eq!(rt.path_from(1), None);
+        assert_eq!(rt.path_from(0).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn add_link_is_idempotent() {
+        let mut t = Topology::new(3);
+        t.add_link(0, 1);
+        t.add_link(1, 0);
+        assert_eq!(t.link_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        Topology::new(2).add_link(1, 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Table and pair statistics — the quantities of the paper's Tables 1–3.
+
+use std::collections::BTreeSet;
+
+use clue_core::classify_all;
+use clue_trie::{Address, BinaryTrie, Prefix};
+
+/// Number of prefixes two tables share (Table 3, “the intersection
+/// size”).
+pub fn intersection_size<A: Address>(a: &[Prefix<A>], b: &[Prefix<A>]) -> usize {
+    let sa: BTreeSet<_> = a.iter().collect();
+    b.iter().filter(|p| sa.contains(p)).count()
+}
+
+/// Number of clues from `sender` for which Claim 1 does **not** hold at
+/// `receiver` — the paper's Table 2 (“problematic clues”).
+pub fn problematic_clues<A: Address>(sender: &[Prefix<A>], receiver: &[Prefix<A>]) -> usize {
+    let t1: BinaryTrie<A, ()> = sender.iter().map(|p| (*p, ())).collect();
+    let t2: BinaryTrie<A, ()> = receiver.iter().map(|p| (*p, ())).collect();
+    classify_all(&t1, &t2).iter().filter(|(_, c)| c.is_problematic()).count()
+}
+
+/// Prefix-length histogram, indexed by length.
+pub fn length_histogram<A: Address>(prefixes: &[Prefix<A>]) -> Vec<usize> {
+    let mut h = vec![0usize; A::BITS as usize + 1];
+    for p in prefixes {
+        h[p.len() as usize] += 1;
+    }
+    h
+}
+
+/// Summary of a sender→receiver pair, printable like the paper's tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairStats {
+    /// Prefixes in the sender's table (Table 1).
+    pub sender_size: usize,
+    /// Prefixes in the receiver's table (Table 1).
+    pub receiver_size: usize,
+    /// Shared prefixes (Table 3).
+    pub intersection: usize,
+    /// Clues violating Claim 1 at the receiver (Table 2).
+    pub problematic: usize,
+}
+
+impl PairStats {
+    /// Computes all pair statistics.
+    pub fn compute<A: Address>(sender: &[Prefix<A>], receiver: &[Prefix<A>]) -> Self {
+        PairStats {
+            sender_size: sender.len(),
+            receiver_size: receiver.len(),
+            intersection: intersection_size(sender, receiver),
+            problematic: problematic_clues(sender, receiver),
+        }
+    }
+
+    /// Problematic clues as a fraction of the sender's clue set.
+    pub fn problematic_fraction(&self) -> f64 {
+        if self.sender_size == 0 {
+            0.0
+        } else {
+            self.problematic as f64 / self.sender_size as f64
+        }
+    }
+
+    /// Intersection as a fraction of the smaller table.
+    pub fn similarity(&self) -> f64 {
+        let m = self.sender_size.min(self.receiver_size);
+        if m == 0 {
+            0.0
+        } else {
+            self.intersection as f64 / m as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::neighbor::{derive_neighbor, NeighborConfig};
+    use crate::synth::synthesize_ipv4;
+    use clue_trie::Ip4;
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn intersection_counts_shared() {
+        let a = vec![p("10.0.0.0/8"), p("20.0.0.0/8")];
+        let b = vec![p("20.0.0.0/8"), p("30.0.0.0/8")];
+        assert_eq!(intersection_size(&a, &b), 1);
+        assert_eq!(intersection_size(&a, &a), 2);
+        assert_eq!(intersection_size(&a, &[]), 0);
+    }
+
+    #[test]
+    fn problematic_clue_count_matches_classifier() {
+        let sender = vec![p("10.0.0.0/8"), p("20.0.0.0/8")];
+        let receiver = vec![p("10.0.0.0/8"), p("10.5.0.0/16"), p("20.0.0.0/8")];
+        assert_eq!(problematic_clues(&sender, &receiver), 1);
+    }
+
+    #[test]
+    fn histogram_sums_to_len() {
+        let t = synthesize_ipv4(700, 1);
+        let h = length_histogram(&t);
+        assert_eq!(h.iter().sum::<usize>(), 700);
+        assert_eq!(h.len(), 33);
+    }
+
+    #[test]
+    fn pair_stats_land_in_paper_bands_for_isp_pair() {
+        // Calibration check: a same-ISP pair must land in the bands the
+        // paper reports (similarity ≥ 0.98, problematic ≤ 3 %).
+        let sender = synthesize_ipv4(6000, 21);
+        let receiver = derive_neighbor(&sender, &NeighborConfig::same_isp(22));
+        let s = PairStats::compute(&sender, &receiver);
+        assert!(s.similarity() > 0.98, "similarity {}", s.similarity());
+        assert!(s.problematic_fraction() < 0.03, "problematic {}", s.problematic_fraction());
+        assert!(s.problematic > 0);
+    }
+}

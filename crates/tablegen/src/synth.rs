@@ -1,0 +1,256 @@
+//! Synthetic forwarding tables with the shape of 1999-era BGP tables.
+//!
+//! The paper's evaluation uses snapshots of MAE-East, MAE-West, Paix and
+//! two ISP router pairs (5 974 – 60 475 prefixes). Those snapshots are
+//! unobtainable; what the clue algorithms actually depend on is the
+//! *structure* of the prefix set — the length histogram (1999 tables are
+//! dominated by /24s with a /16 secondary mode) and the nesting relations
+//! (aggregates refined by longer, more specific prefixes). This generator
+//! reproduces exactly those structural properties, with seeds for
+//! determinism, and the statistics of the generated pairs are checked
+//! against the paper's Tables 1–3 in `clue-experiments`.
+
+use std::collections::BTreeSet;
+
+use clue_trie::{Address, Ip4, Ip6, Prefix};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Parameters of the synthetic table generator.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Number of prefixes to generate.
+    pub target: usize,
+    /// Probability that a new prefix is nested under an already-generated
+    /// shorter prefix (producing the aggregate/refinement structure that
+    /// drives the clue dynamics).
+    pub nesting: f64,
+    /// Weighted prefix-length histogram `(length, weight)`.
+    pub histogram: Vec<(u8, f64)>,
+    /// Number of distinct top-level blocks addresses cluster into
+    /// (models the bounded allocated space of the era).
+    pub top_blocks: u32,
+    /// Bit length of a top-level block (8 for IPv4 /8s).
+    pub top_block_len: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SynthConfig {
+    /// IPv4 defaults: the length mix of a late-1990s default-free table —
+    /// /24 dominant, /16 secondary, a CIDR band at /17–/23, a few /8s.
+    pub fn ipv4(target: usize, seed: u64) -> Self {
+        SynthConfig {
+            target,
+            nesting: 0.45,
+            histogram: vec![
+                (8, 0.006),
+                (12, 0.008),
+                (13, 0.010),
+                (14, 0.015),
+                (15, 0.018),
+                (16, 0.130),
+                (17, 0.020),
+                (18, 0.030),
+                (19, 0.055),
+                (20, 0.045),
+                (21, 0.045),
+                (22, 0.060),
+                (23, 0.070),
+                (24, 0.470),
+                (25, 0.006),
+                (26, 0.006),
+                (27, 0.003),
+                (28, 0.002),
+                (30, 0.001),
+            ],
+            top_blocks: 64,
+            top_block_len: 8,
+            seed,
+        }
+    }
+
+    /// IPv6 defaults: the aggregation structure the paper assumes
+    /// (“assuming IPv6 uses aggregation in a way similar to IPv4”) —
+    /// /32 allocations, /48 sites, /64 subnets.
+    pub fn ipv6(target: usize, seed: u64) -> Self {
+        SynthConfig {
+            target,
+            nesting: 0.45,
+            histogram: vec![
+                (20, 0.01),
+                (24, 0.02),
+                (28, 0.03),
+                (32, 0.18),
+                (36, 0.05),
+                (40, 0.07),
+                (44, 0.08),
+                (48, 0.40),
+                (52, 0.03),
+                (56, 0.05),
+                (60, 0.03),
+                (64, 0.05),
+            ],
+            top_blocks: 64,
+            top_block_len: 16,
+            seed,
+        }
+    }
+}
+
+/// Generates a synthetic forwarding table per `config`.
+///
+/// Deterministic in the seed; output is sorted and duplicate-free.
+pub fn synthesize<A: Address>(config: &SynthConfig) -> Vec<Prefix<A>> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let weights: f64 = config.histogram.iter().map(|(_, w)| w).sum();
+    assert!(weights > 0.0, "histogram must have positive total weight");
+    assert!(
+        config.histogram.iter().all(|&(l, _)| l <= A::BITS),
+        "histogram length exceeds the address width"
+    );
+
+    let sample_len = |rng: &mut StdRng| -> u8 {
+        let mut x = rng.random_range(0.0..weights);
+        for &(len, w) in &config.histogram {
+            if x < w {
+                return len;
+            }
+            x -= w;
+        }
+        config.histogram.last().map(|&(l, _)| l).unwrap_or(A::BITS)
+    };
+
+    // Pre-pick the active top-level blocks.
+    let blocks: Vec<u128> = (0..config.top_blocks)
+        .map(|_| rng.random_range(0u128..(1u128 << config.top_block_len)))
+        .collect();
+
+    let mut set: BTreeSet<Prefix<A>> = BTreeSet::new();
+    let mut pool: Vec<Prefix<A>> = Vec::new(); // for nesting draws
+    let mut attempts = 0usize;
+    let max_attempts = config.target * 50 + 1000;
+    while set.len() < config.target && attempts < max_attempts {
+        attempts += 1;
+        let len = sample_len(&mut rng);
+        let prefix = if config.nesting > 0.0
+            && !pool.is_empty()
+            && rng.random_bool(config.nesting)
+        {
+            // Nest under a random existing shorter prefix.
+            let base = *pool.choose(&mut rng).expect("pool is non-empty");
+            if base.len() >= len {
+                continue;
+            }
+            let noise = random_bits::<A>(&mut rng);
+            let merged = base.bits().to_u128()
+                | (noise & low_mask::<A>(A::BITS - base.len()));
+            Prefix::new(A::from_u128(merged), len)
+        } else {
+            // Fresh prefix inside a random top-level block.
+            if len < config.top_block_len {
+                Prefix::new(A::from_u128(random_bits::<A>(&mut rng)), len)
+            } else {
+                let block = *blocks.choose(&mut rng).expect("at least one block");
+                let hi = block << (A::BITS - config.top_block_len);
+                let noise = random_bits::<A>(&mut rng)
+                    & low_mask::<A>(A::BITS - config.top_block_len);
+                Prefix::new(A::from_u128(hi | noise), len)
+            }
+        };
+        if set.insert(prefix) {
+            pool.push(prefix);
+        }
+    }
+    set.into_iter().collect()
+}
+
+/// Shorthand: a seeded IPv4 table of `n` prefixes.
+pub fn synthesize_ipv4(n: usize, seed: u64) -> Vec<Prefix<Ip4>> {
+    synthesize(&SynthConfig::ipv4(n, seed))
+}
+
+/// Shorthand: a seeded IPv6 table of `n` prefixes.
+pub fn synthesize_ipv6(n: usize, seed: u64) -> Vec<Prefix<Ip6>> {
+    synthesize(&SynthConfig::ipv6(n, seed))
+}
+
+fn random_bits<A: Address>(rng: &mut StdRng) -> u128 {
+    let raw: u128 = ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128;
+    raw & low_mask::<A>(A::BITS)
+}
+
+fn low_mask<A: Address>(bits: u8) -> u128 {
+    if bits == 0 {
+        0
+    } else if bits as u32 >= 128 {
+        u128::MAX
+    } else {
+        (1u128 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_count() {
+        let t = synthesize_ipv4(2000, 1);
+        assert_eq!(t.len(), 2000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(synthesize_ipv4(500, 7), synthesize_ipv4(500, 7));
+        assert_ne!(synthesize_ipv4(500, 7), synthesize_ipv4(500, 8));
+    }
+
+    #[test]
+    fn sorted_and_unique() {
+        let t = synthesize_ipv4(1000, 3);
+        let mut s = t.clone();
+        s.sort();
+        s.dedup();
+        assert_eq!(t, s);
+    }
+
+    #[test]
+    fn histogram_shape_dominated_by_24s() {
+        let t = synthesize_ipv4(5000, 11);
+        let n24 = t.iter().filter(|p| p.len() == 24).count();
+        let n16 = t.iter().filter(|p| p.len() == 16).count();
+        assert!(n24 as f64 > 0.35 * t.len() as f64, "/24 share too low: {n24}");
+        assert!(n16 as f64 > 0.06 * t.len() as f64, "/16 share too low: {n16}");
+        assert!(t.iter().all(|p| p.len() >= 8 && p.len() <= 30));
+    }
+
+    #[test]
+    fn nesting_produces_refinements() {
+        let t = synthesize_ipv4(3000, 5);
+        let nested = t
+            .iter()
+            .filter(|p| t.iter().any(|q| q.is_strict_prefix_of(p)))
+            .count();
+        assert!(
+            nested as f64 > 0.15 * t.len() as f64,
+            "expected substantial nesting, got {nested}/{}",
+            t.len()
+        );
+    }
+
+    #[test]
+    fn ipv6_generation_works() {
+        let t = synthesize_ipv6(800, 2);
+        assert_eq!(t.len(), 800);
+        assert!(t.iter().all(|p| p.len() <= 64));
+        let n48 = t.iter().filter(|p| p.len() == 48).count();
+        assert!(n48 as f64 > 0.25 * t.len() as f64);
+    }
+
+    #[test]
+    fn zero_target_is_empty() {
+        assert!(synthesize_ipv4(0, 1).is_empty());
+    }
+}

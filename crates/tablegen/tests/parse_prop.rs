@@ -1,0 +1,50 @@
+//! Parser robustness and roundtrip properties for the table text format.
+
+use clue_tablegen::{format_prefixes, parse_prefixes, synthesize_ipv4, synthesize_ipv6};
+use clue_trie::{Ip4, Ip6, Prefix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn parser_never_panics(text in "\\PC{0,200}") {
+        let _ = parse_prefixes::<Ip4>(&text);
+        let _ = parse_prefixes::<Ip6>(&text);
+    }
+
+    /// format → parse is the identity on canonical prefix lists.
+    #[test]
+    fn roundtrip_identity(
+        raw in proptest::collection::btree_set((any::<u32>(), 0u8..=32), 0..60),
+    ) {
+        let mut prefixes: Vec<Prefix<Ip4>> =
+            raw.into_iter().map(|(b, l)| Prefix::new(Ip4(b), l)).collect();
+        prefixes.sort();
+        prefixes.dedup();
+        let text = format_prefixes(&prefixes);
+        let back = parse_prefixes::<Ip4>(&text).expect("own output parses");
+        prop_assert_eq!(back, prefixes);
+    }
+
+    /// Comments, blank lines and next-hop columns are tolerated around
+    /// any valid prefix.
+    #[test]
+    fn decorations_are_ignored(bits in any::<u32>(), len in 0u8..=32) {
+        let p = Prefix::new(Ip4(bits), len);
+        let text = format!(
+            "# header comment\n\n  {p}   nexthop-7 # trailing\n\n# done\n"
+        );
+        let parsed = parse_prefixes::<Ip4>(&text).expect("parses");
+        prop_assert_eq!(parsed, vec![p]);
+    }
+}
+
+#[test]
+fn synthetic_tables_roundtrip_both_families() {
+    let v4 = synthesize_ipv4(500, 7);
+    assert_eq!(parse_prefixes::<Ip4>(&format_prefixes(&v4)).unwrap(), v4);
+    let v6 = synthesize_ipv6(300, 8);
+    assert_eq!(parse_prefixes::<Ip6>(&format_prefixes(&v6)).unwrap(), v6);
+}

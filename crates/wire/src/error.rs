@@ -1,0 +1,49 @@
+//! Parse errors.
+
+use core::fmt;
+
+/// Why a buffer failed to parse as a header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Fewer bytes than the fixed header needs.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// The version nibble is not 4 (or 6 for the IPv6 parser).
+    BadVersion(u8),
+    /// The IHL field is smaller than 5 or runs past the buffer.
+    BadHeaderLength(u8),
+    /// The header checksum does not verify.
+    BadChecksum {
+        /// Checksum found in the header.
+        found: u16,
+        /// Checksum computed over the header.
+        computed: u16,
+    },
+    /// An option's length byte is zero or runs past the header.
+    BadOption,
+    /// A clue option carries an out-of-range value.
+    BadClue,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated: need {needed} bytes, got {got}")
+            }
+            WireError::BadVersion(v) => write!(f, "bad IP version {v}"),
+            WireError::BadHeaderLength(ihl) => write!(f, "bad IHL {ihl}"),
+            WireError::BadChecksum { found, computed } => {
+                write!(f, "checksum mismatch: header {found:#06x}, computed {computed:#06x}")
+            }
+            WireError::BadOption => write!(f, "malformed option"),
+            WireError::BadClue => write!(f, "clue option value out of range"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

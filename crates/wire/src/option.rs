@@ -1,0 +1,142 @@
+//! The clue as an IP option — Section 5.3: “it is quite possible that
+//! the 5 bits find their place in the current IP header, e.g., in the
+//! options field”.
+//!
+//! Layout (an RFC 4727-style experimental option, kind 94):
+//!
+//! ```text
+//! +--------+--------+--------+ - - - - - - - - -+
+//! |  kind  | length |  clue  |  index (16 bits) |
+//! |  0x5E  | 3 or 5 | 5 bits |  optional        |
+//! +--------+--------+--------+ - - - - - - - - -+
+//! ```
+//!
+//! * `clue` — the encoded prefix length (`len − 1`, 5 bits for IPv4,
+//!   7 for IPv6); the upper bit 7 flags the presence of the index;
+//! * `index` — the paper's 16-bit indexing-technique slot, big-endian.
+
+use clue_core::{ClueHeader, EncodedClue};
+use clue_trie::Address;
+
+use crate::error::WireError;
+
+/// The experimental option kind used for clues (RFC 4727 value).
+pub const CLUE_OPTION_KIND: u8 = 0x5E;
+
+/// Flag bit marking that a 16-bit index follows the clue byte.
+const INDEX_FLAG: u8 = 0x80;
+
+/// Serializes a clue header into IPv4 option bytes, where the length
+/// byte covers the whole option (kind + length + data). Empty when no
+/// clue is attached — an absent clue is simply no option.
+pub fn encode_clue_option(header: &ClueHeader) -> Vec<u8> {
+    let Some(body) = option_body(header) else {
+        return Vec::new();
+    };
+    let mut out = vec![CLUE_OPTION_KIND, (body.len() + 2) as u8];
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Serializes a clue header into IPv6 option bytes, where the length
+/// byte covers the data only (the IPv6 options convention).
+pub fn encode_clue_option_v6(header: &ClueHeader) -> Vec<u8> {
+    let Some(body) = option_body(header) else {
+        return Vec::new();
+    };
+    let mut out = vec![CLUE_OPTION_KIND, body.len() as u8];
+    out.extend_from_slice(&body);
+    out
+}
+
+/// The option data: one clue byte, optionally followed by the 16-bit
+/// index.
+fn option_body(header: &ClueHeader) -> Option<Vec<u8>> {
+    let clue = header.clue?;
+    Some(match header.index {
+        None => vec![clue.raw()],
+        Some(ix) => {
+            let [hi, lo] = ix.to_be_bytes();
+            vec![clue.raw() | INDEX_FLAG, hi, lo]
+        }
+    })
+}
+
+/// Parses a clue option body (the bytes after kind+length have been
+/// located by the header parser). `body` excludes kind and length.
+pub fn decode_clue_option<A: Address>(body: &[u8]) -> Result<ClueHeader, WireError> {
+    let &first = body.first().ok_or(WireError::BadOption)?;
+    let has_index = first & INDEX_FLAG != 0;
+    let raw = first & !INDEX_FLAG;
+    let clue = EncodedClue::from_raw::<A>(raw).ok_or(WireError::BadClue)?;
+    let index = if has_index {
+        let hi = *body.get(1).ok_or(WireError::BadOption)?;
+        let lo = *body.get(2).ok_or(WireError::BadOption)?;
+        Some(u16::from_be_bytes([hi, lo]))
+    } else {
+        if body.len() != 1 {
+            return Err(WireError::BadOption);
+        }
+        None
+    };
+    Ok(ClueHeader { clue: Some(clue), index })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clue_trie::{Ip4, Ip6, Prefix};
+
+    fn p4(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_without_index() {
+        let h = ClueHeader::with_clue(&p4("10.1.0.0/16"));
+        let bytes = encode_clue_option(&h);
+        assert_eq!(bytes, vec![CLUE_OPTION_KIND, 3, 15]);
+        let back = decode_clue_option::<Ip4>(&bytes[2..]).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn roundtrip_with_index() {
+        let h = ClueHeader::with_indexed_clue(&p4("10.1.2.0/24"), 0xBEEF);
+        let bytes = encode_clue_option(&h);
+        assert_eq!(bytes.len(), 5);
+        assert_eq!(bytes[1], 5);
+        let back = decode_clue_option::<Ip4>(&bytes[2..]).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn no_clue_is_no_option() {
+        assert!(encode_clue_option(&ClueHeader::none()).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_clue_rejected_for_ipv4() {
+        // raw 32 means length 33: invalid for IPv4…
+        assert_eq!(decode_clue_option::<Ip4>(&[32]), Err(WireError::BadClue));
+        // …but fine for IPv6.
+        assert!(decode_clue_option::<Ip6>(&[32]).is_ok());
+    }
+
+    #[test]
+    fn truncated_and_oversized_bodies_rejected() {
+        assert_eq!(decode_clue_option::<Ip4>(&[]), Err(WireError::BadOption));
+        assert_eq!(decode_clue_option::<Ip4>(&[INDEX_FLAG | 3, 0]), Err(WireError::BadOption));
+        assert_eq!(decode_clue_option::<Ip4>(&[3, 0]), Err(WireError::BadOption));
+    }
+
+    #[test]
+    fn every_ipv4_length_roundtrips() {
+        for len in 1..=32u8 {
+            let h = ClueHeader::with_clue(&Prefix::new(Ip4(0), len));
+            let bytes = encode_clue_option(&h);
+            let back = decode_clue_option::<Ip4>(&bytes[2..]).unwrap();
+            assert_eq!(back.decode(Ip4(0)), Some(Prefix::new(Ip4(0), len)));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Parser robustness: arbitrary bytes never panic, and encode→parse is
+//! the identity for every valid header.
+
+use clue_core::ClueHeader;
+use clue_trie::{Ip4, Ip6, Prefix};
+use clue_wire::{Ipv4Packet, Ipv6Packet};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ipv4_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let _ = Ipv4Packet::parse(&bytes);
+    }
+
+    #[test]
+    fn ipv6_parser_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = Ipv6Packet::parse(&bytes);
+    }
+
+    #[test]
+    fn ipv4_roundtrip_is_identity(
+        src in any::<u32>(),
+        dst in any::<u32>(),
+        ttl in any::<u8>(),
+        proto in any::<u8>(),
+        ident in any::<u16>(),
+        clue_len in 0u8..=32,
+        index in proptest::option::of(any::<u16>()),
+    ) {
+        let mut pkt = Ipv4Packet::new(Ip4(src), Ip4(dst), proto);
+        pkt.ttl = ttl;
+        pkt.identification = ident;
+        if clue_len > 0 {
+            let bmp = Prefix::new(Ip4(dst), clue_len);
+            pkt.clue = match index {
+                Some(i) => ClueHeader::with_indexed_clue(&bmp, i),
+                None => ClueHeader::with_clue(&bmp),
+            };
+        }
+        let bytes = pkt.to_bytes();
+        let back = Ipv4Packet::parse(&bytes).expect("own output parses");
+        prop_assert_eq!(back.src, pkt.src);
+        prop_assert_eq!(back.dst, pkt.dst);
+        prop_assert_eq!(back.ttl, ttl);
+        prop_assert_eq!(back.protocol, proto);
+        prop_assert_eq!(back.identification, ident);
+        prop_assert_eq!(back.clue, pkt.clue);
+    }
+
+    #[test]
+    fn ipv6_roundtrip_is_identity(
+        src in any::<u128>(),
+        dst in any::<u128>(),
+        hops in any::<u8>(),
+        nh in any::<u8>(),
+        tc in any::<u8>(),
+        flow in 0u32..(1 << 20),
+        clue_len in 0u8..=128,
+    ) {
+        // The hop-by-hop protocol number itself would be ambiguous as a
+        // transport next-header; skip that corner.
+        prop_assume!(nh != clue_wire::HOP_BY_HOP);
+        let mut pkt = Ipv6Packet::new(Ip6(src), Ip6(dst), nh);
+        pkt.hop_limit = hops;
+        pkt.traffic_class = tc;
+        pkt.flow_label = flow;
+        if clue_len > 0 {
+            pkt.clue = ClueHeader::with_clue(&Prefix::new(Ip6(dst), clue_len));
+        }
+        let bytes = pkt.to_bytes();
+        let back = Ipv6Packet::parse(&bytes).expect("own output parses");
+        prop_assert_eq!(back.src, pkt.src);
+        prop_assert_eq!(back.dst, pkt.dst);
+        prop_assert_eq!(back.hop_limit, hops);
+        prop_assert_eq!(back.next_header, nh);
+        prop_assert_eq!(back.traffic_class, tc);
+        prop_assert_eq!(back.flow_label, flow);
+        prop_assert_eq!(back.clue, pkt.clue);
+    }
+
+    #[test]
+    fn ipv4_bitflips_never_verify_or_panic(
+        flip_byte in 0usize..24,
+        flip_bit in 0u8..8,
+        clue_len in 1u8..=32,
+    ) {
+        let dst = Ip4(0x0A01_0203);
+        let pkt = Ipv4Packet::new(Ip4(0xC000_0201), dst, 6)
+            .with_clue(ClueHeader::with_clue(&Prefix::new(dst, clue_len)));
+        let mut bytes = pkt.to_bytes();
+        if flip_byte < bytes.len() {
+            bytes[flip_byte] ^= 1 << flip_bit;
+            // Either the checksum catches it, or parsing still succeeds
+            // (the flip hit a checksum-neutral combination is impossible
+            // for a single bit) — the key property: no panic.
+            let _ = Ipv4Packet::parse(&bytes);
+        }
+    }
+}

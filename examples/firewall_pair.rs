@@ -1,0 +1,84 @@
+//! The Section 7 extension in action: two firewalls sharing most of a
+//! policy, with the clue naming the filter the first one matched.
+//!
+//! ```sh
+//! cargo run --release --example firewall_pair
+//! ```
+//!
+//! An edge firewall (FW1) and a core firewall (FW2) run the same
+//! corporate rule set; FW2 additionally carries a few core-only rules.
+//! FW1 classifies each flow and stamps the matched filter as a clue;
+//! FW2 then examines only the candidates its precomputation left alive:
+//! filters intersecting the clue, minus every shared higher-priority
+//! rule (the Claim 1 analogue — had the flow matched one of those, FW1
+//! would have said so).
+
+use clue_routing::classify::{Action, ClueClassifier, Filter, FlowKey, RuleSet};
+use clue_routing::prelude::*;
+
+fn rule(dst: &str, ports: core::ops::RangeInclusive<u16>, prio: u32, action: Action) -> Filter<Ip4> {
+    Filter {
+        dst: dst.parse().unwrap(),
+        dst_ports: ports,
+        proto: Some(6),
+        priority: prio,
+        ..Filter::default_rule(action)
+    }
+}
+
+fn main() {
+    // The shared corporate policy.
+    let shared = vec![
+        rule("10.10.0.0/16", 443..=443, 50, Action::Permit), // intranet TLS
+        rule("10.10.0.0/16", 80..=80, 40, Action::Permit),   // intranet HTTP
+        rule("10.10.9.0/24", 0..=u16::MAX, 60, Action::Deny), // quarantined subnet
+        rule("10.20.0.0/16", 22..=22, 30, Action::Permit),   // admin SSH
+        Filter::default_rule(Action::Deny),
+    ];
+    // FW2 adds core-only QoS marking.
+    let mut core_rules = shared.clone();
+    core_rules.push(rule("10.10.3.0/24", 443..=443, 70, Action::Mark(5)));
+
+    let fw1 = RuleSet::new(shared.clone());
+    let fw2 = ClueClassifier::new(RuleSet::new(core_rules), RuleSet::new(shared));
+
+    println!("FW1: {} rules; FW2: {} rules; mean clue candidate list: {:.1}\n", fw1.len(), fw2.local().len(), fw2.mean_candidates());
+
+    let flows = [
+        ("laptop -> intranet TLS", "10.10.1.5", 443),
+        ("laptop -> quarantined", "10.10.9.7", 443),
+        ("admin -> SSH", "10.20.0.9", 22),
+        ("laptop -> marked subnet", "10.10.3.3", 443),
+        ("stranger -> nowhere", "172.16.0.1", 9999),
+    ];
+
+    for (name, dst, port) in flows {
+        let key = FlowKey::<Ip4> {
+            src: "192.168.1.50".parse().unwrap(),
+            dst: dst.parse().unwrap(),
+            src_port: 55000,
+            dst_port: port,
+            proto: 6,
+        };
+        // FW1 classifies and stamps the clue.
+        let mut c1 = Cost::new();
+        let matched = fw1.classify(&key, &mut c1).expect("default rule catches all");
+        let clue = fw1.position_of(matched);
+
+        // FW2: clue-restricted vs full scan.
+        let mut with = Cost::new();
+        let verdict = fw2.classify(&key, clue, &mut with).expect("default rule");
+        let mut without = Cost::new();
+        let same = fw2.local().classify(&key, &mut without);
+        assert_eq!(Some(verdict), same);
+
+        println!("{name:<26} FW1 matched p{:<3} -> FW2 verdict {:?}", matched.priority, verdict.action);
+        println!(
+            "{:<26} FW2 cost: {} with clue vs {} full scan",
+            "", with.total(), without.total()
+        );
+    }
+
+    println!("\nthe quarantine, marking and default verdicts all survive the restriction —");
+    println!("the clue changes the scan length, never the decision.");
+}

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Regenerates every table/figure reproduction and stores the outputs in
+# artifacts/ (see EXPERIMENTS.md for the paper-vs-measured discussion).
+#
+# Usage:
+#   scripts/run_all_experiments.sh            # full scale (paper sizes)
+#   CLUE_SCALE=small scripts/run_all_experiments.sh   # 1/10 size, <1 min
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mkdir -p artifacts
+BINS=(
+  tables1to3
+  tables4to9
+  fig1
+  fig8_mpls
+  table_size
+  ipv6_scaling
+  heterogeneous
+  load_balance
+  similarity_sweep
+  cache_locality
+  classification
+  convergence
+  ablations
+  ortc_ablation
+  internet_like
+)
+
+cargo build --release -p clue-experiments
+
+for bin in "${BINS[@]}"; do
+  echo "== $bin =="
+  cargo run --release --quiet -p clue-experiments --bin "$bin" \
+    > "artifacts/$bin.txt"
+done
+
+echo
+echo "wrote ${#BINS[@]} experiment outputs to artifacts/"

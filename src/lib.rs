@@ -1,0 +1,53 @@
+//! # clue-routing
+//!
+//! A production-quality Rust reproduction of **“Routing with a Clue”**
+//! (Yehuda Afek, Anat Bremler-Barr, Sariel Har-Peled — ACM SIGCOMM 1999):
+//! *distributed IP lookup*, where each router piggybacks a 5-bit clue —
+//! the best matching prefix it found — so the next router can start its
+//! longest-prefix match where the previous one stopped.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trie`] — addresses, prefixes, binary/Patricia tries, access
+//!   accounting;
+//! * [`lookup`] — the five classic LPM baselines (Regular, Patricia,
+//!   Binary, 6-way, Log W);
+//! * [`core`] — the paper's contribution: clue encoding, clue tables,
+//!   the Simple and Advance methods, multi-neighbor sharing, MPLS
+//!   integration;
+//! * [`tablegen`] — synthetic 1999-style tables, neighbor derivation,
+//!   traffic generation;
+//! * [`netsim`] — the packet-level network simulator (Figure 1,
+//!   heterogeneous deployment, load shifting, label-switched paths);
+//! * [`classify`] — the Section 7 extension: clue-assisted packet
+//!   classification (the clue names the upstream's matching filter);
+//! * [`wire`] — Section 5.3's byte-level deployment path: IPv4/IPv6
+//!   headers carrying the clue in an option.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, and the
+//! `clue-experiments` binaries for every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use clue_classify as classify;
+pub use clue_wire as wire;
+pub use clue_core as core;
+pub use clue_lookup as lookup;
+pub use clue_netsim as netsim;
+pub use clue_tablegen as tablegen;
+pub use clue_trie as trie;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use clue_core::{
+        classify, ClueEngine, ClueHeader, ClueTable, Classification, EncodedClue, EngineConfig,
+        Method, TableKind,
+    };
+    pub use clue_lookup::{build_scheme, reference_bmp, Family, LookupScheme};
+    pub use clue_netsim::{run_workload, Network, NetworkConfig, Topology};
+    pub use clue_tablegen::{
+        derive_neighbor, generate, synthesize_ipv4, NeighborConfig, PairStats, TrafficConfig,
+    };
+    pub use clue_trie::{Address, BinaryTrie, Cost, CostStats, Ip4, Ip6, PatriciaTrie, Prefix};
+}
