@@ -11,7 +11,7 @@ use std::hint::black_box;
 fn rules(rng: &mut StdRng, n: u32) -> Vec<Filter<Ip4>> {
     let mut out: Vec<Filter<Ip4>> = (1..=n)
         .map(|i| {
-            let len = *[8u8, 16, 16, 24].get(rng.random_range(0..4)).unwrap();
+            let len = *[8u8, 16, 16, 24].get(rng.random_range(0..4usize)).unwrap();
             let lo = rng.random_range(0u16..2000);
             Filter {
                 dst: Prefix::new(

@@ -1,0 +1,63 @@
+//! Telemetry overhead: the same Advance lookup loop with the registry
+//! disabled (plain engine), attached (counters + histograms + mirrored
+//! stats), and attached with a ring-buffer subscriber.
+//!
+//! The acceptance bar is <5% regression for the disabled case over the
+//! seed's plain loop — disabled telemetry is one predictable branch per
+//! lookup. Run with `BENCH_TELEMETRY_OUT=BENCH_telemetry.json` to dump
+//! the measurements as JSON.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use clue_bench::isp_pair;
+use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_lookup::Family;
+use clue_telemetry::{Registry, RingBufferSubscriber};
+use clue_trie::Cost;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_telemetry(c: &mut Criterion) {
+    let pair = isp_pair(10_000, 2_000, 42);
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.throughput(Throughput::Elements(pair.dests.len() as u64));
+
+    type Setup<'a> = Box<dyn Fn(&mut ClueEngine<clue_trie::Ip4>) + 'a>;
+    let registry = Registry::new();
+    let configs: [(&str, Setup); 3] = [
+        ("disabled", Box::new(|_| {})),
+        ("registry", Box::new(|e| e.instrument(&registry))),
+        (
+            "registry+subscriber",
+            Box::new(|e| {
+                e.instrument(&registry);
+                let t = e.telemetry().expect("just instrumented").clone();
+                e.attach_telemetry(t.with_subscriber(Arc::new(RingBufferSubscriber::new(1024))));
+            }),
+        ),
+    ];
+
+    for (label, setup) in &configs {
+        let mut engine = ClueEngine::precomputed(
+            &pair.sender,
+            &pair.receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        setup(&mut engine);
+        group.bench_function(BenchmarkId::new("advance_lookup", *label), |b| {
+            b.iter(|| {
+                let mut total = 0u64;
+                for (&dest, &clue) in pair.dests.iter().zip(&pair.clues) {
+                    let mut cost = Cost::new();
+                    let bmp = engine.lookup(black_box(dest), clue, None, &mut cost);
+                    total += bmp.map_or(0, |p| p.len() as u64);
+                }
+                black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

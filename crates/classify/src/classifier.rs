@@ -18,7 +18,7 @@ pub struct RuleSet<A: Address> {
 impl<A: Address> RuleSet<A> {
     /// Builds a rule set (sorting by priority, descending).
     pub fn new(mut rules: Vec<Filter<A>>) -> Self {
-        rules.sort_by(|a, b| b.priority.cmp(&a.priority));
+        rules.sort_by_key(|r| std::cmp::Reverse(r.priority));
         RuleSet { rules }
     }
 
@@ -283,11 +283,11 @@ mod tests {
         // Random shared base + per-router extras.
         let mut base: Vec<Filter<Ip4>> = (0..60)
             .map(|i| {
-                let len = *[8u8, 16, 24].get(rng.random_range(0..3)).unwrap();
+                let len = *[8u8, 16, 24].get(rng.random_range(0..3usize)).unwrap();
                 let lo = rng.random_range(0u16..1000);
                 filter(
                     &format!("{}.{}.0.0/{len}", rng.random_range(1..20), rng.random_range(0..4)),
-                    lo..=lo + rng.random_range(0..2000),
+                    lo..=lo + rng.random_range(0..2000u16),
                     i + 1,
                 )
             })

@@ -155,12 +155,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let mut rules: Vec<Filter<Ip4>> = (0..80)
             .map(|i| {
-                let len = *[8u8, 16, 24].get(rng.random_range(0..3)).unwrap();
+                let len = *[8u8, 16, 24].get(rng.random_range(0..3usize)).unwrap();
                 let dst = Prefix::new(Ip4(rng.random_range(1u32..8) << 24 | rng.random::<u32>() & 0xFFFF00), len);
                 let lo = rng.random_range(0u16..500);
                 Filter {
                     dst,
-                    dst_ports: lo..=lo + rng.random_range(0..500),
+                    dst_ports: lo..=lo + rng.random_range(0..500u16),
                     priority: i + 1,
                     ..Filter::default_rule(Action::Permit)
                 }

@@ -6,9 +6,11 @@ use std::fs;
 use clue_core::{ClueEngine, EngineConfig, Method};
 use clue_lookup::{reference_bmp, Family};
 use clue_tablegen::{
-    format_prefixes, generate, length_histogram, minimize, parse_prefixes, parse_table,
-    synthesize_ipv4, PairStats, TrafficConfig,
+    derive_neighbor, export_length_histogram, format_prefixes, generate, length_histogram,
+    minimize, parse_prefixes, parse_table, synthesize_ipv4, NeighborConfig, PairStats,
+    TrafficConfig,
 };
+use clue_telemetry::Registry;
 use clue_trie::{BinaryTrie, Cost, CostStats, Ip4, Prefix};
 
 /// Top-level usage text.
@@ -20,7 +22,11 @@ usage:
   clue lookup <table.txt> <addr> [clue-prefix]   one lookup, per-family costs
   clue synth  <count> [seed]                     emit a synthetic table
   clue minimize <table.txt>                      ORTC-minimize (next hops
-                                                 read from the 2nd column)";
+                                                 read from the 2nd column)
+  clue metrics [packets] [seed] [--prom|--json]  run an instrumented workload
+                                                 and dump the telemetry
+                                                 registry (default: both
+                                                 formats)";
 
 /// Entry point: dispatches on the first argument.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -41,6 +47,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             args.get(2).map(String::as_str),
         ),
         Some("minimize") => minimize_cmd(args.get(1).ok_or("minimize needs a table file")?),
+        Some("metrics") => metrics(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".to_owned()),
     }
@@ -207,6 +214,74 @@ fn minimize_cmd(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs a synthetic sender→receiver workload with telemetry enabled and
+/// dumps the whole registry: Prometheus text exposition, JSON, or both.
+fn metrics(args: &[String]) -> Result<(), String> {
+    let mut packets = 10_000usize;
+    let mut seed = 1u64;
+    let (mut prom, mut json) = (true, true);
+    let mut positional = 0;
+    for a in args {
+        match a.as_str() {
+            "--prom" => json = false,
+            "--json" => prom = false,
+            other => {
+                match positional {
+                    0 => packets = other.parse().map_err(|_| "bad packet count")?,
+                    1 => seed = other.parse().map_err(|_| "bad seed")?,
+                    _ => return Err(format!("unexpected argument {other:?}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if !prom && !json {
+        return Err("--prom and --json are mutually exclusive".to_owned());
+    }
+
+    let registry = Registry::new();
+
+    // Table build: a synthetic sender and a same-ISP receiver, with the
+    // pair statistics mirrored into the registry.
+    let sender = synthesize_ipv4(4000, seed);
+    let receiver = derive_neighbor(&sender, &NeighborConfig::same_isp(seed.wrapping_add(1)));
+    PairStats::compute(&sender, &receiver).export_into(&registry);
+    export_length_histogram(&registry, "clue_tablegen_sender_length", &sender);
+    export_length_histogram(&registry, "clue_tablegen_receiver_length", &receiver);
+
+    // Instrumented engine with the presence cache in front of the clue
+    // table, driven by paper-style traffic carrying real clues.
+    let mut engine = ClueEngine::precomputed(
+        &sender,
+        &receiver,
+        EngineConfig::new(Family::Regular, Method::Advance),
+    );
+    engine.instrument(&registry);
+    engine.enable_cache(256);
+    let dests = generate(
+        &sender,
+        &receiver,
+        &TrafficConfig { count: packets, ..TrafficConfig::paper(seed) },
+    );
+    let t1: BinaryTrie<Ip4, ()> = sender.iter().map(|p| (*p, ())).collect();
+    for &dest in &dests {
+        let clue = t1.lookup(dest).map(|r| t1.prefix(r)).filter(|c| !c.is_empty());
+        let mut cost = Cost::new();
+        engine.lookup(dest, clue, None, &mut cost);
+    }
+
+    if prom {
+        print!("{}", registry.to_prometheus());
+    }
+    if prom && json {
+        println!();
+    }
+    if json {
+        println!("{}", registry.to_json());
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +348,15 @@ mod tests {
 ").unwrap();
         run(&s(&["minimize", path.to_str().unwrap()])).unwrap();
         assert!(run(&s(&["minimize"])).is_err());
+    }
+
+    #[test]
+    fn metrics_runs_and_validates_args() {
+        run(&s(&["metrics", "200", "3"])).unwrap();
+        run(&s(&["metrics", "200", "3", "--json"])).unwrap();
+        assert!(run(&s(&["metrics", "not-a-number"])).is_err());
+        assert!(run(&s(&["metrics", "--prom", "--json"])).is_err());
+        assert!(run(&s(&["metrics", "1", "2", "3"])).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! clue pair   <sender.txt> <receiver.txt>       pair stats + 15-method matrix
 //! clue lookup <table.txt> <addr> [clue-prefix]  one lookup, per-family costs
 //! clue synth  <count> [seed]                    emit a synthetic table
+//! clue metrics [packets] [seed] [--prom|--json] instrumented workload dump
 //! ```
 //!
 //! Tables are plain text, one `A.B.C.D/len` per line (`#` comments,

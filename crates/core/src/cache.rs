@@ -13,17 +13,22 @@
 
 use std::collections::HashMap;
 
+use clue_telemetry::CacheTelemetry;
 use clue_trie::Prefix;
 
 use crate::table::ClueEntry;
 
-/// Hit/miss accounting for a [`ClueCache`].
+/// Hit/miss/churn accounting for a [`ClueCache`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups served from the cache.
     pub hits: u64,
     /// Lookups that fell through to the backing table.
     pub misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// Entries dropped by explicit invalidation.
+    pub invalidations: u64,
 }
 
 impl CacheStats {
@@ -62,6 +67,9 @@ pub struct LruCache<K: Copy + Eq + core::hash::Hash, V> {
     head: usize,
     tail: usize,
     stats: CacheStats,
+    /// Mirrors every stats increment when attached; `None` costs one
+    /// predictable branch per operation.
+    telemetry: Option<CacheTelemetry>,
 }
 
 /// The Section 3.5 clue cache: LRU over full clue-table entries.
@@ -87,7 +95,20 @@ impl<K: Copy + Eq + core::hash::Hash, V> LruCache<K, V> {
             head: NIL,
             tail: NIL,
             stats: CacheStats::default(),
+            telemetry: None,
         }
+    }
+
+    /// Mirrors hit/miss/eviction/invalidation counts into `telemetry`
+    /// (shared metric cells, typically registered in a
+    /// [`clue_telemetry::Registry`]) from now on.
+    pub fn attach_telemetry(&mut self, telemetry: CacheTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn telemetry(&self) -> Option<&CacheTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Number of cached entries.
@@ -146,6 +167,9 @@ impl<K: Copy + Eq + core::hash::Hash, V> LruCache<K, V> {
         match self.map.get(key).copied() {
             Some(i) => {
                 self.stats.hits += 1;
+                if let Some(t) = &self.telemetry {
+                    t.hits.inc();
+                }
                 if self.head != i {
                     self.unlink(i);
                     self.push_front(i);
@@ -154,6 +178,9 @@ impl<K: Copy + Eq + core::hash::Hash, V> LruCache<K, V> {
             }
             None => {
                 self.stats.misses += 1;
+                if let Some(t) = &self.telemetry {
+                    t.misses.inc();
+                }
                 None
             }
         }
@@ -178,6 +205,10 @@ impl<K: Copy + Eq + core::hash::Hash, V> LruCache<K, V> {
             self.unlink(victim);
             let old = self.slots[victim].key;
             self.map.remove(&old);
+            self.stats.evictions += 1;
+            if let Some(t) = &self.telemetry {
+                t.evictions.inc();
+            }
             evicted = Some(old);
             victim
         } else if let Some(free) = self.free.pop() {
@@ -201,6 +232,10 @@ impl<K: Copy + Eq + core::hash::Hash, V> LruCache<K, V> {
             Some(i) => {
                 self.unlink(i);
                 self.free.push(i);
+                self.stats.invalidations += 1;
+                if let Some(t) = &self.telemetry {
+                    t.invalidations.inc();
+                }
                 true
             }
             None => false,
@@ -247,8 +282,42 @@ mod tests {
         assert!(c.get(&p("10.0.0.0/8")).is_none());
         c.insert(p("10.0.0.0/8"), e("10.0.0.0/8"));
         assert!(c.get(&p("10.0.0.0/8")).is_some());
-        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.stats(), CacheStats { hits: 1, misses: 1, ..CacheStats::default() });
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_and_invalidation_are_counted() {
+        let mut c = ClueCache::new(2);
+        c.insert(p("1.0.0.0/8"), e("1.0.0.0/8"));
+        c.insert(p("2.0.0.0/8"), e("2.0.0.0/8"));
+        c.insert(p("3.0.0.0/8"), e("3.0.0.0/8")); // evicts 1/8
+        assert!(c.invalidate(&p("2.0.0.0/8")));
+        assert!(!c.invalidate(&p("2.0.0.0/8"))); // absent: not counted
+        let s = c.stats();
+        assert_eq!((s.evictions, s.invalidations), (1, 1));
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn telemetry_mirrors_stats() {
+        use clue_telemetry::Registry;
+        let reg = Registry::new();
+        let mut c = ClueCache::new(2);
+        c.attach_telemetry(CacheTelemetry::registered(&reg, "clue_cache"));
+        c.insert(p("1.0.0.0/8"), e("1.0.0.0/8"));
+        c.insert(p("2.0.0.0/8"), e("2.0.0.0/8"));
+        c.insert(p("3.0.0.0/8"), e("3.0.0.0/8"));
+        let _ = c.get(&p("3.0.0.0/8"));
+        let _ = c.get(&p("1.0.0.0/8"));
+        c.invalidate(&p("2.0.0.0/8"));
+        let (s, t) = (c.stats(), c.telemetry().unwrap().clone());
+        assert_eq!(s.hits, t.hits.get());
+        assert_eq!(s.misses, t.misses.get());
+        assert_eq!(s.evictions, t.evictions.get());
+        assert_eq!(s.invalidations, t.invalidations.get());
+        assert!(reg.to_prometheus().contains("clue_cache_evictions_total 1"));
     }
 
     #[test]

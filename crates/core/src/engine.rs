@@ -20,6 +20,7 @@
 use std::collections::HashSet;
 
 use clue_lookup::{Family, LengthBinarySearch, RangeIndex, StrideTrie};
+use clue_telemetry::{CacheTelemetry, LookupClass, LookupEvent, LookupTelemetry, Registry};
 use clue_trie::{Address, BinaryTrie, Cost, Location, NodeId, PatriciaTrie, Prefix};
 
 use crate::cache::{CacheStats, PresenceCache};
@@ -156,6 +157,20 @@ impl EngineStats {
             self.finals as f64 / clued as f64
         }
     }
+
+    /// The same numbers read back out of a telemetry bundle — the
+    /// registry view of an instrumented engine. For an engine whose
+    /// telemetry was attached at construction and never reset
+    /// independently, `engine.stats() == EngineStats::from_telemetry(t)`.
+    pub fn from_telemetry(t: &LookupTelemetry) -> Self {
+        EngineStats {
+            clueless: t.class_count(LookupClass::Clueless),
+            finals: t.class_count(LookupClass::Final),
+            continued: t.class_count(LookupClass::Continued),
+            misses: t.class_count(LookupClass::Miss),
+            malformed: t.class_count(LookupClass::Malformed),
+        }
+    }
 }
 
 /// A distributed-IP-lookup engine for one incoming neighbor.
@@ -178,6 +193,12 @@ pub struct ClueEngine<A: Address> {
     cache: Option<PresenceCache<A>>,
     /// Resolution-path counters.
     stats: EngineStats,
+    /// Full telemetry (histograms, traces), mirrored alongside `stats`
+    /// when attached; `None` costs one predictable branch per lookup.
+    telemetry: Option<LookupTelemetry>,
+    /// Cache telemetry to hand to the cache — kept here so a cache
+    /// enabled *after* instrumentation is still wired up.
+    cache_telemetry: Option<CacheTelemetry>,
 }
 
 impl<A: Address> ClueEngine<A> {
@@ -250,17 +271,59 @@ impl<A: Address> ClueEngine<A> {
             bits_pat: None,
             cache: None,
             stats: EngineStats::default(),
+            telemetry: None,
+            cache_telemetry: None,
         }
     }
 
-    /// Lookup telemetry so far.
+    /// Lookup counters so far.
     pub fn stats(&self) -> EngineStats {
         self.stats
     }
 
-    /// Resets the telemetry (e.g. after a warm-up phase).
+    /// Resets the lookup counters and any attached lookup telemetry so
+    /// the two views stay consistent (e.g. after a warm-up phase). Cache
+    /// statistics are left alone; see [`Self::reset_all_stats`].
     pub fn reset_stats(&mut self) {
         self.stats = EngineStats::default();
+        if let Some(t) = &self.telemetry {
+            t.reset();
+        }
+    }
+
+    /// As [`Self::reset_stats`], additionally resetting the cache's
+    /// hit/miss/churn statistics.
+    pub fn reset_all_stats(&mut self) {
+        self.reset_stats();
+        if let Some(cache) = &mut self.cache {
+            cache.reset_stats();
+        }
+    }
+
+    /// Registers this engine's metrics in `registry` under the
+    /// workspace naming convention and starts recording: per-class
+    /// lookup counters under `clue_core_*`, memory-reference /
+    /// search-depth / clue-length histograms, and — for a cache enabled
+    /// before or after this call — `clue_cache_*` counters.
+    pub fn instrument(&mut self, registry: &Registry) {
+        self.attach_telemetry(LookupTelemetry::registered(registry, "clue_core"));
+        let cache_t = CacheTelemetry::registered(registry, "clue_cache");
+        if let Some(cache) = &mut self.cache {
+            cache.attach_telemetry(cache_t.clone());
+        }
+        self.cache_telemetry = Some(cache_t);
+    }
+
+    /// Attaches a custom lookup-telemetry bundle (detached, or
+    /// registered under a non-default prefix); recording starts
+    /// immediately and mirrors every [`Self::stats`] increment.
+    pub fn attach_telemetry(&mut self, telemetry: LookupTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// The attached lookup telemetry, if any.
+    pub fn telemetry(&self) -> Option<&LookupTelemetry> {
+        self.telemetry.as_ref()
     }
 
     /// Puts an LRU cache of `capacity` clue entries in front of the clue
@@ -268,7 +331,11 @@ impl<A: Address> ClueEngine<A> {
     /// [`Cost::cache_read`] instead of a slow-memory probe; misses pay
     /// both and promote the entry.
     pub fn enable_cache(&mut self, capacity: usize) {
-        self.cache = Some(PresenceCache::new(capacity));
+        let mut cache = PresenceCache::new(capacity);
+        if let Some(t) = &self.cache_telemetry {
+            cache.attach_telemetry(t.clone());
+        }
+        self.cache = Some(cache);
     }
 
     /// Cache hit/miss statistics, if a cache is enabled.
@@ -322,61 +389,81 @@ impl<A: Address> ClueEngine<A> {
         index: Option<u16>,
         cost: &mut Cost,
     ) -> Option<Prefix<A>> {
-        let s = match (self.config.method, clue) {
-            (Method::Common, _) | (_, None) => {
-                self.stats.clueless += 1;
-                return self.common_lookup(dest, cost);
+        let refs_start = cost.total();
+        let mut clue_len = None;
+        let mut cache_hit = None;
+        let mut search_depth = 0;
+        let (result, class) = 'resolved: {
+            let s = match (self.config.method, clue) {
+                (Method::Common, _) | (_, None) => {
+                    break 'resolved (self.common_lookup(dest, cost), LookupClass::Clueless);
+                }
+                (_, Some(s)) => s,
+            };
+            clue_len = Some(s.len());
+            if !s.contains(dest) {
+                // A clue that is not a prefix of the destination is
+                // malformed (corrupted header or a confused sender). The
+                // paper's robustness property: bad clues can never cause
+                // confusion — fall back to the full lookup. Not learned
+                // either.
+                break 'resolved (self.common_lookup(dest, cost), LookupClass::Malformed);
             }
-            (_, Some(s)) => s,
-        };
-        if !s.contains(dest) {
-            self.stats.malformed += 1;
-            // A clue that is not a prefix of the destination is malformed
-            // (corrupted header or a confused sender). The paper's
-            // robustness property: bad clues can never cause confusion —
-            // fall back to the full lookup. Not learned either.
-            return self.common_lookup(dest, cost);
-        }
-        // Section 3.5 cache: a resident clue is served from fast memory;
-        // a miss pays the cache probe *and* the slow table probe, then
-        // promotes the entry.
-        let mut cached = false;
-        if let Some(cache) = &mut self.cache {
-            cost.cache_read();
-            cached = cache.get(&s).is_some();
-        }
-        let mut was_final = false;
-        let resolved = match self.table.get_with_residency(&s, index, cached, cost) {
-            Some(entry) => {
-                was_final = entry.is_final();
-                Some(self.resolve(entry, dest, cost))
-            }
-            None => None,
-        };
-        if !cached && resolved.is_some() {
+            // Section 3.5 cache: a resident clue is served from fast
+            // memory; a miss pays the cache probe *and* the slow table
+            // probe, then promotes the entry.
+            let mut cached = false;
             if let Some(cache) = &mut self.cache {
-                cache.insert(s, ());
+                cost.cache_read();
+                cached = cache.get(&s).is_some();
+                cache_hit = Some(cached);
             }
-        }
-        match resolved {
-            Some(r) => {
-                if was_final {
-                    self.stats.finals += 1;
-                } else {
-                    self.stats.continued += 1;
+            let mut was_final = false;
+            let resolved = match self.table.get_with_residency(&s, index, cached, cost) {
+                Some(entry) => {
+                    was_final = entry.is_final();
+                    let before = cost.total();
+                    let r = self.resolve(entry, dest, cost);
+                    search_depth = cost.total() - before;
+                    Some(r)
                 }
-                r
-            }
-            None => {
-                self.stats.misses += 1;
-                // Never saw this clue: full lookup, then learn it.
-                let r = self.common_lookup(dest, cost);
-                if self.config.learning {
-                    self.learn(s, index);
+                None => None,
+            };
+            if !cached && resolved.is_some() {
+                if let Some(cache) = &mut self.cache {
+                    cache.insert(s, ());
                 }
-                r
             }
+            match resolved {
+                Some(r) if was_final => (r, LookupClass::Final),
+                Some(r) => (r, LookupClass::Continued),
+                None => {
+                    // Never saw this clue: full lookup, then learn it.
+                    let r = self.common_lookup(dest, cost);
+                    if self.config.learning {
+                        self.learn(s, index);
+                    }
+                    (r, LookupClass::Miss)
+                }
+            }
+        };
+        match class {
+            LookupClass::Clueless => self.stats.clueless += 1,
+            LookupClass::Final => self.stats.finals += 1,
+            LookupClass::Continued => self.stats.continued += 1,
+            LookupClass::Miss => self.stats.misses += 1,
+            LookupClass::Malformed => self.stats.malformed += 1,
         }
+        if let Some(t) = &self.telemetry {
+            t.record(&LookupEvent {
+                clue_len,
+                class,
+                search_depth,
+                cache_hit,
+                memory_references: cost.total() - refs_start,
+            });
+        }
+        result
     }
 
     /// As [`Self::lookup`], decoding the clue from a packet header.

@@ -119,7 +119,8 @@ impl<A: Address> MultiNeighborTable<A> {
             MultiEntry { fd, continue_for, node }
         };
 
-        let prepared: Vec<(Prefix<A>, Vec<Option<Classification<A>>>, MultiEntry<A>)> = per_clue
+        type Prepared<A> = Vec<(Prefix<A>, Vec<Option<Classification<A>>>, MultiEntry<A>)>;
+        let prepared: Prepared<A> = per_clue
             .into_iter()
             .map(|(clue, cls)| {
                 let entry = make_entry(&clue, &cls);

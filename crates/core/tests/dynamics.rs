@@ -161,7 +161,7 @@ fn randomized_churn_preserves_correctness() {
     use rand::{RngExt, SeedableRng};
     let mut rng = StdRng::seed_from_u64(777);
     let mut sender: Vec<Prefix<Ip4>> = (0..120)
-        .map(|_| Prefix::new(Ip4(rng.random()), *[8u8, 16, 24].get(rng.random_range(0..3)).unwrap()))
+        .map(|_| Prefix::new(Ip4(rng.random()), *[8u8, 16, 24].get(rng.random_range(0..3usize)).unwrap()))
         .collect();
     sender.sort();
     sender.dedup();

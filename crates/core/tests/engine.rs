@@ -1,7 +1,7 @@
 //! Integration tests for `ClueEngine`: correctness of all fifteen method
 //! combinations, cost headlines, learning, and the indexing technique.
 
-use clue_core::{ClueEngine, ClueHeader, ClueIndexer, EngineConfig, Method, TableKind};
+use clue_core::{ClueEngine, ClueHeader, ClueIndexer, EngineConfig, Method};
 use clue_lookup::{reference_bmp, Family};
 use clue_trie::{Cost, Ip4, Prefix};
 
@@ -325,7 +325,7 @@ fn randomized_matrix_agreement() {
     // Sender: random prefixes; receiver: a mutation of the sender.
     let mut sender: Vec<Prefix<Ip4>> = (0..400)
         .map(|_| {
-            let len = *[8u8, 12, 16, 16, 20, 24, 24, 24].get(rng.random_range(0..8)).unwrap();
+            let len = *[8u8, 12, 16, 16, 20, 24, 24, 24].get(rng.random_range(0..8usize)).unwrap();
             Prefix::new(Ip4(rng.random()), len)
         })
         .collect();

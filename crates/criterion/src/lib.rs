@@ -1,0 +1,353 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkId`], [`Throughput`], the [`criterion_group!`] /
+//! [`criterion_main!`] macros — over a simple measurement core: a short
+//! warmup, then `sample_size` timed batches, each sized to run for
+//! roughly 50 ms. Reported numbers are the mean, minimum and maximum
+//! ns/iteration across batches (no bootstrap statistics).
+//!
+//! Set `BENCH_TELEMETRY_OUT=<path>` to additionally dump every result
+//! of the binary as a JSON object (used by the `bench-snapshot` tool in
+//! `clue-bench` to build `BENCH_telemetry.json`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work performed per iteration, for derived rates in reports.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements (lookups, packets, …) processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// One measured benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Fastest sampled batch, ns/iteration.
+    pub min_ns: f64,
+    /// Slowest sampled batch, ns/iteration.
+    pub max_ns: f64,
+    /// Iterations per sampled batch.
+    pub iters_per_sample: u64,
+    /// Number of sampled batches.
+    pub samples: u64,
+    /// Declared per-iteration throughput, if any.
+    pub throughput: Option<u64>,
+}
+
+/// Passed to the closure given to `bench_function`; drives iteration.
+pub struct Bencher<'a> {
+    measured: &'a mut Option<(f64, f64, f64, u64, u64)>,
+    sample_size: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, storing the measurement in the parent group.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup + calibration: find an iteration count lasting ~50 ms.
+        let budget = Duration::from_millis(50);
+        let mut iters: u64 = 1;
+        let per_iter = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iters >= 1 << 30 {
+                break elapsed.as_nanos() as f64 / iters as f64;
+            }
+            iters = iters.saturating_mul(4);
+        };
+        let batch = ((budget.as_nanos() as f64 / per_iter.max(0.1)).ceil() as u64).clamp(1, 1 << 30);
+
+        let samples = self.sample_size.clamp(2, 30);
+        let (mut sum, mut min, mut max) = (0.0f64, f64::INFINITY, 0.0f64);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / batch as f64;
+            sum += ns;
+            min = min.min(ns);
+            max = max.max(ns);
+        }
+        *self.measured = Some((sum / samples as f64, min, max, batch, samples));
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<u64>,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(match t {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        });
+        self
+    }
+
+    /// Sets the number of timed batches per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        let mut measured = None;
+        f(&mut Bencher { measured: &mut measured, sample_size: self.sample_size });
+        let Some((mean, min, max, batch, samples)) = measured else {
+            eprintln!("warning: bench {full} never called Bencher::iter");
+            return self;
+        };
+        let result = BenchResult {
+            id: full,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            iters_per_sample: batch,
+            samples,
+            throughput: self.throughput,
+        };
+        report(&result);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; all reporting is
+    /// incremental).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Begins a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.benchmark_group(id.id.clone()).bench_function(BenchmarkId::from_parameter(""), f);
+        self
+    }
+
+    /// Everything measured so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Writes a JSON dump of all results to `path`. The format is a
+    /// single object: id → {mean_ns, min_ns, max_ns, elements_per_sec}.
+    pub fn dump_json(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, results_to_json(&self.results))
+    }
+
+    /// Honors `BENCH_TELEMETRY_OUT` if set.
+    pub fn finalize(&self) {
+        if let Ok(path) = std::env::var("BENCH_TELEMETRY_OUT") {
+            if !path.is_empty() {
+                if let Err(e) = self.dump_json(&path) {
+                    eprintln!("warning: could not write {path}: {e}");
+                }
+            }
+        }
+    }
+}
+
+/// Renders results as a stable, hand-rolled JSON object.
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  \"{}\": {{\"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}",
+            r.id.replace('"', "'"),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            r.iters_per_sample
+        );
+        if let Some(n) = r.throughput {
+            let rate = n as f64 / (r.mean_ns * 1e-9);
+            let _ = write!(out, ", \"elements_per_sec\": {rate:.0}");
+        }
+        out.push('}');
+        if i + 1 < results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+fn report(r: &BenchResult) {
+    let human = |ns: f64| -> String {
+        if ns >= 1e9 {
+            format!("{:.3} s", ns / 1e9)
+        } else if ns >= 1e6 {
+            format!("{:.3} ms", ns / 1e6)
+        } else if ns >= 1e3 {
+            format!("{:.3} µs", ns / 1e3)
+        } else {
+            format!("{ns:.1} ns")
+        }
+    };
+    let mut line = format!(
+        "{:<50} time: [{} .. {} .. {}]",
+        r.id,
+        human(r.min_ns),
+        human(r.mean_ns),
+        human(r.max_ns)
+    );
+    if let Some(n) = r.throughput {
+        let rate = n as f64 / (r.mean_ns * 1e-9);
+        let _ = write!(line, "  thrpt: {rate:.0} elem/s");
+    }
+    println!("{line}");
+}
+
+/// Bundles benchmark functions under one group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates `main`, running every group with one shared [`Criterion`]
+/// and honoring `BENCH_TELEMETRY_OUT`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(100)).sample_size(2);
+            g.bench_function(BenchmarkId::new("f", "p"), |b| {
+                b.iter(|| black_box(3u64).wrapping_mul(7))
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 1);
+        let r = &c.results()[0];
+        assert_eq!(r.id, "g/f/p");
+        assert!(r.mean_ns > 0.0);
+        assert!(r.min_ns <= r.mean_ns && r.mean_ns <= r.max_ns);
+    }
+
+    #[test]
+    fn json_dump_is_well_formed() {
+        let results = vec![BenchResult {
+            id: "g/f".into(),
+            mean_ns: 10.5,
+            min_ns: 9.0,
+            max_ns: 12.0,
+            iters_per_sample: 100,
+            samples: 3,
+            throughput: Some(1000),
+        }];
+        let json = results_to_json(&results);
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        assert!(json.contains("\"g/f\""));
+        assert!(json.contains("\"mean_ns\": 10.5"));
+        assert!(json.contains("elements_per_sec"));
+    }
+
+    #[test]
+    fn benchmark_ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("fam", "method").id, "fam/method");
+        assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+    }
+}

@@ -11,16 +11,16 @@ use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 fn random_filter(rng: &mut StdRng, priority: u32) -> Filter<Ip4> {
-    let len = *[8u8, 16, 16, 24].get(rng.random_range(0..4)).unwrap();
+    let len = *[8u8, 16, 16, 24].get(rng.random_range(0..4usize)).unwrap();
     let dst = Prefix::new(Ip4(rng.random_range(1u32..32) << 24 | rng.random::<u32>() & 0xFF_FF00), len);
-    let src_len = *[0u8, 8, 16].get(rng.random_range(0..3)).unwrap();
+    let src_len = *[0u8, 8, 16].get(rng.random_range(0..3usize)).unwrap();
     let lo = rng.random_range(0u16..2000);
     Filter {
         src: Prefix::new(Ip4(rng.random()), src_len),
         dst,
         src_ports: 0..=u16::MAX,
         dst_ports: lo..=lo.saturating_add(rng.random_range(0..500)),
-        proto: [None, Some(6), Some(17)][rng.random_range(0..3)],
+        proto: [None, Some(6), Some(17)][rng.random_range(0..3usize)],
         priority,
         action: if rng.random_bool(0.5) { Action::Permit } else { Action::Deny },
     }
@@ -55,7 +55,7 @@ fn main() {
             dst: Ip4(rng.random_range(1u32..32) << 24 | rng.random::<u32>() & 0xFFFFFF),
             src_port: rng.random(),
             dst_port: rng.random_range(0..4000),
-            proto: [6u8, 17][rng.random_range(0..2)],
+            proto: [6u8, 17][rng.random_range(0..2usize)],
         };
         let clue = upstream.classify_uncounted(&key).and_then(|f| upstream.position_of(f));
         let mut cw = Cost::new();

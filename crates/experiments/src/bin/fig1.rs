@@ -34,7 +34,7 @@ fn main() {
     let stats = run_workload(&mut net, &edges, 2_000, 7);
     println!("=== Figure 1 (measured): 2,000 edge-to-edge packets, 8-core backbone ===\n");
     println!("BMP length along the path (paper: grows toward the destination)\n");
-    println!("{:<5} {:>8}  {}", "hop", "mean len", "");
+    println!("{:<5} {:>8}", "hop", "mean len");
     for (i, len) in stats.bmp_len_by_position.iter().enumerate() {
         if stats.per_hop_position[i].samples() == 0 {
             continue;
@@ -43,7 +43,7 @@ fn main() {
     }
 
     println!("\nWork at each router position (paper: backbone ≈ idle, edges do the lookups)\n");
-    println!("{:<5} {:>10}  {}", "hop", "accesses", "");
+    println!("{:<5} {:>10}", "hop", "accesses");
     for (i, s) in stats.per_hop_position.iter().enumerate() {
         if s.samples() == 0 {
             continue;

@@ -110,7 +110,7 @@ impl<A: Address> RangeIndex<A> {
         let mut best: Option<usize> = None;
         while hi > lo {
             cost.range_probe();
-            if hi - lo <= b - 1 {
+            if hi - lo < b {
                 // The whole remaining range fits in one line: scan it
                 // within the single access just charged.
                 for i in lo..hi {

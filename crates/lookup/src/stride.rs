@@ -391,7 +391,7 @@ mod tests {
         let ps: Vec<Prefix<Ip4>> = (0..300)
             .map(|_| {
                 let len = *[0u8, 8, 12, 15, 16, 17, 22, 24, 28, 32]
-                    .get(rng.random_range(0..10))
+                    .get(rng.random_range(0..10usize))
                     .unwrap();
                 Prefix::new(Ip4(rng.random()), len)
             })

@@ -36,5 +36,5 @@ pub use pathvector::{Aggregation, PathVector, Rib, Route};
 pub use network::{
     DetailBands, Hop, HopRecord, Network, NetworkConfig, PathTrace, RouterNode,
 };
-pub use sim::{run_workload, RunStats};
+pub use sim::{export_cost_stats, run_workload, run_workload_instrumented, RunStats};
 pub use topology::{RouteTree, RouterId, Topology};

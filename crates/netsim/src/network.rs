@@ -233,7 +233,7 @@ impl<A: Address> Network<A> {
         let mut fibs: Vec<BinaryTrie<A, Hop>> =
             (0..topology.len()).map(|_| BinaryTrie::new()).collect();
         for (oi, tree) in route_trees.iter().enumerate() {
-            for r in 0..topology.len() {
+            for (r, fib) in fibs.iter_mut().enumerate() {
                 let Some(dist) = tree.distance(r) else { continue };
                 let hop = match tree.next_hop[r] {
                     None => Hop::Local,
@@ -245,7 +245,7 @@ impl<A: Address> Network<A> {
                     band_len(dist)
                 };
                 for s in &specifics[oi] {
-                    fibs[r].insert(s.truncate(len), hop);
+                    fib.insert(s.truncate(len), hop);
                 }
             }
         }
@@ -321,8 +321,8 @@ impl<A: Address> Network<A> {
         // with the clue set = the neighbor's prefixes routed through us.
         // Built before the FIBs are moved into their routers, because a
         // router's engines read its *neighbors'* FIBs.
-        let built: Vec<(ClueEngine<A>, HashMap<RouterId, ClueEngine<A>>)> = (0..topology
-            .len())
+        type Built<A> = Vec<(ClueEngine<A>, HashMap<RouterId, ClueEngine<A>>)>;
+        let built: Built<A> = (0..topology.len())
             .map(|r| {
                 let own: Vec<Prefix<A>> = fibs[r].prefixes().collect();
                 let base = ClueEngine::precomputed(&[], &own, config.engine);

@@ -234,12 +234,7 @@ impl<A: Address> PathVector<A> {
     /// Runs rounds to a fixpoint (bounded by `max_rounds`). Returns the
     /// number of rounds taken, or `None` if it did not converge.
     pub fn converge(&mut self, max_rounds: usize) -> Option<usize> {
-        for i in 1..=max_rounds {
-            if !self.step() {
-                return Some(i);
-            }
-        }
-        None
+        (1..=max_rounds).find(|_| !self.step())
     }
 
     /// Announces a new prefix at a router (then call

@@ -1,6 +1,9 @@
 //! Workload runner: many packets over a network, with the per-router and
 //! per-hop aggregations the paper's Figure 1 and Sections 5.3–5.4 need.
 
+use clue_telemetry::{
+    Counter, Histogram, Registry, MEMORY_REFERENCE_BOUNDS, PREFIX_LENGTH_BOUNDS,
+};
 use clue_trie::{Address, CostStats};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -8,6 +11,55 @@ use rand::{RngExt, SeedableRng};
 
 use crate::network::Network;
 use crate::topology::RouterId;
+
+/// The simulator's per-hop metric bundle, registered under
+/// `clue_netsim_*`.
+struct HopTelemetry {
+    packets: Counter,
+    delivered: Counter,
+    hops: Counter,
+    clue_hops: Counter,
+    hop_references: Histogram,
+    bmp_length: Histogram,
+}
+
+impl HopTelemetry {
+    fn registered(registry: &Registry) -> Self {
+        HopTelemetry {
+            packets: registry.counter("clue_netsim_packets_total", "Packets injected"),
+            delivered: registry
+                .counter("clue_netsim_delivered_total", "Packets that reached their destination"),
+            hops: registry.counter("clue_netsim_hops_total", "Hops taken across all packets"),
+            clue_hops: registry
+                .counter("clue_netsim_clue_hops_total", "Hops that consulted a clue"),
+            hop_references: registry.histogram(
+                "clue_netsim_hop_memory_references",
+                "Memory references per hop (including Section 5.4 shift work)",
+                MEMORY_REFERENCE_BOUNDS,
+            ),
+            bmp_length: registry.histogram(
+                "clue_netsim_bmp_length",
+                "Length of the BMP found at each hop",
+                PREFIX_LENGTH_BOUNDS,
+            ),
+        }
+    }
+}
+
+/// Mirrors one [`CostStats`] accumulator into `registry` as gauges
+/// `{name}_mean_accesses`, `{name}_max_accesses` and `{name}_samples` —
+/// the registry view of the paper's per-table averages.
+pub fn export_cost_stats(registry: &Registry, name: &str, stats: &CostStats) {
+    registry
+        .gauge(&format!("{name}_mean_accesses"), "Mean memory accesses per lookup")
+        .set(stats.mean());
+    registry
+        .gauge(&format!("{name}_max_accesses"), "Worst single lookup observed")
+        .set(stats.max() as f64);
+    registry
+        .gauge(&format!("{name}_samples"), "Lookups accumulated")
+        .set(stats.samples() as f64);
+}
 
 /// Aggregated results of a multi-packet run.
 #[derive(Debug, Clone)]
@@ -55,6 +107,46 @@ impl RunStats {
             total / n as f64
         }
     }
+
+    /// Mirrors the run's summary figures into `registry` as gauges
+    /// (`clue_netsim_mean_accesses_per_hop`, …) plus [`CostStats`]
+    /// mirrors for the first-hop and steady-state positions — the
+    /// registry view of a netsim report.
+    pub fn export_into(&self, registry: &Registry) {
+        registry
+            .gauge("clue_netsim_mean_accesses_per_hop", "Mean memory accesses per hop")
+            .set(self.mean_per_hop());
+        registry
+            .gauge(
+                "clue_netsim_mean_accesses_per_clue_hop",
+                "Mean memory accesses per hop, first hops excluded",
+            )
+            .set(self.mean_per_clue_hop());
+        registry
+            .gauge("clue_netsim_clue_hop_fraction", "Fraction of hops that consulted a clue")
+            .set(if self.total_hops == 0 {
+                0.0
+            } else {
+                self.clue_hops as f64 / self.total_hops as f64
+            });
+        registry
+            .gauge("clue_netsim_delivery_rate", "Fraction of packets delivered")
+            .set(if self.packets == 0 {
+                0.0
+            } else {
+                self.delivered as f64 / self.packets as f64
+            });
+        if let Some(first) = self.per_hop_position.first() {
+            export_cost_stats(registry, "clue_netsim_first_hop", first);
+        }
+        if self.per_hop_position.len() > 1 {
+            let mut steady = CostStats::new();
+            for s in &self.per_hop_position[1..] {
+                steady.merge(s);
+            }
+            export_cost_stats(registry, "clue_netsim_clue_hop", &steady);
+        }
+    }
 }
 
 /// Runs `packets` random edge-to-edge packets over the network.
@@ -67,6 +159,32 @@ pub fn run_workload<A: Address>(
     sources: &[RouterId],
     packets: usize,
     seed: u64,
+) -> RunStats {
+    run_workload_impl(net, sources, packets, seed, None)
+}
+
+/// As [`run_workload`], additionally recording per-hop telemetry
+/// (`clue_netsim_*` counters and histograms) into `registry` while the
+/// run progresses and mirroring the final [`RunStats`] summary into it.
+pub fn run_workload_instrumented<A: Address>(
+    net: &mut Network<A>,
+    sources: &[RouterId],
+    packets: usize,
+    seed: u64,
+    registry: &Registry,
+) -> RunStats {
+    let telemetry = HopTelemetry::registered(registry);
+    let stats = run_workload_impl(net, sources, packets, seed, Some(&telemetry));
+    stats.export_into(registry);
+    stats
+}
+
+fn run_workload_impl<A: Address>(
+    net: &mut Network<A>,
+    sources: &[RouterId],
+    packets: usize,
+    seed: u64,
+    telemetry: Option<&HopTelemetry>,
 ) -> RunStats {
     assert!(!sources.is_empty(), "need at least one source");
     let origins = net.config().origins.clone();
@@ -96,6 +214,12 @@ pub fn run_workload<A: Address>(
         if trace.delivered {
             delivered += 1;
         }
+        if let Some(t) = telemetry {
+            t.packets.inc();
+            if trace.delivered {
+                t.delivered.inc();
+            }
+        }
         for (pos, hop) in trace.hops.iter().enumerate() {
             // A router's load includes any Section 5.4 work it performs
             // on behalf of its downstream neighbor.
@@ -114,6 +238,14 @@ pub fn run_workload<A: Address>(
             total_hops += 1;
             if hop.used_clue {
                 clue_hops += 1;
+            }
+            if let Some(t) = telemetry {
+                t.hops.inc();
+                if hop.used_clue {
+                    t.clue_hops.inc();
+                }
+                t.hop_references.observe(full.total());
+                t.bmp_length.observe(hop.bmp.map_or(0, |p| p.len()) as u64);
             }
         }
     }
@@ -201,6 +333,31 @@ mod tests {
             sh.total_accesses,
             sn.total_accesses
         );
+    }
+
+    #[test]
+    fn instrumented_run_mirrors_stats_into_registry() {
+        let (mut net, edges) = build(Method::Advance, 1.0);
+        let registry = Registry::new();
+        let stats = run_workload_instrumented(&mut net, &edges, 100, 7, &registry);
+        let packets = registry.counter("clue_netsim_packets_total", "");
+        assert_eq!(packets.get(), stats.packets as u64);
+        let delivered = registry.counter("clue_netsim_delivered_total", "");
+        assert_eq!(delivered.get(), stats.delivered as u64);
+        let hops = registry.counter("clue_netsim_hops_total", "");
+        assert_eq!(hops.get(), stats.total_hops);
+        let clue_hops = registry.counter("clue_netsim_clue_hops_total", "");
+        assert_eq!(clue_hops.get(), stats.clue_hops);
+        let refs = registry
+            .histogram("clue_netsim_hop_memory_references", "", MEMORY_REFERENCE_BOUNDS)
+            .snapshot();
+        assert_eq!(refs.count, stats.total_hops);
+        assert_eq!(refs.sum, stats.total_accesses);
+        // Summary gauges are mirrored too.
+        assert!(registry.contains("clue_netsim_mean_accesses_per_hop"));
+        assert!(registry.contains("clue_netsim_delivery_rate"));
+        assert!(registry.contains("clue_netsim_first_hop_mean_accesses"));
+        assert!(registry.contains("clue_netsim_clue_hop_mean_accesses"));
     }
 
     #[test]

@@ -36,6 +36,8 @@ mod traffic;
 pub use neighbor::{derive_neighbor, NeighborConfig};
 pub use ortc::{minimize, minimize_with_hops, NextHop};
 pub use parse::{format_prefixes, parse_prefixes, parse_table, ParseTableError, TableLine};
-pub use stats::{intersection_size, length_histogram, problematic_clues, PairStats};
+pub use stats::{
+    export_length_histogram, intersection_size, length_histogram, problematic_clues, PairStats,
+};
 pub use synth::{synthesize, synthesize_ipv4, synthesize_ipv6, SynthConfig};
 pub use traffic::{generate, TrafficConfig, TrafficModel};

@@ -133,9 +133,9 @@ impl<A: Address> Ortc<'_, A> {
         let prefix = self.trie.node_prefix(trie_node);
         let chosen = self.choose(arena_node, prefix, inherited);
         let kids = self.trie.children(trie_node);
-        for side in 0..2 {
+        for (side, &kid) in kids.iter().enumerate() {
             let Some(ac) = self.arena[arena_node].children[side] else { continue };
-            match kids[side] {
+            match kid {
                 Some(tc) => self.select(tc, ac, chosen),
                 None => {
                     // Implicit leaf: re-emit if the chosen hop diverges.
@@ -278,7 +278,7 @@ mod tests {
         for round in 0..40 {
             let table: Vec<(Prefix<Ip4>, NextHop)> = (0..rng.random_range(5..60))
                 .map(|_| {
-                    let len = *[4u8, 8, 12, 16, 20].get(rng.random_range(0..5)).unwrap();
+                    let len = *[4u8, 8, 12, 16, 20].get(rng.random_range(0..5usize)).unwrap();
                     (
                         Prefix::new(
                             Ip4(rng.random_range(0u32..16) << 28 | rng.random::<u32>() >> 8),

@@ -3,6 +3,7 @@
 use std::collections::BTreeSet;
 
 use clue_core::classify_all;
+use clue_telemetry::{Registry, PREFIX_LENGTH_BOUNDS};
 use clue_trie::{Address, BinaryTrie, Prefix};
 
 /// Number of prefixes two tables share (Table 3, “the intersection
@@ -71,6 +72,46 @@ impl PairStats {
             self.intersection as f64 / m as f64
         }
     }
+
+    /// Mirrors the pair summary into `registry` as
+    /// `clue_tablegen_*` gauges — the registry view of a table build.
+    pub fn export_into(&self, registry: &Registry) {
+        registry
+            .gauge("clue_tablegen_sender_size", "Prefixes in the sender's table")
+            .set(self.sender_size as f64);
+        registry
+            .gauge("clue_tablegen_receiver_size", "Prefixes in the receiver's table")
+            .set(self.receiver_size as f64);
+        registry
+            .gauge("clue_tablegen_intersection", "Prefixes shared by the pair")
+            .set(self.intersection as f64);
+        registry
+            .gauge("clue_tablegen_problematic", "Clues violating Claim 1 at the receiver")
+            .set(self.problematic as f64);
+        registry
+            .gauge("clue_tablegen_similarity", "Intersection over the smaller table")
+            .set(self.similarity());
+        registry
+            .gauge(
+                "clue_tablegen_problematic_fraction",
+                "Problematic clues over the sender's clue set",
+            )
+            .set(self.problematic_fraction());
+    }
+}
+
+/// Records every prefix length of `prefixes` into a registry histogram
+/// named `{name}` (bounded by [`PREFIX_LENGTH_BOUNDS`]), so exporters can
+/// publish the table's length distribution alongside the pair gauges.
+pub fn export_length_histogram<A: Address>(
+    registry: &Registry,
+    name: &str,
+    prefixes: &[Prefix<A>],
+) {
+    let h = registry.histogram(name, "Prefix length distribution", PREFIX_LENGTH_BOUNDS);
+    for p in prefixes {
+        h.observe(p.len() as u64);
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +147,24 @@ mod tests {
         let h = length_histogram(&t);
         assert_eq!(h.iter().sum::<usize>(), 700);
         assert_eq!(h.len(), 33);
+    }
+
+    #[test]
+    fn pair_stats_export_into_registry() {
+        let sender = vec![p("10.0.0.0/8"), p("20.0.0.0/8")];
+        let receiver = vec![p("10.0.0.0/8"), p("10.5.0.0/16"), p("20.0.0.0/8")];
+        let s = PairStats::compute(&sender, &receiver);
+        let registry = Registry::new();
+        s.export_into(&registry);
+        assert_eq!(registry.gauge("clue_tablegen_sender_size", "").get(), 2.0);
+        assert_eq!(registry.gauge("clue_tablegen_receiver_size", "").get(), 3.0);
+        assert_eq!(registry.gauge("clue_tablegen_problematic", "").get(), 1.0);
+        export_length_histogram(&registry, "clue_tablegen_sender_length", &sender);
+        let h = registry
+            .histogram("clue_tablegen_sender_length", "", PREFIX_LENGTH_BOUNDS)
+            .snapshot();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 16);
     }
 
     #[test]

@@ -145,7 +145,7 @@ pub fn synthesize<A: Address>(config: &SynthConfig) -> Vec<Prefix<A>> {
             }
             let noise = random_bits::<A>(&mut rng);
             let merged = base.bits().to_u128()
-                | (noise & low_mask::<A>(A::BITS - base.len()));
+                | (noise & low_mask(A::BITS - base.len()));
             Prefix::new(A::from_u128(merged), len)
         } else {
             // Fresh prefix inside a random top-level block.
@@ -155,7 +155,7 @@ pub fn synthesize<A: Address>(config: &SynthConfig) -> Vec<Prefix<A>> {
                 let block = *blocks.choose(&mut rng).expect("at least one block");
                 let hi = block << (A::BITS - config.top_block_len);
                 let noise = random_bits::<A>(&mut rng)
-                    & low_mask::<A>(A::BITS - config.top_block_len);
+                    & low_mask(A::BITS - config.top_block_len);
                 Prefix::new(A::from_u128(hi | noise), len)
             }
         };
@@ -178,10 +178,10 @@ pub fn synthesize_ipv6(n: usize, seed: u64) -> Vec<Prefix<Ip6>> {
 
 fn random_bits<A: Address>(rng: &mut StdRng) -> u128 {
     let raw: u128 = ((rng.random::<u64>() as u128) << 64) | rng.random::<u64>() as u128;
-    raw & low_mask::<A>(A::BITS)
+    raw & low_mask(A::BITS)
 }
 
-fn low_mask<A: Address>(bits: u8) -> u128 {
+fn low_mask(bits: u8) -> u128 {
     if bits == 0 {
         0
     } else if bits as u32 >= 128 {

@@ -1,0 +1,188 @@
+//! Exporters: Prometheus text-exposition format and JSON.
+//!
+//! Both writers are hand-rolled (the build environment cannot pull
+//! serde), deterministic — metrics render in sorted name order — and
+//! defensive about floats: a non-finite gauge renders as `NaN`/`+Inf`
+//! in Prometheus (which allows them) and as `null` in JSON (which does
+//! not).
+
+use std::fmt::Write as _;
+
+use crate::registry::{Registry, Snapshot};
+
+fn prom_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else if v.is_infinite() {
+        if v > 0.0 { "+Inf".to_owned() } else { "-Inf".to_owned() }
+    } else {
+        format!("{v}")
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders `registry` in Prometheus text-exposition format: `# HELP` /
+/// `# TYPE` comments followed by samples; histograms expand into
+/// cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+pub fn to_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    for (name, help, snap) in registry.snapshot() {
+        if !help.is_empty() {
+            let _ = writeln!(out, "# HELP {name} {help}");
+        }
+        match snap {
+            Snapshot::Counter(v) => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {v}");
+            }
+            Snapshot::Gauge(v) => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {}", prom_f64(v));
+            }
+            Snapshot::Histogram(h) => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                    cumulative += count;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                cumulative += h.counts.last().copied().unwrap_or(0);
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cumulative}");
+                let _ = writeln!(out, "{name}_sum {}", h.sum);
+                let _ = writeln!(out, "{name}_count {}", h.count);
+            }
+        }
+    }
+    out
+}
+
+/// Renders `registry` as one JSON object keyed by metric name:
+///
+/// ```json
+/// {
+///   "clue_core_lookups_total": {"type": "counter", "value": 12},
+///   "clue_cache_hit_ratio": {"type": "gauge", "value": 0.9},
+///   "clue_core_memory_references": {
+///     "type": "histogram",
+///     "buckets": [{"le": 1, "count": 10}, {"le": "+Inf", "count": 2}],
+///     "sum": 34, "count": 12
+///   }
+/// }
+/// ```
+pub fn to_json(registry: &Registry) -> String {
+    let snapshot = registry.snapshot();
+    let mut out = String::from("{\n");
+    for (i, (name, _help, snap)) in snapshot.iter().enumerate() {
+        let _ = write!(out, "  \"{name}\": ");
+        match snap {
+            Snapshot::Counter(v) => {
+                let _ = write!(out, "{{\"type\": \"counter\", \"value\": {v}}}");
+            }
+            Snapshot::Gauge(v) => {
+                let _ = write!(out, "{{\"type\": \"gauge\", \"value\": {}}}", json_f64(*v));
+            }
+            Snapshot::Histogram(h) => {
+                let _ = write!(out, "{{\"type\": \"histogram\", \"buckets\": [");
+                for (j, (bound, count)) in h.bounds.iter().zip(&h.counts).enumerate() {
+                    if j > 0 {
+                        let _ = write!(out, ", ");
+                    }
+                    let _ = write!(out, "{{\"le\": {bound}, \"count\": {count}}}");
+                }
+                let overflow = h.counts.last().copied().unwrap_or(0);
+                if !h.bounds.is_empty() {
+                    let _ = write!(out, ", ");
+                }
+                let _ = write!(out, "{{\"le\": \"+Inf\", \"count\": {overflow}}}");
+                let _ = write!(out, "], \"sum\": {}, \"count\": {}}}", h.sum, h.count);
+            }
+        }
+        if i + 1 < snapshot.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push('}');
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        let c = reg.counter("clue_core_lookups_total", "Total lookups");
+        c.add(12);
+        let g = reg.gauge("clue_cache_hit_ratio", "Cache hit ratio");
+        g.set(0.75);
+        let h = reg.histogram("clue_core_memory_references", "Accesses per lookup", &[1, 4]);
+        h.observe(1);
+        h.observe(1);
+        h.observe(3);
+        h.observe(9);
+        reg
+    }
+
+    #[test]
+    fn prometheus_golden() {
+        let got = to_prometheus(&sample_registry());
+        let want = "\
+# HELP clue_cache_hit_ratio Cache hit ratio
+# TYPE clue_cache_hit_ratio gauge
+clue_cache_hit_ratio 0.75
+# HELP clue_core_lookups_total Total lookups
+# TYPE clue_core_lookups_total counter
+clue_core_lookups_total 12
+# HELP clue_core_memory_references Accesses per lookup
+# TYPE clue_core_memory_references histogram
+clue_core_memory_references_bucket{le=\"1\"} 2
+clue_core_memory_references_bucket{le=\"4\"} 3
+clue_core_memory_references_bucket{le=\"+Inf\"} 4
+clue_core_memory_references_sum 14
+clue_core_memory_references_count 4
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn json_golden() {
+        let got = to_json(&sample_registry());
+        let want = "\
+{
+  \"clue_cache_hit_ratio\": {\"type\": \"gauge\", \"value\": 0.75},
+  \"clue_core_lookups_total\": {\"type\": \"counter\", \"value\": 12},
+  \"clue_core_memory_references\": {\"type\": \"histogram\", \"buckets\": [{\"le\": 1, \"count\": 2}, {\"le\": 4, \"count\": 1}, {\"le\": \"+Inf\", \"count\": 1}], \"sum\": 14, \"count\": 4}
+}
+";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn non_finite_gauges_render_safely() {
+        let reg = Registry::new();
+        reg.gauge("clue_test_nan", "").set(f64::NAN);
+        reg.gauge("clue_test_inf", "").set(f64::INFINITY);
+        let prom = to_prometheus(&reg);
+        assert!(prom.contains("clue_test_nan NaN"));
+        assert!(prom.contains("clue_test_inf +Inf"));
+        let json = to_json(&reg);
+        assert!(json.contains("\"clue_test_nan\": {\"type\": \"gauge\", \"value\": null}"));
+    }
+
+    #[test]
+    fn empty_registry_renders_empty_documents() {
+        let reg = Registry::new();
+        assert_eq!(to_prometheus(&reg), "");
+        assert_eq!(to_json(&reg), "{\n}\n");
+    }
+}

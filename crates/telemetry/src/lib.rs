@@ -1,0 +1,51 @@
+//! # clue-telemetry
+//!
+//! The unified observability layer of the clue-routing workspace.
+//!
+//! The paper's central claims are *measurement* claims — a clue lookup
+//! costs ~1 memory reference, and only 0.5–5 % of clues are problematic
+//! — so the workspace needs one place where every component reports
+//! what it did, in a form that can be aggregated, snapshotted and
+//! exported. This crate provides it, with zero external dependencies:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s and fixed-bucket
+//!   [`Histogram`]s over `AtomicU64` cells. Handles are cheap clones
+//!   of shared atomics, so the hot path never takes a lock and a
+//!   shared `&Registry` works from parallel workloads.
+//! * [`trace`] — structured per-lookup events ([`LookupEvent`]) with a
+//!   pluggable [`Subscriber`]; the default [`RingBufferSubscriber`]
+//!   keeps the last N events in bounded memory.
+//! * [`export`] — renders any registry to Prometheus text-exposition
+//!   format or to JSON (hand-rolled writer; no serde).
+//! * [`LookupTelemetry`] / [`CacheTelemetry`] — pre-named metric
+//!   bundles for the workspace's hot paths, following the
+//!   `clue_<component>_<metric>` naming convention
+//!   (`clue_core_lookups_total`, `clue_cache_hits_total`, …).
+//!
+//! Instrumentation is runtime-gated: components hold an
+//! `Option<LookupTelemetry>` and skip all recording when detached, so
+//! a disabled registry costs one predictable branch per lookup.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod lookup;
+mod registry;
+pub mod trace;
+
+pub use export::{to_json, to_prometheus};
+pub use lookup::{CacheTelemetry, LookupTelemetry};
+pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, Snapshot};
+pub use trace::{LookupClass, LookupEvent, RingBufferSubscriber, Subscriber};
+
+/// Default memory-reference histogram bounds: fine granularity around
+/// the 1-access clue-hit ideal, coarser toward full-lookup costs.
+pub const MEMORY_REFERENCE_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+
+/// Default search-depth histogram bounds (continued-walk lengths).
+pub const SEARCH_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
+
+/// Default clue/prefix-length histogram bounds (IPv4-centric, but the
+/// overflow bucket absorbs IPv6 lengths).
+pub const PREFIX_LENGTH_BOUNDS: &[u64] = &[8, 12, 16, 20, 24, 28, 32];

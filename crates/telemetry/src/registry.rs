@@ -1,0 +1,475 @@
+//! The metric registry: named counters, gauges and histograms over
+//! lock-free `AtomicU64` cells.
+//!
+//! Registration takes a short mutex to update the name map; the handles
+//! it returns are clones of `Arc<AtomicU64>` cells, so recording on the
+//! hot path is a relaxed atomic add with no lock anywhere. A shared
+//! `&Registry` (or a cloned handle) therefore works unchanged from
+//! future parallel workloads.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A standalone counter (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.cell.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    /// Resets to zero (e.g. after a warm-up phase).
+    pub fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A gauge: an arbitrary value that can go up and down. Stored as the
+/// bit pattern of an `f64` so fractions (hit rates, problematic
+/// fractions) fit alongside sizes.
+#[derive(Debug, Clone)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge { bits: Arc::new(AtomicU64::new(0f64.to_bits())) }
+    }
+}
+
+impl Gauge {
+    /// A standalone gauge (not attached to any registry).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket histogram with inclusive upper bounds and an overflow
+/// bucket, plus running `sum` and `count`.
+///
+/// `observe(v)` increments the first bucket whose bound satisfies
+/// `v <= bound`, or the overflow bucket when `v` exceeds every bound —
+/// Prometheus `le` semantics.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    bounds: Arc<Vec<u64>>,
+    /// `bounds.len() + 1` cells; the last is the overflow (`+Inf`).
+    buckets: Arc<Vec<AtomicU64>>,
+    sum: Arc<AtomicU64>,
+    count: Arc<AtomicU64>,
+}
+
+impl Histogram {
+    /// A standalone histogram with the given inclusive upper bounds.
+    ///
+    /// # Panics
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        Histogram {
+            bounds: Arc::new(bounds.to_vec()),
+            buckets: Arc::new((0..=bounds.len()).map(|_| AtomicU64::new(0)).collect()),
+            sum: Arc::new(AtomicU64::new(0)),
+            count: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        let i = self.bounds.partition_point(|&b| b < v);
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The configured inclusive upper bounds (without the overflow).
+    pub fn bounds(&self) -> &[u64] {
+        &self.bounds
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Mean observed value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// A consistent-enough copy of the bucket counts (per-bucket counts
+    /// including the final overflow bucket).
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+
+    /// A point-in-time snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.as_slice().to_vec(),
+            counts: self.bucket_counts(),
+            sum: self.sum(),
+            count: self.count(),
+        }
+    }
+
+    /// Resets every cell to zero.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.sum.store(0, Ordering::Relaxed);
+        self.count.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Inclusive upper bounds (without the overflow bucket).
+    pub bounds: Vec<u64>,
+    /// Per-bucket counts; one longer than `bounds` (overflow last).
+    pub counts: Vec<u64>,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// One registered metric (as stored and snapshotted).
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// See [`Counter`].
+    Counter(Counter),
+    /// See [`Gauge`].
+    Gauge(Gauge),
+    /// See [`Histogram`].
+    Histogram(Histogram),
+}
+
+/// A point-in-time value of one metric.
+#[derive(Debug, Clone)]
+pub enum Snapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+#[derive(Debug)]
+struct Entry {
+    help: String,
+    metric: Metric,
+}
+
+/// A named collection of metrics.
+///
+/// Names follow the Prometheus convention `[a-zA-Z_][a-zA-Z0-9_]*`; the
+/// workspace uses `clue_<component>_<metric>` (see the crate docs).
+/// Registration is idempotent: asking for an existing name returns a
+/// handle to the same cells, so independently constructed components
+/// can share metrics through a common registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Entry>>,
+}
+
+fn validate_name(name: &str) {
+    let mut chars = name.chars();
+    let ok_first = chars.next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_');
+    let ok_rest = name.chars().skip(1).all(|c| c.is_ascii_alphanumeric() || c == '_');
+    assert!(ok_first && ok_rest, "invalid metric name {name:?}");
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the counter `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is invalid or already registered as a
+    /// different metric kind.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        validate_name(name);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        let entry = entries.entry(name.to_owned()).or_insert_with(|| Entry {
+            help: help.to_owned(),
+            metric: Metric::Counter(Counter::new()),
+        });
+        match &entry.metric {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("{name} already registered as {}", kind(other)),
+        }
+    }
+
+    /// Returns the gauge `name`, creating it if absent.
+    ///
+    /// # Panics
+    /// Panics if `name` is invalid or registered as another kind.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        validate_name(name);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        let entry = entries.entry(name.to_owned()).or_insert_with(|| Entry {
+            help: help.to_owned(),
+            metric: Metric::Gauge(Gauge::new()),
+        });
+        match &entry.metric {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("{name} already registered as {}", kind(other)),
+        }
+    }
+
+    /// Returns the histogram `name`, creating it with `bounds` if
+    /// absent (existing histograms keep their original bounds).
+    ///
+    /// # Panics
+    /// Panics if `name` is invalid, registered as another kind, or
+    /// `bounds` is invalid.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[u64]) -> Histogram {
+        validate_name(name);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        let entry = entries.entry(name.to_owned()).or_insert_with(|| Entry {
+            help: help.to_owned(),
+            metric: Metric::Histogram(Histogram::new(bounds)),
+        });
+        match &entry.metric {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("{name} already registered as {}", kind(other)),
+        }
+    }
+
+    /// Registers an existing metric handle under `name`, sharing its
+    /// cells — how components mirror their private telemetry into a
+    /// shared registry.
+    ///
+    /// # Panics
+    /// Panics if `name` is invalid or already registered.
+    pub fn register(&self, name: &str, help: &str, metric: Metric) {
+        validate_name(name);
+        let mut entries = self.entries.lock().expect("registry poisoned");
+        let prior = entries.insert(
+            name.to_owned(),
+            Entry { help: help.to_owned(), metric },
+        );
+        assert!(prior.is_none(), "{name} registered twice");
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.lock().expect("registry poisoned").contains_key(name)
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("registry poisoned").len()
+    }
+
+    /// `true` iff nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sorted point-in-time snapshot of every metric:
+    /// `(name, help, value)`.
+    pub fn snapshot(&self) -> Vec<(String, String, Snapshot)> {
+        let entries = self.entries.lock().expect("registry poisoned");
+        entries
+            .iter()
+            .map(|(name, e)| {
+                let snap = match &e.metric {
+                    Metric::Counter(c) => Snapshot::Counter(c.get()),
+                    Metric::Gauge(g) => Snapshot::Gauge(g.get()),
+                    Metric::Histogram(h) => Snapshot::Histogram(h.snapshot()),
+                };
+                (name.clone(), e.help.clone(), snap)
+            })
+            .collect()
+    }
+
+    /// Renders the registry in Prometheus text-exposition format.
+    pub fn to_prometheus(&self) -> String {
+        crate::export::to_prometheus(self)
+    }
+
+    /// Renders the registry as a JSON object.
+    pub fn to_json(&self) -> String {
+        crate::export::to_json(self)
+    }
+}
+
+fn kind(m: &Metric) -> &'static str {
+    match m {
+        Metric::Counter(_) => "counter",
+        Metric::Gauge(_) => "gauge",
+        Metric::Histogram(_) => "histogram",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_cells_across_handles() {
+        let reg = Registry::new();
+        let a = reg.counter("clue_test_total", "test");
+        let b = reg.counter("clue_test_total", "test");
+        a.inc();
+        b.add(4);
+        assert_eq!(a.get(), 5);
+        assert_eq!(b.get(), 5);
+        a.reset();
+        assert_eq!(b.get(), 0);
+    }
+
+    #[test]
+    fn gauges_hold_fractions() {
+        let reg = Registry::new();
+        let g = reg.gauge("clue_test_ratio", "test");
+        g.set(0.375);
+        assert_eq!(g.get(), 0.375);
+        assert_eq!(reg.gauge("clue_test_ratio", "").get(), 0.375);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let reg = Registry::new();
+        reg.counter("clue_test_x", "");
+        reg.gauge("clue_test_x", "");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid metric name")]
+    fn bad_names_panic() {
+        Registry::new().counter("3bad name", "");
+    }
+
+    #[test]
+    fn histogram_buckets_follow_le_semantics() {
+        let h = Histogram::new(&[1, 4, 16]);
+        // On-edge values land in their own bucket (le semantics).
+        h.observe(1);
+        h.observe(4);
+        h.observe(16);
+        // Interior values.
+        h.observe(2);
+        // Overflow.
+        h.observe(17);
+        h.observe(1_000_000);
+        assert_eq!(h.bucket_counts(), vec![1, 2, 1, 2]);
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1 + 4 + 16 + 2 + 17 + 1_000_000);
+    }
+
+    #[test]
+    fn histogram_zero_lands_in_first_bucket() {
+        let h = Histogram::new(&[0, 2]);
+        h.observe(0);
+        assert_eq!(h.bucket_counts(), vec![1, 0, 0]);
+    }
+
+    #[test]
+    fn histogram_mean_and_reset() {
+        let h = Histogram::new(&[10]);
+        h.observe(4);
+        h.observe(8);
+        assert_eq!(h.mean(), 6.0);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.bucket_counts(), vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        Histogram::new(&[4, 2]);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("clue_b_total", "b");
+        reg.gauge("clue_a_value", "a");
+        reg.histogram("clue_c_hist", "c", &[1]);
+        let names: Vec<String> = reg.snapshot().into_iter().map(|(n, _, _)| n).collect();
+        assert_eq!(names, vec!["clue_a_value", "clue_b_total", "clue_c_hist"]);
+        assert_eq!(reg.len(), 3);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = std::sync::Arc::new(Registry::new());
+        let c = reg.counter("clue_threads_total", "");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let c = c.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.get(), 4000);
+    }
+}

@@ -155,6 +155,15 @@ impl CostStats {
         self.max
     }
 
+    /// Folds another accumulator into this one (e.g. aggregating
+    /// per-hop-position statistics into a steady-state figure).
+    pub fn merge(&mut self, other: &CostStats) {
+        self.samples += other.samples;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
     /// Sum of all recorded costs, by category.
     pub fn sum(&self) -> Cost {
         self.sum
@@ -205,6 +214,24 @@ mod tests {
         assert_eq!(s.mean(), 2.0);
         assert_eq!(s.max(), 3);
         assert_eq!(s.sum().hash_probes, 3);
+    }
+
+    #[test]
+    fn merge_combines_accumulators() {
+        let (mut a, mut b) = (CostStats::new(), CostStats::new());
+        let mut c1 = Cost::new();
+        c1.trie_node();
+        a.record(c1);
+        let mut c2 = Cost::new();
+        for _ in 0..5 {
+            c2.hash_probe();
+        }
+        b.record(c2);
+        a.merge(&b);
+        assert_eq!(a.samples(), 2);
+        assert_eq!(a.mean(), 3.0);
+        assert_eq!(a.max(), 5);
+        assert_eq!(a.sum().hash_probes, 5);
     }
 
     #[test]

@@ -92,7 +92,7 @@ proptest! {
                     );
                 }
             }
-            pat.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            pat.check_invariants().map_err(TestCaseError::fail)?;
             prop_assert_eq!(bin.len(), pat.len());
         }
         for raw in probes {

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Full verification gate: release build, test suite, lint wall.
+# Run from the repo root. Any failure aborts.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: OK"
