@@ -26,7 +26,12 @@ usage:
   clue metrics [packets] [seed] [--prom|--json]  run an instrumented workload
                                                  and dump the telemetry
                                                  registry (default: both
-                                                 formats)";
+                                                 formats)
+  clue throughput [packets] [seed] [--threads N] [--json PATH] [--check]
+                                                 packets/sec for the scalar,
+                                                 batched-frozen and sharded-
+                                                 parallel pipelines; --check
+                                                 verifies result equivalence";
 
 /// Entry point: dispatches on the first argument.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -48,6 +53,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ),
         Some("minimize") => minimize_cmd(args.get(1).ok_or("minimize needs a table file")?),
         Some("metrics") => metrics(&args[1..]),
+        Some("throughput") => throughput(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".to_owned()),
     }
@@ -282,6 +288,145 @@ fn metrics(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Benchmarks the three lookup pipelines — mutable scalar engine,
+/// frozen batch API, sharded parallel network driver — and optionally
+/// (`--check`) proves they return identical results before reporting
+/// any numbers. `--json PATH` exports the measurements for the
+/// `BENCH_*.json` trajectory.
+fn throughput(args: &[String]) -> Result<(), String> {
+    let mut packets = 20_000usize;
+    let mut seed = 1u64;
+    let mut threads = 4usize;
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--threads" => {
+                threads = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|_| "bad thread count")?;
+                if threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
+                }
+            }
+            "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--check" => check = true,
+            other => {
+                match positional {
+                    0 => packets = other.parse().map_err(|_| "bad packet count")?,
+                    1 => seed = other.parse().map_err(|_| "bad seed")?,
+                    _ => return Err(format!("unexpected argument {other:?}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if packets == 0 {
+        return Err("packet count must be at least 1".to_owned());
+    }
+
+    // Stage 1 — single receiver, paper-style traffic with honest clues:
+    // the scalar engine vs its frozen batch compilation.
+    let sender = synthesize_ipv4(4000, seed);
+    let receiver = derive_neighbor(&sender, &NeighborConfig::same_isp(seed.wrapping_add(1)));
+    let mut scalar = ClueEngine::precomputed(
+        &sender,
+        &receiver,
+        EngineConfig::new(Family::Regular, Method::Advance),
+    );
+    let frozen = scalar.freeze().map_err(|e| e.to_string())?;
+    let dests = generate(
+        &sender,
+        &receiver,
+        &TrafficConfig { count: packets, ..TrafficConfig::paper(seed) },
+    );
+    let t1: BinaryTrie<Ip4, ()> = sender.iter().map(|p| (*p, ())).collect();
+    let clues: Vec<Option<Prefix<Ip4>>> = dests
+        .iter()
+        .map(|&d| t1.lookup(d).map(|r| t1.prefix(r)).filter(|c| !c.is_empty()))
+        .collect();
+
+    let t0 = std::time::Instant::now();
+    let mut scalar_results = Vec::with_capacity(dests.len());
+    for (&dest, &clue) in dests.iter().zip(&clues) {
+        let mut cost = Cost::new();
+        scalar_results.push((scalar.lookup(dest, clue, None, &mut cost), cost));
+    }
+    let scalar_pps = packets as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    let mut out = vec![clue_core::Decision::default(); dests.len()];
+    let t0 = std::time::Instant::now();
+    frozen.lookup_batch(&dests, &clues, &mut out);
+    let batch_pps = packets as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    let mut equivalent = true;
+    if check {
+        for (d, &(bmp, cost)) in out.iter().zip(&scalar_results) {
+            if d.bmp != bmp || d.cost != cost {
+                equivalent = false;
+            }
+        }
+    }
+
+    // Stage 2 — the network workload: sequential per-packet reference
+    // vs the frozen driver sharded over `threads`.
+    let (topo, edges) = clue_netsim::Topology::backbone(4, 2);
+    let mut net_cfg = clue_netsim::NetworkConfig::new(
+        edges.clone(),
+        EngineConfig::new(Family::Regular, Method::Advance),
+    );
+    net_cfg.seed = seed;
+    let mut net: clue_netsim::Network<Ip4> = clue_netsim::Network::build(topo, net_cfg);
+    let net_packets = packets.min(5_000);
+
+    let t0 = std::time::Instant::now();
+    let seq = clue_netsim::run_workload_per_packet(&mut net, &edges, net_packets, seed);
+    let seq_pps = net_packets as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    let t0 = std::time::Instant::now();
+    let par = clue_netsim::run_workload_parallel(&net, &edges, net_packets, seed, threads)
+        .map_err(|e| e.to_string())?;
+    let par_pps = net_packets as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+
+    if check && par != seq {
+        equivalent = false;
+    }
+    if check && !equivalent {
+        return Err("equivalence check failed: pipelines disagree".to_owned());
+    }
+
+    let batch_speedup = batch_pps / scalar_pps.max(1e-9);
+    let par_speedup = par_pps / seq_pps.max(1e-9);
+    println!("engine workload: {packets} packets (sender 4000 prefixes, seed {seed})");
+    println!("  scalar engine:  {scalar_pps:>12.0} pkts/s");
+    println!("  frozen batch:   {batch_pps:>12.0} pkts/s  ({batch_speedup:.2}x)");
+    println!("network workload: {net_packets} packets over a 4x2 backbone");
+    println!("  per-packet seq: {seq_pps:>12.0} pkts/s");
+    println!("  parallel x{threads}:    {par_pps:>12.0} pkts/s  ({par_speedup:.2}x)");
+    if check {
+        println!("equivalence: OK (batch == scalar, parallel == sequential)");
+    }
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"packets\": {packets},\n  \"net_packets\": {net_packets},\n  \
+             \"seed\": {seed},\n  \"threads\": {threads},\n  \
+             \"scalar_pps\": {scalar_pps:.1},\n  \"batch_pps\": {batch_pps:.1},\n  \
+             \"batch_speedup\": {batch_speedup:.3},\n  \
+             \"seq_pps\": {seq_pps:.1},\n  \"parallel_pps\": {par_pps:.1},\n  \
+             \"parallel_speedup\": {par_speedup:.3},\n  \
+             \"checked\": {check},\n  \"equivalent\": {equivalent}\n}}\n"
+        );
+        fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +502,22 @@ mod tests {
         assert!(run(&s(&["metrics", "not-a-number"])).is_err());
         assert!(run(&s(&["metrics", "--prom", "--json"])).is_err());
         assert!(run(&s(&["metrics", "1", "2", "3"])).is_err());
+    }
+
+    #[test]
+    fn throughput_runs_checks_and_exports() {
+        let dir = std::env::temp_dir().join("clue-cli-test5");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("bench.json");
+        let j = json.to_str().unwrap().to_owned();
+        run(&s(&["throughput", "300", "3", "--threads", "2", "--check", "--json", &j])).unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"equivalent\": true"), "bad export: {text}");
+        assert!(text.contains("\"threads\": 2"));
+        assert!(run(&s(&["throughput", "0"])).is_err());
+        assert!(run(&s(&["throughput", "--threads", "0"])).is_err());
+        assert!(run(&s(&["throughput", "--threads"])).is_err());
+        assert!(run(&s(&["throughput", "1", "2", "3"])).is_err());
     }
 
     #[test]

@@ -11,11 +11,10 @@
 //! at clue-table prices: the cached object is a tiny FD/Ptr record, not
 //! an expensive CAM line.
 
-use std::collections::HashMap;
-
 use clue_telemetry::CacheTelemetry;
 use clue_trie::Prefix;
 
+use crate::fxhash::{FxBuildHasher, FxHashMap};
 use crate::table::ClueEntry;
 
 /// Hit/miss/churn accounting for a [`ClueCache`].
@@ -61,7 +60,9 @@ const NIL: usize = usize::MAX;
 #[derive(Debug)]
 pub struct LruCache<K: Copy + Eq + core::hash::Hash, V> {
     capacity: usize,
-    map: HashMap<K, usize>,
+    /// Fast-hashed: the cache probe sits on the per-packet path in
+    /// front of the clue table.
+    map: FxHashMap<K, usize>,
     slots: Vec<Slot<K, V>>,
     free: Vec<usize>,
     head: usize,
@@ -89,7 +90,7 @@ impl<K: Copy + Eq + core::hash::Hash, V> LruCache<K, V> {
         assert!(capacity > 0, "cache capacity must be positive");
         LruCache {
             capacity,
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, FxBuildHasher),
             slots: Vec::with_capacity(capacity),
             free: Vec::new(),
             head: NIL,

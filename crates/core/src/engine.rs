@@ -354,9 +354,30 @@ impl<A: Address> ClueEngine<A> {
         &self.table
     }
 
-    /// The receiver's prefixes.
-    pub fn receiver_prefixes(&self) -> Vec<Prefix<A>> {
-        self.t2.prefixes().collect()
+    /// The receiver's prefixes. Borrows from the engine's trie — collect
+    /// only if an owned snapshot is genuinely needed.
+    pub fn receiver_prefixes(&self) -> impl Iterator<Item = Prefix<A>> + '_ {
+        self.t2.prefixes()
+    }
+
+    /// The receiver's trie, for the freezer.
+    pub(crate) fn t2_ref(&self) -> &BinaryTrie<A, ()> {
+        &self.t2
+    }
+
+    /// The Section 4 per-vertex Booleans, if computed, for the freezer.
+    pub(crate) fn bits_bin_ref(&self) -> Option<&[bool]> {
+        self.bits_bin.as_deref()
+    }
+
+    /// Whether an LRU cache sits in front of the clue table.
+    pub(crate) fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Whether continuations run on the engine's own binary trie.
+    pub(crate) fn is_regular_family(&self) -> bool {
+        matches!(self.inner, Inner::Regular)
     }
 
     /// A one-line human-readable summary (diagnostics / CLI output).

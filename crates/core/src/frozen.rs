@@ -1,0 +1,625 @@
+//! A read-only, cache-compact compilation of a [`ClueEngine`] for the
+//! batched hot path.
+//!
+//! The live engine is built for *change*: its trie is arena-allocated
+//! with parent links, free lists and `Option<NodeId>` children, its
+//! table re-classifies under route updates, and `lookup` takes `&mut
+//! self` to learn, cache and count. None of that belongs on a
+//! forwarding fast path. [`ClueEngine::freeze`] compiles the engine
+//! into a [`FrozenEngine`]:
+//!
+//! * the continuation trie is laid out **breadth-first** in one
+//!   contiguous array of 12-byte [`FrozenNode`]s — children are plain
+//!   `u32` indices (`NONE_NODE` for absent), and the Section 4 Claim-1
+//!   Boolean rides in bit 31 of the node's route word, so a continued
+//!   walk reads exactly one word-aligned record per vertex it charges
+//!   to [`Cost`];
+//! * the clue table becomes a flat entry array behind one
+//!   [`FxHashMap`] probe (the paper's single mandatory access);
+//! * `lookup` takes `&self` — the frozen engine is `Sync` and can be
+//!   shared across threads with no locking, which is what
+//!   `clue-netsim`'s sharded driver builds on;
+//! * [`FrozenEngine::lookup_batch`] processes a slice of packets with
+//!   the telemetry branch hoisted out of the loop.
+//!
+//! **Cost parity is a hard contract**: for every (destination, clue)
+//! pair the frozen engine produces the same BMP, the same
+//! [`LookupClass`] and tick-for-tick the same [`Cost`] as the scalar
+//! engine it was compiled from (property-tested in
+//! `tests/frozen_prop.rs`). Freezing is a snapshot: later mutation of
+//! the live engine does not show through.
+
+use std::collections::HashMap;
+
+use clue_telemetry::{LookupClass, LookupEvent, LookupTelemetry};
+use clue_trie::{Address, Cost, Prefix};
+
+use crate::engine::{ClueEngine, EngineStats, Method};
+use crate::fxhash::FxHashMap;
+use crate::table::{Continuation, TableKind};
+
+/// “No child” sentinel in [`FrozenNode::children`].
+pub const NONE_NODE: u32 = u32::MAX;
+/// Claim-1 continue bit: set iff a candidate may lie strictly below.
+const CONT_BIT: u32 = 1 << 31;
+/// “No route marked here” in the low 31 bits of the route word.
+const NO_ROUTE: u32 = CONT_BIT - 1;
+
+/// One flattened trie vertex: two child indices and a packed route
+/// word (bit 31 = Claim-1 continue bit, low 31 bits = route index or
+/// [`NO_ROUTE`]). 12 bytes, versus ~56 for the live arena node.
+#[derive(Debug, Clone, Copy)]
+struct FrozenNode {
+    children: [u32; 2],
+    route_word: u32,
+}
+
+impl FrozenNode {
+    #[inline]
+    fn may_continue(&self) -> bool {
+        self.route_word & CONT_BIT != 0
+    }
+}
+
+/// One flattened clue-table entry: the FD fallback plus the
+/// continuation vertex ([`NONE_NODE`] = the paper's “Ptr empty”).
+#[derive(Debug, Clone, Copy)]
+struct FrozenEntry<A: Address> {
+    fd: Option<Prefix<A>>,
+    cont: u32,
+}
+
+/// Why an engine could not be frozen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FreezeError {
+    /// Only the Regular (binary-trie) family has a flattened walk.
+    UnsupportedFamily,
+    /// Only hashed clue tables freeze; indexed slots stay live.
+    UnsupportedTable,
+    /// An LRU cache makes per-lookup cost history-dependent — the
+    /// frozen engine is stateless by design.
+    CacheEnabled,
+}
+
+impl core::fmt::Display for FreezeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            FreezeError::UnsupportedFamily => {
+                "only the Regular family can be frozen (flattened trie walk)"
+            }
+            FreezeError::UnsupportedTable => "only hashed clue tables can be frozen",
+            FreezeError::CacheEnabled => {
+                "an engine with an LRU cache is stateful and cannot be frozen"
+            }
+        })
+    }
+}
+
+impl std::error::Error for FreezeError {}
+
+/// The outcome of one frozen lookup: what a scalar
+/// [`ClueEngine::lookup`] would have returned, classified, and what it
+/// would have charged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision<A: Address> {
+    /// The BMP found (the scalar lookup's return value).
+    pub bmp: Option<Prefix<A>>,
+    /// How the lookup resolved.
+    pub class: LookupClass,
+    /// Memory accesses charged, by category.
+    pub cost: Cost,
+}
+
+impl<A: Address> Default for Decision<A> {
+    fn default() -> Self {
+        Decision { bmp: None, class: LookupClass::Clueless, cost: Cost::new() }
+    }
+}
+
+/// A read-only compiled engine; see the module docs.
+#[derive(Debug, Clone)]
+pub struct FrozenEngine<A: Address> {
+    method: Method,
+    /// BFS-ordered vertices; index 0 is the root.
+    nodes: Vec<FrozenNode>,
+    /// Route prefixes referenced by the nodes' route words.
+    routes: Vec<Prefix<A>>,
+    /// Clue-table entries, dense.
+    entries: Vec<FrozenEntry<A>>,
+    /// Clue → entry index, one fast-hash probe per consult.
+    map: FxHashMap<Prefix<A>, u32>,
+    /// Inherited from the live engine at freeze time (shared cells), so
+    /// frozen lookups keep feeding the same registry metrics.
+    telemetry: Option<LookupTelemetry>,
+}
+
+impl<A: Address> ClueEngine<A> {
+    /// Compiles this engine into a [`FrozenEngine`] snapshot.
+    ///
+    /// Supported configuration: [`clue_lookup::Family::Regular`] with a
+    /// hashed clue table and no LRU cache — the paper's headline
+    /// deployment. Any attached lookup telemetry is inherited (the
+    /// frozen engine records into the same cells).
+    pub fn freeze(&self) -> Result<FrozenEngine<A>, FreezeError> {
+        if !self.is_regular_family() {
+            return Err(FreezeError::UnsupportedFamily);
+        }
+        if self.table().kind() != TableKind::Hashed {
+            return Err(FreezeError::UnsupportedTable);
+        }
+        if self.has_cache() {
+            return Err(FreezeError::CacheEnabled);
+        }
+
+        let t2 = self.t2_ref();
+        let bits = self.bits_bin_ref();
+
+        // Breadth-first flattening: parents precede children, siblings
+        // are adjacent, so a top-down walk streams forward through the
+        // array. Remember old arena index → new index to translate the
+        // table's continuation pointers and project the Claim-1 bits.
+        let mut order = Vec::with_capacity(t2.node_count());
+        let mut old_to_new: HashMap<usize, u32> = HashMap::with_capacity(t2.node_count());
+        order.push(t2.root());
+        old_to_new.insert(t2.root().index(), 0);
+        let mut head = 0;
+        while head < order.len() {
+            let id = order[head];
+            head += 1;
+            for c in t2.children(id).into_iter().flatten() {
+                old_to_new.insert(c.index(), order.len() as u32);
+                order.push(c);
+            }
+        }
+
+        let mut nodes = Vec::with_capacity(order.len());
+        let mut routes = Vec::new();
+        for &id in &order {
+            let route = match t2.route_at(id) {
+                Some(r) => {
+                    let i = u32::try_from(routes.len()).expect("route count fits 31 bits");
+                    assert!(i < NO_ROUTE, "route count fits 31 bits");
+                    routes.push(t2.prefix(r));
+                    i
+                }
+                None => NO_ROUTE,
+            };
+            // With no Claim-1 bits (Simple, or Advance without them) the
+            // scalar continuation is `lookup_from`, which walks while
+            // children exist — exactly an always-set continue bit.
+            let cont = match bits {
+                Some(b) => b.get(id.index()).copied().unwrap_or(false),
+                None => true,
+            };
+            let children = t2.children(id).map(|c| match c {
+                Some(c) => old_to_new[&c.index()],
+                None => NONE_NODE,
+            });
+            nodes.push(FrozenNode {
+                children,
+                route_word: route | if cont { CONT_BIT } else { 0 },
+            });
+        }
+
+        let mut entries = Vec::with_capacity(self.table().len());
+        let mut map = FxHashMap::default();
+        for e in self.table().entries() {
+            let cont = match &e.cont {
+                None => NONE_NODE,
+                Some(Continuation::TrieNode(n)) => old_to_new[&n.index()],
+                // The Regular family only ever builds TrieNode
+                // continuations; anything else means the family check
+                // above is out of sync with `build_entry`.
+                Some(_) => return Err(FreezeError::UnsupportedFamily),
+            };
+            let i = u32::try_from(entries.len()).expect("clue table fits u32");
+            entries.push(FrozenEntry { fd: e.fd, cont });
+            map.insert(e.clue, i);
+        }
+
+        Ok(FrozenEngine {
+            method: self.config().method,
+            nodes,
+            routes,
+            entries,
+            map,
+            telemetry: self.telemetry().cloned(),
+        })
+    }
+}
+
+impl<A: Address> FrozenEngine<A> {
+    /// Number of flattened trie vertices.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of clue-table entries.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Resident bytes of the flattened arrays (nodes + routes + entries),
+    /// excluding the hash map — the structures the hot walk touches.
+    pub fn memory_bytes(&self) -> usize {
+        self.nodes.len() * core::mem::size_of::<FrozenNode>()
+            + self.routes.len() * core::mem::size_of::<Prefix<A>>()
+            + self.entries.len() * core::mem::size_of::<FrozenEntry<A>>()
+    }
+
+    /// Replaces the inherited telemetry bundle.
+    pub fn attach_telemetry(&mut self, telemetry: LookupTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Drops the telemetry bundle (lookups stop recording).
+    pub fn detach_telemetry(&mut self) {
+        self.telemetry = None;
+    }
+
+    /// The attached telemetry, if any.
+    pub fn telemetry(&self) -> Option<&LookupTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    #[inline]
+    fn route_prefix(&self, word: u32) -> Option<Prefix<A>> {
+        let r = word & NO_ROUTE;
+        (r != NO_ROUTE).then(|| self.routes[r as usize])
+    }
+
+    /// The common lookup: root-down bit walk, one access per vertex,
+    /// mirroring `BinaryTrie::lookup_counted`.
+    #[inline]
+    fn common_walk(&self, dest: A, cost: &mut Cost) -> Option<Prefix<A>> {
+        let mut cur = &self.nodes[0];
+        cost.trie_node();
+        let mut best = self.route_prefix(cur.route_word);
+        for i in 0..A::BITS {
+            let c = cur.children[dest.bit(i) as usize];
+            if c == NONE_NODE {
+                break;
+            }
+            cur = &self.nodes[c as usize];
+            cost.trie_node();
+            if let Some(p) = self.route_prefix(cur.route_word) {
+                best = Some(p);
+            }
+        }
+        best
+    }
+
+    /// The continued walk from a clue vertex at depth `depth`,
+    /// mirroring `trie_walk_bits` / `lookup_from`: the start vertex is
+    /// charged, then one access per vertex descended into, stopping
+    /// when the continue bit clears, the address is exhausted, or the
+    /// path dead-ends.
+    #[inline]
+    fn walk_from(&self, start: u32, mut depth: u8, dest: A, cost: &mut Cost) -> Option<Prefix<A>> {
+        let mut cur = &self.nodes[start as usize];
+        cost.trie_node();
+        let mut best = self.route_prefix(cur.route_word);
+        loop {
+            if !cur.may_continue() || depth >= A::BITS {
+                break;
+            }
+            let c = cur.children[dest.bit(depth) as usize];
+            if c == NONE_NODE {
+                break;
+            }
+            cur = &self.nodes[c as usize];
+            depth += 1;
+            cost.trie_node();
+            if let Some(p) = self.route_prefix(cur.route_word) {
+                best = Some(p);
+            }
+        }
+        best
+    }
+
+    /// One frozen lookup: the scalar [`ClueEngine::lookup`] flow with
+    /// learning, caching and self-mutation compiled out. Returns the
+    /// BMP and the resolution class; charges `cost` identically to the
+    /// scalar path.
+    ///
+    /// Does **not** record telemetry or stats — the batch API owns
+    /// those so their branches amortize; wrap single lookups in a
+    /// 1-element batch if per-packet recording is needed.
+    #[inline]
+    pub fn lookup(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        let s = match (self.method, clue) {
+            (Method::Common, _) | (_, None) => {
+                return (self.common_walk(dest, cost), LookupClass::Clueless);
+            }
+            (_, Some(s)) => s,
+        };
+        if !s.contains(dest) {
+            return (self.common_walk(dest, cost), LookupClass::Malformed);
+        }
+        cost.hash_probe();
+        match self.map.get(&s) {
+            Some(&i) => {
+                let entry = &self.entries[i as usize];
+                if entry.cont == NONE_NODE {
+                    (entry.fd, LookupClass::Final)
+                } else {
+                    let found = self.walk_from(entry.cont, s.len(), dest, cost);
+                    (found.or(entry.fd), LookupClass::Continued)
+                }
+            }
+            // Unknown clue: full lookup, nothing learned (frozen).
+            None => (self.common_walk(dest, cost), LookupClass::Miss),
+        }
+    }
+
+    /// As [`Self::lookup`], packaged as a [`Decision`].
+    pub fn lookup_decision(&self, dest: A, clue: Option<Prefix<A>>) -> Decision<A> {
+        let mut cost = Cost::new();
+        let (bmp, class) = self.lookup(dest, clue, &mut cost);
+        Decision { bmp, class, cost }
+    }
+
+    /// Batched lookup: resolves `dests[i]` with `clues[i]` into
+    /// `out[i]` and returns the per-class counts for the batch.
+    ///
+    /// The telemetry branch is hoisted out of the per-packet loop; with
+    /// telemetry attached, every packet still records a full
+    /// [`LookupEvent`] (mirroring the scalar engine's event stream,
+    /// subscribers included).
+    ///
+    /// # Panics
+    /// Panics unless `dests`, `clues` and `out` have equal lengths.
+    pub fn lookup_batch(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+    ) -> EngineStats {
+        assert_eq!(dests.len(), clues.len(), "one clue slot per destination");
+        assert_eq!(dests.len(), out.len(), "one decision slot per destination");
+        let mut stats = EngineStats::default();
+        match &self.telemetry {
+            None => {
+                for ((&dest, &clue), slot) in dests.iter().zip(clues).zip(out.iter_mut()) {
+                    let mut cost = Cost::new();
+                    let (bmp, class) = self.lookup(dest, clue, &mut cost);
+                    bump(&mut stats, class);
+                    *slot = Decision { bmp, class, cost };
+                }
+            }
+            Some(t) => {
+                for ((&dest, &clue), slot) in dests.iter().zip(clues).zip(out.iter_mut()) {
+                    let mut cost = Cost::new();
+                    let (bmp, class) = self.lookup(dest, clue, &mut cost);
+                    bump(&mut stats, class);
+                    t.record(&LookupEvent {
+                        clue_len: clue.map(|s| s.len()),
+                        class,
+                        search_depth: search_depth(class, cost),
+                        cache_hit: None,
+                        memory_references: cost.total(),
+                    });
+                    *slot = Decision { bmp, class, cost };
+                }
+            }
+        }
+        stats
+    }
+
+    /// Allocating convenience over [`Self::lookup_batch`].
+    pub fn lookup_batch_vec(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+    ) -> (Vec<Decision<A>>, EngineStats) {
+        let mut out = vec![Decision::default(); dests.len()];
+        let stats = self.lookup_batch(dests, clues, &mut out);
+        (out, stats)
+    }
+}
+
+#[inline]
+fn bump(stats: &mut EngineStats, class: LookupClass) {
+    match class {
+        LookupClass::Clueless => stats.clueless += 1,
+        LookupClass::Final => stats.finals += 1,
+        LookupClass::Continued => stats.continued += 1,
+        LookupClass::Miss => stats.misses += 1,
+        LookupClass::Malformed => stats.malformed += 1,
+    }
+}
+
+/// The scalar engine reports the continuation's cost as the search
+/// depth; for a Continued lookup that is everything but the mandatory
+/// table probe.
+#[inline]
+fn search_depth(class: LookupClass, cost: Cost) -> u64 {
+    if class == LookupClass::Continued {
+        cost.total() - cost.hash_probes
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use clue_lookup::Family;
+    use clue_trie::Ip4;
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ip4 {
+        s.parse().unwrap()
+    }
+
+    fn tables() -> (Vec<Prefix<Ip4>>, Vec<Prefix<Ip4>>) {
+        let sender = vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.168.0.0/16")];
+        let receiver = vec![
+            p("10.0.0.0/8"),
+            p("10.1.0.0/16"),
+            p("10.1.2.0/24"),
+            p("10.2.0.0/16"),
+            p("192.168.0.0/16"),
+        ];
+        (sender, receiver)
+    }
+
+    fn check_parity(method: Method, dest: Ip4, clue: Option<Prefix<Ip4>>) {
+        let (sender, receiver) = tables();
+        let mut scalar =
+            ClueEngine::precomputed(&sender, &receiver, EngineConfig::new(Family::Regular, method));
+        let frozen = scalar.freeze().unwrap();
+        let mut sc = Cost::new();
+        let want = scalar.lookup(dest, clue, None, &mut sc);
+        let mut fc = Cost::new();
+        let (got, _) = frozen.lookup(dest, clue, &mut fc);
+        assert_eq!(got, want, "{method} bmp for {dest} clue {clue:?}");
+        assert_eq!(fc, sc, "{method} cost for {dest} clue {clue:?}");
+    }
+
+    #[test]
+    fn parity_across_methods_and_classes() {
+        for method in [Method::Common, Method::Simple, Method::Advance] {
+            check_parity(method, a("10.1.2.3"), None); // clueless
+            check_parity(method, a("10.1.2.3"), Some(p("10.1.0.0/16"))); // continued/final
+            check_parity(method, a("10.1.99.1"), Some(p("10.1.0.0/16")));
+            check_parity(method, a("192.168.3.4"), Some(p("192.168.0.0/16")));
+            check_parity(method, a("10.9.9.9"), Some(p("10.0.0.0/8")));
+            check_parity(method, a("10.1.2.3"), Some(p("192.168.0.0/16"))); // malformed
+            check_parity(method, a("10.1.2.3"), Some(p("10.1.2.0/24"))); // miss (not a sender clue)
+            check_parity(method, a("11.1.2.3"), None); // no route
+        }
+    }
+
+    #[test]
+    fn classes_match_scalar_stats() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let frozen = scalar.freeze().unwrap();
+        let d = frozen.lookup_decision(a("10.1.2.3"), Some(p("10.1.0.0/16")));
+        assert_eq!(d.class, LookupClass::Continued);
+        assert_eq!(d.bmp, Some(p("10.1.2.0/24")));
+        let d = frozen.lookup_decision(a("192.168.3.4"), Some(p("192.168.0.0/16")));
+        assert_eq!(d.class, LookupClass::Final);
+        assert_eq!(d.cost.total(), 1, "a final hit is the paper's one access");
+    }
+
+    #[test]
+    fn batch_matches_singles_and_counts_classes() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let frozen = scalar.freeze().unwrap();
+        let dests = vec![a("10.1.2.3"), a("192.168.3.4"), a("10.1.2.3"), a("7.7.7.7")];
+        let clues = vec![
+            Some(p("10.1.0.0/16")),
+            Some(p("192.168.0.0/16")),
+            Some(p("192.168.0.0/16")), // malformed
+            None,
+        ];
+        let (batch, stats) = frozen.lookup_batch_vec(&dests, &clues);
+        for (i, (&dest, &clue)) in dests.iter().zip(&clues).enumerate() {
+            assert_eq!(batch[i], frozen.lookup_decision(dest, clue), "packet {i}");
+        }
+        assert_eq!(
+            (stats.continued, stats.finals, stats.malformed, stats.clueless),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(stats.total(), 4);
+    }
+
+    #[test]
+    fn batch_records_inherited_telemetry() {
+        use clue_telemetry::Registry;
+        let (sender, receiver) = tables();
+        let mut scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let registry = Registry::new();
+        scalar.instrument(&registry);
+        let frozen = scalar.freeze().unwrap();
+        assert!(frozen.telemetry().is_some(), "telemetry inherited at freeze");
+        let dests = vec![a("10.1.2.3"), a("192.168.3.4")];
+        let clues = vec![Some(p("10.1.0.0/16")), Some(p("192.168.0.0/16"))];
+        let (_, stats) = frozen.lookup_batch_vec(&dests, &clues);
+        let t = frozen.telemetry().unwrap();
+        assert_eq!(t.lookups_total.get(), 2);
+        assert_eq!(t.class_count(LookupClass::Final), stats.finals);
+        assert_eq!(t.class_count(LookupClass::Continued), stats.continued);
+    }
+
+    #[test]
+    fn freeze_rejects_unsupported_configurations() {
+        let (sender, receiver) = tables();
+        let patricia = ClueEngine::<Ip4>::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Patricia, Method::Advance),
+        );
+        assert_eq!(patricia.freeze().unwrap_err(), FreezeError::UnsupportedFamily);
+
+        let indexed = ClueEngine::<Ip4>::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance).with_indexed_table(),
+        );
+        assert_eq!(indexed.freeze().unwrap_err(), FreezeError::UnsupportedTable);
+
+        let mut cached = ClueEngine::<Ip4>::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        cached.enable_cache(8);
+        assert_eq!(cached.freeze().unwrap_err(), FreezeError::CacheEnabled);
+        assert!(FreezeError::CacheEnabled.to_string().contains("cache"));
+    }
+
+    #[test]
+    fn frozen_layout_is_compact() {
+        assert_eq!(core::mem::size_of::<FrozenNode>(), 12);
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let frozen = scalar.freeze().unwrap();
+        assert_eq!(frozen.entry_count(), sender.len());
+        assert!(frozen.node_count() > 0);
+        assert!(frozen.memory_bytes() < scalar.t2_ref().memory_bytes());
+    }
+
+    #[test]
+    fn freeze_is_a_snapshot() {
+        let (sender, receiver) = tables();
+        let mut scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let frozen = scalar.freeze().unwrap();
+        scalar.add_receiver_route(p("10.1.2.128/25"));
+        let mut c = Cost::new();
+        let (bmp, _) = frozen.lookup(a("10.1.2.200"), Some(p("10.1.0.0/16")), &mut c);
+        assert_eq!(bmp, Some(p("10.1.2.0/24")), "snapshot ignores later routes");
+    }
+}

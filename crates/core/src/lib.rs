@@ -64,6 +64,8 @@ mod cache;
 mod classify;
 mod clue;
 mod engine;
+mod frozen;
+pub mod fxhash;
 pub mod mpls;
 pub mod neighbors;
 pub mod recursive;
@@ -73,4 +75,6 @@ pub use cache::{CacheStats, ClueCache, LruCache, PresenceCache};
 pub use classify::{classify, classify_all, problematic_fraction, Classification};
 pub use clue::{ClueHeader, EncodedClue};
 pub use engine::{ClueEngine, EngineConfig, EngineStats, Method};
+pub use frozen::{Decision, FreezeError, FrozenEngine, NONE_NODE};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use table::{CandidateRange, ClueEntry, ClueIndexer, ClueTable, Continuation, TableKind};

@@ -25,6 +25,8 @@ use std::collections::HashMap;
 use clue_lookup::{LengthBinarySearch, RangeIndex, SNodeId};
 use clue_trie::{Address, Cost, Location, NodeId, Prefix};
 
+use crate::fxhash::FxHashMap;
+
 /// How the clue table is addressed (Section 3.3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TableKind {
@@ -140,14 +142,17 @@ impl<A: Address> ClueEntry<A> {
 #[derive(Debug, Clone)]
 pub struct ClueTable<A: Address> {
     kind: TableKind,
-    map: HashMap<Prefix<A>, ClueEntry<A>>,
+    /// Keyed through the in-workspace fast hasher: this map is probed
+    /// once per clue-routed packet, so SipHash would dominate the
+    /// “one memory access” the probe is meant to model.
+    map: FxHashMap<Prefix<A>, ClueEntry<A>>,
     slots: Vec<Option<ClueEntry<A>>>,
 }
 
 impl<A: Address> ClueTable<A> {
     /// An empty table of the given kind.
     pub fn new(kind: TableKind) -> Self {
-        ClueTable { kind, map: HashMap::new(), slots: Vec::new() }
+        ClueTable { kind, map: FxHashMap::default(), slots: Vec::new() }
     }
 
     /// The addressing flavour.

@@ -15,6 +15,9 @@
 //!   routers relay clues) and the Section 5.4 load-shifting mode;
 //! * [`run_workload`] — multi-packet runs with per-router / per-hop
 //!   statistics (Figure 1's two curves fall straight out);
+//! * [`run_workload_parallel`] — the same workload sharded over OS
+//!   threads against a [`FrozenNetwork`], bit-identical for a given
+//!   seed regardless of thread count;
 //! * [`LabelSwitchedPath`] — the Figure 8 MPLS aggregation-point
 //!   scenario, plain vs label-as-clue-index hybrid;
 //! * [`PathVector`] — a BGP-like path-vector protocol run to
@@ -27,6 +30,7 @@
 
 mod mpls_path;
 mod network;
+mod parallel;
 mod pathvector;
 mod sim;
 mod topology;
@@ -36,5 +40,6 @@ pub use pathvector::{Aggregation, PathVector, Rib, Route};
 pub use network::{
     DetailBands, Hop, HopRecord, Network, NetworkConfig, PathTrace, RouterNode,
 };
+pub use parallel::{run_workload_parallel, run_workload_per_packet, FrozenNetwork};
 pub use sim::{export_cost_stats, run_workload, run_workload_instrumented, RunStats};
 pub use topology::{RouteTree, RouterId, Topology};

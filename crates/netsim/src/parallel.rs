@@ -1,0 +1,467 @@
+//! Sharded, multi-threaded workload driver over a frozen network.
+//!
+//! [`run_workload`](crate::run_workload) routes packets one at a time
+//! through mutable [`ClueEngine`](clue_core::ClueEngine)s. This module
+//! freezes every engine into its read-only
+//! [`FrozenEngine`](clue_core::FrozenEngine) compilation
+//! ([`FrozenNetwork`]) and fans the packet stream out across OS threads
+//! with [`std::thread::scope`] — no locks, no new dependencies.
+//!
+//! ## The determinism-under-sharding contract
+//!
+//! [`run_workload_parallel`] is **bit-identical for a given seed
+//! regardless of thread count**. Three ingredients make that hold:
+//!
+//! 1. *Per-packet RNG streams.* Packet `i` draws from its own
+//!    `StdRng` seeded with `splitmix64(seed, i)` instead of sharing one
+//!    sequential stream, so a packet's draws do not depend on which
+//!    thread runs it or what ran before it. (This is also why the
+//!    parallel driver is not draw-for-draw identical to the sequential
+//!    [`run_workload`](crate::run_workload); [`run_workload_per_packet`]
+//!    is the scalar reference with the same derivation.)
+//! 2. *Contiguous shards, merged in order.* Thread `t` owns packets
+//!    `[t·chunk, (t+1)·chunk)` and accumulates into its own
+//!    [`CostStats`] set; shards are merged left to right, so every
+//!    merge tree reduces to the same integer sums and maxima.
+//! 3. *Integer accumulation.* Per-position BMP-length sums are kept as
+//!    `u64` and divided once at the end — no float-association drift.
+//!
+//! Frozen engines are stateless, so per-packet work is genuinely
+//! independent: the same property that makes the run parallelizable
+//! makes it deterministic.
+
+use std::collections::HashMap;
+
+use clue_core::{ClueHeader, FreezeError, FrozenEngine};
+use clue_trie::{Address, Cost, CostStats};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::network::{Hop, HopRecord, Network, PathTrace};
+use crate::sim::RunStats;
+use crate::topology::RouterId;
+
+/// One router's frozen lookup state (the FIB stays borrowed from the
+/// live [`Network`]).
+#[derive(Debug)]
+struct FrozenRouter<A: Address> {
+    base: FrozenEngine<A>,
+    engines: HashMap<RouterId, FrozenEngine<A>>,
+    participates: bool,
+}
+
+/// A read-only view of a [`Network`] with every clue engine compiled
+/// to a [`FrozenEngine`]: routable from `&self`, shareable across
+/// threads.
+#[derive(Debug)]
+pub struct FrozenNetwork<'n, A: Address> {
+    net: &'n Network<A>,
+    routers: Vec<FrozenRouter<A>>,
+}
+
+impl<'n, A: Address> FrozenNetwork<'n, A> {
+    /// Freezes every engine in `net`. Fails if any engine is not
+    /// freezable (non-Regular family, indexed table, or an LRU cache —
+    /// caches make per-packet cost history-dependent, which the
+    /// deterministic sharded driver cannot reproduce).
+    pub fn freeze(net: &'n Network<A>) -> Result<Self, FreezeError> {
+        let routers = net
+            .routers()
+            .iter()
+            .map(|r| {
+                let engines = r
+                    .engines
+                    .iter()
+                    .map(|(&nb, e)| e.freeze().map(|f| (nb, f)))
+                    .collect::<Result<HashMap<_, _>, _>>()?;
+                Ok(FrozenRouter {
+                    base: r.base.freeze()?,
+                    engines,
+                    participates: r.participates,
+                })
+            })
+            .collect::<Result<Vec<_>, FreezeError>>()?;
+        Ok(FrozenNetwork { net, routers })
+    }
+
+    /// The live network this view was frozen from.
+    pub fn network(&self) -> &'n Network<A> {
+        self.net
+    }
+
+    /// Forwards one packet exactly like
+    /// [`Network::route_packet`] — same hops, same per-hop [`Cost`],
+    /// same Section 5.4 shifted work — but from `&self`, through the
+    /// frozen engines.
+    pub fn route_packet(&self, src: RouterId, dest: A) -> PathTrace<A> {
+        let config = self.net.config();
+        let routers = self.net.routers();
+        let mut hops = Vec::new();
+        let mut header = ClueHeader::none();
+        let mut prev: Option<RouterId> = None;
+        let mut cur = src;
+        let mut delivered = false;
+        let max_hops = self.net.topology().len() * 2 + 4;
+
+        for _ in 0..max_hops {
+            let mut cost = Cost::new();
+            let node = &self.routers[cur];
+            let fib = &routers[cur].fib;
+            let used_clue = node.participates
+                && prev.is_some_and(|p| node.engines.contains_key(&p))
+                && header.clue.is_some();
+            let bmp = if used_clue {
+                let engine = &node.engines[&prev.expect("used_clue implies prev")];
+                engine.lookup(dest, header.decode(dest), &mut cost).0
+            } else {
+                node.base.lookup(dest, None, &mut cost).0
+            };
+
+            let next = bmp.and_then(|p| fib.get(&p)).map(|r| *fib.value(r));
+
+            let mut shift_cost = Cost::new();
+            if node.participates {
+                if let Some(p) = bmp {
+                    header = ClueHeader::with_clue(&p);
+                }
+                if config.shift_work_to_edges {
+                    if let Some(Hop::Via(nh)) = next {
+                        if config.core.contains(&nh) {
+                            let nb_fib = &routers[nh].fib;
+                            let nb_bmp = match bmp.and_then(|p| nb_fib.node_of_prefix(&p)) {
+                                Some(start) => nb_fib
+                                    .lookup_from(start, dest, &mut shift_cost)
+                                    .map(|r| nb_fib.prefix(r)),
+                                None => nb_fib
+                                    .lookup_counted(dest, &mut shift_cost)
+                                    .map(|r| nb_fib.prefix(r)),
+                            };
+                            if let Some(p) = nb_bmp {
+                                header = ClueHeader::with_clue(&p);
+                            }
+                        }
+                    }
+                }
+            }
+
+            hops.push(HopRecord { router: cur, from: prev, bmp, cost, shift_cost, used_clue });
+
+            match next {
+                Some(Hop::Local) => {
+                    delivered = true;
+                    break;
+                }
+                Some(Hop::Via(nh)) => {
+                    prev = Some(cur);
+                    cur = nh;
+                }
+                None => break,
+            }
+        }
+        PathTrace { dest, hops, delivered }
+    }
+}
+
+/// SplitMix64 finalizer over a (seed, packet index) pair: the root of
+/// packet `i`'s private RNG stream. Cheap, and two distinct indices
+/// never collide for a fixed seed (the finalizer is a bijection).
+fn packet_seed(seed: u64, index: u64) -> u64 {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Draws packet `i`'s (source, destination) pair from its private
+/// stream — the shared half of the scalar/parallel determinism
+/// contract.
+fn draw_packet<A: Address>(
+    net: &Network<A>,
+    sources: &[RouterId],
+    origins: &[RouterId],
+    seed: u64,
+    index: u64,
+) -> (RouterId, A) {
+    let mut rng = StdRng::seed_from_u64(packet_seed(seed, index));
+    let src = *sources.choose(&mut rng).expect("non-empty sources");
+    let oi = loop {
+        let i = rng.random_range(0..origins.len());
+        if origins[i] != src || origins.len() == 1 {
+            break i;
+        }
+    };
+    (src, net.random_destination(oi, &mut rng))
+}
+
+/// Order-merged shard accumulator; integer-only so merge grouping
+/// cannot change the result.
+struct Accum {
+    per_router: Vec<CostStats>,
+    per_hop_position: Vec<CostStats>,
+    bmp_len_sum: Vec<(u64, u64)>,
+    delivered: usize,
+    total: u64,
+    clue_hops: u64,
+    total_hops: u64,
+}
+
+impl Accum {
+    fn new(routers: usize) -> Self {
+        Accum {
+            per_router: vec![CostStats::new(); routers],
+            per_hop_position: Vec::new(),
+            bmp_len_sum: Vec::new(),
+            delivered: 0,
+            total: 0,
+            clue_hops: 0,
+            total_hops: 0,
+        }
+    }
+
+    fn record<A: Address>(&mut self, trace: &PathTrace<A>) {
+        if trace.delivered {
+            self.delivered += 1;
+        }
+        for (pos, hop) in trace.hops.iter().enumerate() {
+            let mut full = hop.cost;
+            full += hop.shift_cost;
+            self.per_router[hop.router].record(full);
+            if self.per_hop_position.len() <= pos {
+                self.per_hop_position.resize(pos + 1, CostStats::new());
+                self.bmp_len_sum.resize(pos + 1, (0, 0));
+            }
+            self.per_hop_position[pos].record(full);
+            let (s, c) = &mut self.bmp_len_sum[pos];
+            *s += hop.bmp.map_or(0, |p| p.len()) as u64;
+            *c += 1;
+            self.total += full.total();
+            self.total_hops += 1;
+            if hop.used_clue {
+                self.clue_hops += 1;
+            }
+        }
+    }
+
+    fn merge(&mut self, other: &Accum) {
+        for (a, b) in self.per_router.iter_mut().zip(&other.per_router) {
+            a.merge(b);
+        }
+        if self.per_hop_position.len() < other.per_hop_position.len() {
+            self.per_hop_position.resize(other.per_hop_position.len(), CostStats::new());
+            self.bmp_len_sum.resize(other.bmp_len_sum.len(), (0, 0));
+        }
+        for (a, b) in self.per_hop_position.iter_mut().zip(&other.per_hop_position) {
+            a.merge(b);
+        }
+        for (a, b) in self.bmp_len_sum.iter_mut().zip(&other.bmp_len_sum) {
+            a.0 += b.0;
+            a.1 += b.1;
+        }
+        self.delivered += other.delivered;
+        self.total += other.total;
+        self.clue_hops += other.clue_hops;
+        self.total_hops += other.total_hops;
+    }
+
+    fn finish(self, packets: usize) -> RunStats {
+        RunStats {
+            per_router: self.per_router,
+            bmp_len_by_position: self
+                .bmp_len_sum
+                .iter()
+                .map(|&(s, c)| if c == 0 { 0.0 } else { s as f64 / c as f64 })
+                .collect(),
+            per_hop_position: self.per_hop_position,
+            packets,
+            delivered: self.delivered,
+            total_accesses: self.total,
+            clue_hops: self.clue_hops,
+            total_hops: self.total_hops,
+        }
+    }
+}
+
+/// The scalar reference for [`run_workload_parallel`]: routes the
+/// identical per-packet stream sequentially through the **live**
+/// [`ClueEngine`](clue_core::ClueEngine)s. For any freezable network,
+/// `run_workload_per_packet(net, …) ==
+/// run_workload_parallel(net, …, threads)` for every thread count —
+/// the property `tests/parallel.rs` pins down.
+pub fn run_workload_per_packet<A: Address>(
+    net: &mut Network<A>,
+    sources: &[RouterId],
+    packets: usize,
+    seed: u64,
+) -> RunStats {
+    assert!(!sources.is_empty(), "need at least one source");
+    let origins = net.config().origins.clone();
+    assert!(!origins.is_empty(), "need at least one origin");
+    let mut acc = Accum::new(net.topology().len());
+    for i in 0..packets {
+        let (src, dest) = draw_packet(net, sources, &origins, seed, i as u64);
+        let trace = net.route_packet(src, dest);
+        acc.record(&trace);
+    }
+    acc.finish(packets)
+}
+
+/// Routes `packets` random packets through a frozen copy of `net`,
+/// sharded over `threads` scoped OS threads.
+///
+/// Results are bit-identical for a given `seed` regardless of
+/// `threads`, and equal to [`run_workload_per_packet`] on the live
+/// network (see the module docs for why, and for how this relates to
+/// the sequential [`run_workload`](crate::run_workload)).
+///
+/// # Errors
+/// Propagates the [`FreezeError`] if any engine cannot be frozen.
+///
+/// # Panics
+/// Panics if `sources` is empty, the network has no origins, or
+/// `threads` is zero.
+pub fn run_workload_parallel<A: Address>(
+    net: &Network<A>,
+    sources: &[RouterId],
+    packets: usize,
+    seed: u64,
+    threads: usize,
+) -> Result<RunStats, FreezeError> {
+    assert!(threads > 0, "need at least one thread");
+    assert!(!sources.is_empty(), "need at least one source");
+    let origins = net.config().origins.clone();
+    assert!(!origins.is_empty(), "need at least one origin");
+
+    let frozen = FrozenNetwork::freeze(net)?;
+    let n = net.topology().len();
+    let chunk = packets.div_ceil(threads);
+    let mut acc = Accum::new(n);
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = (t * chunk).min(packets);
+                let hi = ((t + 1) * chunk).min(packets);
+                let (frozen, origins, sources) = (&frozen, &origins, sources);
+                scope.spawn(move || {
+                    let mut shard = Accum::new(n);
+                    for i in lo..hi {
+                        let (src, dest) =
+                            draw_packet(frozen.network(), sources, origins, seed, i as u64);
+                        shard.record(&frozen.route_packet(src, dest));
+                    }
+                    shard
+                })
+            })
+            .collect();
+        // Join in spawn order: shard t covers packets [t·chunk, …), so
+        // a left-to-right merge is packet order.
+        for h in handles {
+            acc.merge(&h.join().expect("shard thread panicked"));
+        }
+    });
+    Ok(acc.finish(packets))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use crate::topology::Topology;
+    use clue_core::{EngineConfig, Method};
+    use clue_lookup::Family;
+    use clue_trie::Ip4;
+
+    fn build(method: Method) -> (Network<Ip4>, Vec<RouterId>) {
+        let (topo, edges) = Topology::backbone(4, 2);
+        let mut cfg = NetworkConfig::new(edges.clone(), EngineConfig::new(Family::Regular, method));
+        cfg.specifics_per_origin = 12;
+        cfg.seed = 42;
+        (Network::build(topo, cfg), edges)
+    }
+
+    #[test]
+    fn frozen_routing_matches_live_routing() {
+        let (mut net, edges) = build(Method::Advance);
+        let origins = net.config().origins.clone();
+        let mut packets = Vec::new();
+        for i in 0..50u64 {
+            packets.push(draw_packet(&net, &edges, &origins, 9, i));
+        }
+        let frozen_traces: Vec<_> = {
+            let frozen = FrozenNetwork::freeze(&net).unwrap();
+            packets.iter().map(|&(src, dest)| frozen.route_packet(src, dest)).collect()
+        };
+        for (&(src, dest), f) in packets.iter().zip(&frozen_traces) {
+            let l = net.route_packet(src, dest);
+            assert_eq!(f.delivered, l.delivered);
+            assert_eq!(f.hops.len(), l.hops.len());
+            for (fh, lh) in f.hops.iter().zip(&l.hops) {
+                assert_eq!((fh.router, fh.bmp, fh.used_clue), (lh.router, lh.bmp, lh.used_clue));
+                assert_eq!(fh.cost, lh.cost, "cost parity at router {}", fh.router);
+                assert_eq!(fh.shift_cost, lh.shift_cost);
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (net, edges) = build(Method::Advance);
+        let r1 = run_workload_parallel(&net, &edges, 120, 7, 1).unwrap();
+        let r2 = run_workload_parallel(&net, &edges, 120, 7, 2).unwrap();
+        let r8 = run_workload_parallel(&net, &edges, 120, 7, 8).unwrap();
+        assert_eq!(r1, r2);
+        assert_eq!(r1, r8);
+        assert_eq!(r1.packets, 120);
+        assert!(r1.delivered > 0);
+    }
+
+    #[test]
+    fn parallel_equals_scalar_reference() {
+        let (mut net, edges) = build(Method::Advance);
+        let par = run_workload_parallel(&net, &edges, 100, 3, 4).unwrap();
+        let seq = run_workload_per_packet(&mut net, &edges, 100, 3);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn uneven_and_excess_shards_cover_every_packet() {
+        let (net, edges) = build(Method::Simple);
+        let a = run_workload_parallel(&net, &edges, 17, 5, 3).unwrap();
+        let b = run_workload_parallel(&net, &edges, 17, 5, 32).unwrap();
+        assert_eq!(a, b);
+        let hops: u64 = a.per_router.iter().map(CostStats::samples).sum();
+        assert_eq!(hops, a.total_hops);
+    }
+
+    #[test]
+    fn cached_networks_refuse_to_freeze() {
+        let (topo, edges) = Topology::backbone(4, 2);
+        let mut cfg =
+            NetworkConfig::new(edges.clone(), EngineConfig::new(Family::Regular, Method::Advance));
+        cfg.specifics_per_origin = 8;
+        cfg.cache_capacity = Some(16);
+        cfg.seed = 1;
+        let net: Network<Ip4> = Network::build(topo, cfg);
+        assert_eq!(
+            run_workload_parallel(&net, &edges, 10, 1, 2).unwrap_err(),
+            FreezeError::CacheEnabled
+        );
+    }
+
+    #[test]
+    fn shift_work_mode_survives_freezing() {
+        let (topo, edges) = Topology::backbone(4, 1);
+        let mut cfg =
+            NetworkConfig::new(edges.clone(), EngineConfig::new(Family::Regular, Method::Advance));
+        cfg.specifics_per_origin = 8;
+        cfg.core = vec![0, 1, 2, 3];
+        cfg.shift_work_to_edges = true;
+        cfg.seed = 11;
+        let mut net: Network<Ip4> = Network::build(topo, cfg);
+        let par = run_workload_parallel(&net, &edges, 60, 2, 4).unwrap();
+        let seq = run_workload_per_packet(&mut net, &edges, 60, 2);
+        assert_eq!(par, seq);
+        assert!(par.per_router.iter().any(|s| s.sum().total() > 0));
+    }
+}

@@ -62,7 +62,7 @@ pub fn export_cost_stats(registry: &Registry, name: &str, stats: &CostStats) {
 }
 
 /// Aggregated results of a multi-packet run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// Per-router access statistics (indexed by router id).
     pub per_router: Vec<CostStats>,

@@ -113,7 +113,7 @@ impl fmt::Display for Cost {
 /// Accumulates per-lookup costs into an average, the statistic the paper's
 /// Tables 4–9 report (“average number of memory accesses over 10,000
 /// packets”).
-#[derive(Debug, Default, Clone, Copy)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct CostStats {
     samples: u64,
     total: u64,

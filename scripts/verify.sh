@@ -8,4 +8,11 @@ cargo build --release
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Throughput smoke: the batched-frozen and sharded-parallel pipelines
+# must agree exactly with the scalar engine (--check aborts on any
+# divergence); also seeds the BENCH_* trajectory.
+target/release/clue throughput 20000 1 --threads 4 --check --json BENCH_throughput.json
+test -s BENCH_throughput.json
+grep -q '"equivalent": true' BENCH_throughput.json
+
 echo "verify: OK"
