@@ -31,7 +31,17 @@ usage:
                                                  packets/sec for the scalar,
                                                  batched-frozen and sharded-
                                                  parallel pipelines; --check
-                                                 verifies result equivalence";
+                                                 verifies result equivalence
+  clue churn [updates] [seed] [--readers N] [--json PATH] [--check]
+                                                 live-churn serving: a builder
+                                                 applies a BGP-style update
+                                                 stream and republishes frozen
+                                                 snapshots while N reader
+                                                 threads serve lookups from
+                                                 epoch-pinned snapshots;
+                                                 --check proves the final
+                                                 snapshot bit-identical to a
+                                                 from-scratch rebuild";
 
 /// Entry point: dispatches on the first argument.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -54,6 +64,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some("minimize") => minimize_cmd(args.get(1).ok_or("minimize needs a table file")?),
         Some("metrics") => metrics(&args[1..]),
         Some("throughput") => throughput(&args[1..]),
+        Some("churn") => churn(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".to_owned()),
     }
@@ -338,7 +349,9 @@ fn throughput(args: &[String]) -> Result<(), String> {
         &receiver,
         EngineConfig::new(Family::Regular, Method::Advance),
     );
-    let frozen = scalar.freeze().map_err(|e| e.to_string())?;
+    let frozen = scalar
+        .freeze()
+        .map_err(|e| format!("cannot freeze the engine ({} blocks it): {e}", e.feature()))?;
     let dests = generate(
         &sender,
         &receiver,
@@ -389,7 +402,7 @@ fn throughput(args: &[String]) -> Result<(), String> {
 
     let t0 = std::time::Instant::now();
     let par = clue_netsim::run_workload_parallel(&net, &edges, net_packets, seed, threads)
-        .map_err(|e| e.to_string())?;
+        .map_err(|e| format!("cannot freeze the network ({} blocks it): {e}", e.feature()))?;
     let par_pps = net_packets as f64 / t0.elapsed().as_secs_f64().max(1e-9);
 
     if check && par != seq {
@@ -420,6 +433,120 @@ fn throughput(args: &[String]) -> Result<(), String> {
              \"seq_pps\": {seq_pps:.1},\n  \"parallel_pps\": {par_pps:.1},\n  \
              \"parallel_speedup\": {par_speedup:.3},\n  \
              \"checked\": {check},\n  \"equivalent\": {equivalent}\n}}\n"
+        );
+        fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Runs the live-churn workload: a builder thread applies a BGP-style
+/// update stream to the mutable engine and republishes a frozen
+/// snapshot per batch, while `--readers` threads serve lookups from
+/// epoch-pinned snapshots. `--check` proves the final snapshot is
+/// bit-identical to freezing the end-state table from scratch;
+/// `--json PATH` exports the run for the `BENCH_*.json` trajectory.
+fn churn(args: &[String]) -> Result<(), String> {
+    let mut updates = 2_000usize;
+    let mut seed = 1u64;
+    let mut readers = 4usize;
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--readers" => {
+                readers = it
+                    .next()
+                    .ok_or("--readers needs a value")?
+                    .parse()
+                    .map_err(|_| "bad reader count")?;
+                if readers == 0 {
+                    return Err("--readers must be at least 1".to_owned());
+                }
+            }
+            "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--check" => check = true,
+            other => {
+                match positional {
+                    0 => updates = other.parse().map_err(|_| "bad update count")?,
+                    1 => seed = other.parse().map_err(|_| "bad seed")?,
+                    _ => return Err(format!("unexpected argument {other:?}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if updates == 0 {
+        return Err("update count must be at least 1".to_owned());
+    }
+
+    let sender = synthesize_ipv4(3000, seed);
+    let receiver = derive_neighbor(&sender, &NeighborConfig::same_isp(seed.wrapping_add(1)));
+    let stream = clue_tablegen::generate_churn(
+        &receiver,
+        &clue_tablegen::ChurnConfig::bgp(updates, seed.wrapping_add(2)),
+    );
+
+    let registry = Registry::new();
+    let telemetry = clue_telemetry::ChurnTelemetry::registered(&registry, "clue_churn");
+    let mut cfg = clue_netsim::ChurnDriverConfig::new(readers, seed);
+    cfg.check = check;
+    let report = clue_netsim::run_churn(&sender, &receiver, &stream, &cfg, Some(&telemetry))
+        .map_err(|e| format!("cannot freeze the engine ({} blocks it): {e}", e.feature()))?;
+    if check && report.final_identical != Some(true) {
+        return Err("churn check failed: final snapshot differs from a from-scratch rebuild"
+            .to_owned());
+    }
+
+    println!(
+        "churn workload: {updates} updates in {} batches (receiver {} prefixes, seed {seed})",
+        report.epochs,
+        receiver.len()
+    );
+    println!(
+        "  rebuilds:   {} epochs, {:.0} us mean, {} us max",
+        report.epochs,
+        report.mean_rebuild_us(),
+        report.max_rebuild_us()
+    );
+    println!(
+        "  lookups:    {} served by {readers} readers ({} stale, {:.2}%, max lag {} epochs)",
+        report.lookups_total,
+        report.stale_lookups,
+        report.stale_fraction() * 100.0,
+        report.max_staleness
+    );
+    println!(
+        "  snapshots:  {} swaps, {} reclaimed, {} left retired",
+        telemetry.swaps_total.get(),
+        telemetry.reclaimed_total.get(),
+        report.retired_after
+    );
+    if check {
+        println!("check: final snapshot bit-identical to from-scratch rebuild");
+    }
+
+    if let Some(path) = json_path {
+        let identical = report.final_identical == Some(true);
+        let json = format!(
+            "{{\n  \"updates\": {updates},\n  \"seed\": {seed},\n  \"readers\": {readers},\n  \
+             \"epochs\": {},\n  \"swaps\": {},\n  \
+             \"mean_rebuild_us\": {:.1},\n  \"max_rebuild_us\": {},\n  \
+             \"lookups_total\": {},\n  \"stale_lookups\": {},\n  \
+             \"stale_fraction\": {:.4},\n  \"max_staleness\": {},\n  \
+             \"retired_after\": {},\n  \
+             \"checked\": {check},\n  \"identical\": {identical}\n}}\n",
+            report.epochs,
+            telemetry.swaps_total.get(),
+            report.mean_rebuild_us(),
+            report.max_rebuild_us(),
+            report.lookups_total,
+            report.stale_lookups,
+            report.stale_fraction(),
+            report.max_staleness,
+            report.retired_after,
         );
         fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
@@ -518,6 +645,24 @@ mod tests {
         assert!(run(&s(&["throughput", "--threads", "0"])).is_err());
         assert!(run(&s(&["throughput", "--threads"])).is_err());
         assert!(run(&s(&["throughput", "1", "2", "3"])).is_err());
+    }
+
+    #[test]
+    fn churn_runs_checks_and_exports() {
+        let dir = std::env::temp_dir().join("clue-cli-test6");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("churn.json");
+        let j = json.to_str().unwrap().to_owned();
+        run(&s(&["churn", "150", "3", "--readers", "2", "--check", "--json", &j])).unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"identical\": true"), "bad export: {text}");
+        assert!(text.contains("\"checked\": true"));
+        assert!(text.contains("\"readers\": 2"));
+        assert!(run(&s(&["churn", "0"])).is_err());
+        assert!(run(&s(&["churn", "--readers", "0"])).is_err());
+        assert!(run(&s(&["churn", "--readers"])).is_err());
+        assert!(run(&s(&["churn", "1", "2", "3"])).is_err());
+        assert!(run(&s(&["churn", "not-a-number"])).is_err());
     }
 
     #[test]

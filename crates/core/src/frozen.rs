@@ -48,7 +48,7 @@ const NO_ROUTE: u32 = CONT_BIT - 1;
 /// One flattened trie vertex: two child indices and a packed route
 /// word (bit 31 = Claim-1 continue bit, low 31 bits = route index or
 /// [`NO_ROUTE`]). 12 bytes, versus ~56 for the live arena node.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FrozenNode {
     children: [u32; 2],
     route_word: u32,
@@ -63,7 +63,7 @@ impl FrozenNode {
 
 /// One flattened clue-table entry: the FD fallback plus the
 /// continuation vertex ([`NONE_NODE`] = the paper's “Ptr empty”).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct FrozenEntry<A: Address> {
     fd: Option<Prefix<A>>,
     cont: u32,
@@ -92,6 +92,20 @@ impl core::fmt::Display for FreezeError {
                 "an engine with an LRU cache is stateful and cannot be frozen"
             }
         })
+    }
+}
+
+impl FreezeError {
+    /// The engine feature that blocked the freeze, as a short
+    /// machine-friendly token (`family`, `indexed-table`, `lru-cache`)
+    /// — what a CLI error path names so the operator knows which knob
+    /// to change.
+    pub fn feature(&self) -> &'static str {
+        match self {
+            FreezeError::UnsupportedFamily => "family",
+            FreezeError::UnsupportedTable => "indexed-table",
+            FreezeError::CacheEnabled => "lru-cache",
+        }
     }
 }
 
@@ -201,9 +215,18 @@ impl<A: Address> ClueEngine<A> {
             });
         }
 
+        // Canonical entry order: the hashed clue table iterates in hash
+        // order, which varies with insertion history. Sorting by clue
+        // makes freezing a pure function of the engine's *logical*
+        // state, so two engines that agree route-for-route freeze into
+        // bit-identical snapshots — the contract `bit_identical` (and
+        // `clue churn --check`) is built on.
+        let mut table_entries: Vec<_> = self.table().entries().collect();
+        table_entries.sort_by_key(|e| e.clue);
+
         let mut entries = Vec::with_capacity(self.table().len());
         let mut map = FxHashMap::default();
-        for e in self.table().entries() {
+        for e in table_entries {
             let cont = match &e.cont {
                 None => NONE_NODE,
                 Some(Continuation::TrieNode(n)) => old_to_new[&n.index()],
@@ -245,6 +268,26 @@ impl<A: Address> FrozenEngine<A> {
         self.nodes.len() * core::mem::size_of::<FrozenNode>()
             + self.routes.len() * core::mem::size_of::<Prefix<A>>()
             + self.entries.len() * core::mem::size_of::<FrozenEntry<A>>()
+    }
+
+    /// True iff the two snapshots are the same compiled artifact,
+    /// field for field: same method, same flattened nodes (children
+    /// and packed route words), same route array, same entry array and
+    /// the same clue→entry mapping. Telemetry attachments are ignored
+    /// — they are observation plumbing, not forwarding state.
+    ///
+    /// Because [`ClueEngine::freeze`] is canonical (BFS layout over
+    /// the logical trie, entries sorted by clue), this holds exactly
+    /// when the source engines agreed on every route, clue entry and
+    /// Claim-1 bit — which is how `clue churn --check` proves an
+    /// incrementally-updated engine equals a from-scratch rebuild.
+    pub fn bit_identical(&self, other: &Self) -> bool {
+        self.method == other.method
+            && self.nodes == other.nodes
+            && self.routes == other.routes
+            && self.entries == other.entries
+            && self.map.len() == other.map.len()
+            && self.map.iter().all(|(clue, i)| other.map.get(clue) == Some(i))
     }
 
     /// Replaces the inherited telemetry bundle.
@@ -606,6 +649,47 @@ mod tests {
         assert_eq!(frozen.entry_count(), sender.len());
         assert!(frozen.node_count() > 0);
         assert!(frozen.memory_bytes() < scalar.t2_ref().memory_bytes());
+    }
+
+    #[test]
+    fn freeze_errors_name_the_offending_feature() {
+        assert_eq!(FreezeError::UnsupportedFamily.feature(), "family");
+        assert_eq!(FreezeError::UnsupportedTable.feature(), "indexed-table");
+        assert_eq!(FreezeError::CacheEnabled.feature(), "lru-cache");
+    }
+
+    #[test]
+    fn freeze_is_canonical_across_build_histories() {
+        let (sender, receiver) = tables();
+        let from_scratch = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+
+        // Same logical end state, different history: start without two
+        // routes, grow into them, with an unrelated insert/remove pair
+        // thrown in to shuffle the table's hash-insertion order and the
+        // trie's arena indices.
+        let partial: Vec<_> =
+            receiver.iter().copied().filter(|r| r.len() != 24).collect();
+        let mut churned = ClueEngine::precomputed(
+            &sender,
+            &partial,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        churned.add_receiver_route(p("172.16.0.0/12"));
+        churned.add_receiver_route(p("10.1.2.0/24"));
+        churned.remove_receiver_route(&p("172.16.0.0/12"));
+
+        let a = from_scratch.freeze().unwrap();
+        let b = churned.freeze().unwrap();
+        assert!(a.bit_identical(&b), "same logical state must freeze identically");
+        assert!(b.bit_identical(&a), "bit-identity is symmetric");
+
+        churned.add_receiver_route(p("10.3.0.0/16"));
+        let c = churned.freeze().unwrap();
+        assert!(!a.bit_identical(&c), "a differing route must show");
     }
 
     #[test]

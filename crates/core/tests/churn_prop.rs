@@ -1,0 +1,127 @@
+//! Churn identity property: announcing a receiver route and then
+//! withdrawing it must leave the engine indistinguishable from one that
+//! never saw the prefix — same lookup answers, same per-lookup costs
+//! (a proxy for the Claim-1 classifications driving early exits), same
+//! clue-table classifications, and a bit-identical frozen snapshot.
+//!
+//! This is the single-update core of the live-churn serving contract:
+//! `clue churn --check` relies on a whole update stream composing out
+//! of such identities.
+
+use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_lookup::{reference_bmp, Family};
+use clue_trie::{Cost, Ip4, Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix<Ip4>> {
+    (0u32..256, prop_oneof![Just(6u8), Just(8), Just(12), Just(16), Just(20), Just(24)])
+        .prop_map(|(bits, len)| Prefix::new(Ip4(bits << 24 | bits << 16 | bits << 4), len))
+}
+
+fn arb_tables() -> impl Strategy<Value = (Vec<Prefix<Ip4>>, Vec<Prefix<Ip4>>)> {
+    (
+        proptest::collection::hash_set(arb_prefix(), 1..40),
+        proptest::collection::hash_set(arb_prefix(), 1..40),
+        proptest::collection::hash_set(arb_prefix(), 0..20),
+    )
+        .prop_map(|(shared, s_only, r_only)| {
+            let sender: Vec<_> = shared.union(&s_only).copied().collect();
+            let receiver: Vec<_> = shared.union(&r_only).copied().collect();
+            (sender, receiver)
+        })
+}
+
+/// Destinations biased into sender space, each with its honest clue.
+fn workload(sender: &[Prefix<Ip4>], raws: &[u32]) -> Vec<(Ip4, Option<Prefix<Ip4>>)> {
+    raws.iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            let dest = if i % 2 == 0 {
+                let p = sender[i % sender.len()];
+                let noise = if p.len() == 32 { 0 } else { r >> p.len() };
+                Ip4(p.bits().0 | noise)
+            } else {
+                Ip4(r)
+            };
+            (dest, reference_bmp(sender, dest).filter(|c| !c.is_empty()))
+        })
+        .collect()
+}
+
+/// The observable classification of one clue-table entry: which prefix,
+/// what final decision, and whether Claim 1 let it stop the search.
+fn classifications(engine: &ClueEngine<Ip4>) -> Vec<(Prefix<Ip4>, Option<Prefix<Ip4>>, bool)> {
+    let mut out: Vec<_> =
+        engine.table().entries().map(|e| (e.clue, e.fd, e.is_final())).collect();
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `add_receiver_route(p)` followed by `remove_receiver_route(p)`
+    /// is the identity on everything observable.
+    #[test]
+    fn announce_then_withdraw_is_identity(
+        (sender, receiver) in arb_tables(),
+        extra in arb_prefix(),
+        raws in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        prop_assume!(!receiver.contains(&extra));
+        let packets = workload(&sender, &raws);
+
+        for family in [Family::Regular, Family::Patricia, Family::LogW] {
+            let config = EngineConfig::new(family, Method::Advance);
+            let mut pristine = ClueEngine::precomputed(&sender, &receiver, config);
+            let mut churned = ClueEngine::precomputed(&sender, &receiver, config);
+            churned.add_receiver_route(extra);
+            prop_assert!(churned.remove_receiver_route(&extra), "{family}: remove failed");
+
+            prop_assert_eq!(
+                classifications(&pristine),
+                classifications(&churned),
+                "{}: clue-table classifications diverged",
+                family
+            );
+            for &(dest, clue) in &packets {
+                let mut c_p = Cost::new();
+                let mut c_c = Cost::new();
+                let want = pristine.lookup(dest, clue, None, &mut c_p);
+                let got = churned.lookup(dest, clue, None, &mut c_c);
+                prop_assert_eq!(got, want, "{} dest {} clue {:?}", family, dest, clue);
+                prop_assert_eq!(c_c, c_p, "{} dest {} clue {:?}", family, dest, clue);
+            }
+            if family == Family::Regular {
+                let a = pristine.freeze().unwrap();
+                let b = churned.freeze().unwrap();
+                prop_assert!(a.bit_identical(&b), "churned snapshot differs bit-for-bit");
+            }
+        }
+    }
+
+    /// The same identity holds when the withdrawn prefix was part of the
+    /// original table (withdraw first, re-announce after).
+    #[test]
+    fn withdraw_then_reannounce_is_identity(
+        (sender, receiver) in arb_tables(),
+        pick in any::<u32>(),
+        raws in proptest::collection::vec(any::<u32>(), 1..15),
+    ) {
+        let victim = receiver[pick as usize % receiver.len()];
+        let packets = workload(&sender, &raws);
+        let config = EngineConfig::new(Family::Regular, Method::Advance);
+        let pristine = ClueEngine::precomputed(&sender, &receiver, config);
+        let mut churned = ClueEngine::precomputed(&sender, &receiver, config);
+        prop_assert!(churned.remove_receiver_route(&victim));
+        churned.add_receiver_route(victim);
+
+        prop_assert_eq!(classifications(&pristine), classifications(&churned));
+        for &(dest, clue) in &packets {
+            let mut c = Cost::new();
+            let got = churned.lookup(dest, clue, None, &mut c);
+            prop_assert_eq!(got, reference_bmp(&receiver, dest), "dest {} clue {:?}", dest, clue);
+        }
+        prop_assert!(pristine.freeze().unwrap().bit_identical(&churned.freeze().unwrap()));
+    }
+}

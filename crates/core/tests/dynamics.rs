@@ -140,6 +140,80 @@ fn sender_withdrawal_loosens_claim1_safely() {
 }
 
 #[test]
+fn stale_clue_naming_a_withdrawn_route_still_resolves() {
+    // The sender's table (and therefore its clue set) is unchanged while
+    // the receiver withdraws refinements, so packets keep arriving with
+    // clues that name routes the receiver no longer has. Correctness
+    // must not depend on the clue being live on the receiving side.
+    let sender = vec![p("10.0.0.0/8"), p("10.5.0.0/16")];
+    let receiver = vec![p("10.0.0.0/8"), p("10.5.0.0/16"), p("10.5.7.0/24")];
+    for family in Family::all_extended() {
+        let mut engine =
+            ClueEngine::precomputed(&sender, &receiver, EngineConfig::new(family, Method::Advance));
+        let dest = a("10.5.7.7");
+        assert_eq!(
+            engine.lookup(dest, Some(p("10.5.0.0/16")), None, &mut Cost::new()),
+            Some(p("10.5.7.0/24")),
+            "{family}"
+        );
+
+        assert!(engine.remove_receiver_route(&p("10.5.7.0/24")));
+        assert!(engine.remove_receiver_route(&p("10.5.0.0/16")));
+        // The stale /16 clue must now fall back to the remaining /8 —
+        // not to the withdrawn /16 it names, and not to a miss.
+        let mut c = Cost::new();
+        assert_eq!(
+            engine.lookup(dest, Some(p("10.5.0.0/16")), None, &mut c),
+            Some(p("10.0.0.0/8")),
+            "{family}: stale clue produced a withdrawn BMP"
+        );
+        assert!(c.total() >= 1, "{family}");
+        // And the common path agrees on the post-withdrawal answer.
+        assert_eq!(engine.common_lookup(dest, &mut Cost::new()), Some(p("10.0.0.0/8")), "{family}");
+    }
+}
+
+#[test]
+fn stale_sender_clues_survive_bulk_receiver_withdrawals() {
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut sender: Vec<Prefix<Ip4>> = (0..100)
+        .map(|_| {
+            Prefix::new(Ip4(rng.random()), *[8u8, 16, 24].get(rng.random_range(0..3usize)).unwrap())
+        })
+        .collect();
+    sender.sort();
+    sender.dedup();
+    let mut receiver = sender.clone();
+
+    for family in [Family::Regular, Family::Patricia, Family::LogW] {
+        let mut engine =
+            ClueEngine::precomputed(&sender, &receiver, EngineConfig::new(family, Method::Advance));
+        // Withdraw half the receiver's routes; the sender (and its clue
+        // stream) never hears about it.
+        while receiver.len() > sender.len() / 2 {
+            let i = rng.random_range(0..receiver.len());
+            let gone = receiver.swap_remove(i);
+            assert!(engine.remove_receiver_route(&gone), "{family}");
+        }
+        // Every destination still carries the clue computed against the
+        // ORIGINAL sender table; answers must match the shrunken
+        // receiver table exactly.
+        for _ in 0..200 {
+            let base = sender[rng.random_range(0..sender.len())];
+            let noise = if base.len() == 32 { 0 } else { rng.random::<u32>() >> base.len() };
+            let dest = Ip4(base.bits().0 | noise);
+            let clue = reference_bmp(&sender, dest).filter(|c| !c.is_empty());
+            let want = reference_bmp(&receiver, dest);
+            let got = engine.lookup(dest, clue, None, &mut Cost::new());
+            assert_eq!(got, want, "{family} dest {dest} stale clue {clue:?}");
+        }
+        receiver = sender.clone();
+    }
+}
+
+#[test]
 fn learning_table_growth_is_bounded() {
     let receiver = vec![p("10.0.0.0/8")];
     let mut cfg = EngineConfig::new(Family::Patricia, Method::Advance);

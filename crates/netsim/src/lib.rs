@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod mpls_path;
 mod network;
 mod parallel;
@@ -35,6 +36,7 @@ mod pathvector;
 mod sim;
 mod topology;
 
+pub use churn::{run_churn, ChurnDriverConfig, ChurnReport};
 pub use mpls_path::{LabelSwitchedPath, LspHop};
 pub use pathvector::{Aggregation, PathVector, Rib, Route};
 pub use network::{

@@ -26,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod neighbor;
 mod ortc;
 mod parse;
@@ -33,6 +34,7 @@ mod stats;
 mod synth;
 mod traffic;
 
+pub use churn::{end_state, generate_churn, ChurnConfig, RouteUpdate, UpdateKind};
 pub use neighbor::{derive_neighbor, NeighborConfig};
 pub use ortc::{minimize, minimize_with_hops, NextHop};
 pub use parse::{format_prefixes, parse_prefixes, parse_table, ParseTableError, TableLine};

@@ -29,11 +29,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod churn;
 mod export;
 mod lookup;
 mod registry;
 pub mod trace;
 
+pub use churn::ChurnTelemetry;
 pub use export::{to_json, to_prometheus};
 pub use lookup::{CacheTelemetry, LookupTelemetry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, Snapshot};
@@ -49,3 +51,10 @@ pub const SEARCH_DEPTH_BOUNDS: &[u64] = &[0, 1, 2, 4, 8, 16, 32];
 /// Default clue/prefix-length histogram bounds (IPv4-centric, but the
 /// overflow bucket absorbs IPv6 lengths).
 pub const PREFIX_LENGTH_BOUNDS: &[u64] = &[8, 12, 16, 20, 24, 28, 32];
+
+/// Default snapshot-rebuild latency bounds, in microseconds: a small
+/// table re-freezes in well under a millisecond, a production-scale
+/// one in the tens of milliseconds — the overflow bucket absorbs
+/// pathological stalls.
+pub const REBUILD_LATENCY_BOUNDS_US: &[u64] =
+    &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];

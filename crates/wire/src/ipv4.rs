@@ -4,7 +4,9 @@ use clue_core::ClueHeader;
 use clue_trie::Ip4;
 
 use crate::error::WireError;
-use crate::option::{decode_clue_option, encode_clue_option, CLUE_OPTION_KIND};
+use crate::option::{
+    clue_option_len, decode_clue_option, encode_clue_option_into, CLUE_OPTION_KIND,
+};
 
 /// A parsed (or to-be-serialized) IPv4 header.
 ///
@@ -57,14 +59,13 @@ impl Ipv4Packet {
 
     /// Header length in bytes, including options and padding.
     pub fn header_len(&self) -> usize {
-        let opt = encode_clue_option(&self.clue).len();
-        20 + opt.div_ceil(4) * 4
+        20 + clue_option_len(&self.clue).div_ceil(4) * 4
     }
 
     /// Serializes the header, computing the checksum.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let options = encode_clue_option(&self.clue);
-        let padded_opt_len = options.len().div_ceil(4) * 4;
+        let opt_len = clue_option_len(&self.clue);
+        let padded_opt_len = opt_len.div_ceil(4) * 4;
         let ihl = 5 + padded_opt_len / 4;
         let header_len = ihl * 4;
         let total = self.total_length.max(header_len as u16);
@@ -80,7 +81,8 @@ impl Ipv4Packet {
         // checksum at [10..12] stays zero for the computation
         out[12..16].copy_from_slice(&self.src.0.to_be_bytes());
         out[16..20].copy_from_slice(&self.dst.0.to_be_bytes());
-        out[20..20 + options.len()].copy_from_slice(&options);
+        encode_clue_option_into(&self.clue, &mut out[20..])
+            .expect("options area sized from clue_option_len");
         // Padding bytes (already zero) act as End-of-Options-List.
 
         let sum = checksum(&out);

@@ -26,40 +26,79 @@ pub const CLUE_OPTION_KIND: u8 = 0x5E;
 /// Flag bit marking that a 16-bit index follows the clue byte.
 const INDEX_FLAG: u8 = 0x80;
 
+/// The largest encoded clue option: kind + length + clue byte + 16-bit
+/// index. A stack buffer of this size always fits the `_into` encoders.
+pub const MAX_CLUE_OPTION_LEN: usize = 5;
+
+/// Length in bytes the encoded option for `header` will occupy (zero
+/// when no clue is attached).
+pub fn clue_option_len(header: &ClueHeader) -> usize {
+    match (header.clue, header.index) {
+        (None, _) => 0,
+        (Some(_), None) => 3,
+        (Some(_), Some(_)) => 5,
+    }
+}
+
 /// Serializes a clue header into IPv4 option bytes, where the length
 /// byte covers the whole option (kind + length + data). Empty when no
 /// clue is attached — an absent clue is simply no option.
 pub fn encode_clue_option(header: &ClueHeader) -> Vec<u8> {
-    let Some(body) = option_body(header) else {
-        return Vec::new();
-    };
-    let mut out = vec![CLUE_OPTION_KIND, (body.len() + 2) as u8];
-    out.extend_from_slice(&body);
-    out
+    let mut buf = [0u8; MAX_CLUE_OPTION_LEN];
+    let n = encode_clue_option_into(header, &mut buf).expect("buffer fits the largest option");
+    buf[..n].to_vec()
 }
 
 /// Serializes a clue header into IPv6 option bytes, where the length
 /// byte covers the data only (the IPv6 options convention).
 pub fn encode_clue_option_v6(header: &ClueHeader) -> Vec<u8> {
-    let Some(body) = option_body(header) else {
-        return Vec::new();
-    };
-    let mut out = vec![CLUE_OPTION_KIND, body.len() as u8];
-    out.extend_from_slice(&body);
-    out
+    let mut buf = [0u8; MAX_CLUE_OPTION_LEN];
+    let n = encode_clue_option_v6_into(header, &mut buf).expect("buffer fits the largest option");
+    buf[..n].to_vec()
 }
 
-/// The option data: one clue byte, optionally followed by the 16-bit
-/// index.
-fn option_body(header: &ClueHeader) -> Option<Vec<u8>> {
-    let clue = header.clue?;
-    Some(match header.index {
-        None => vec![clue.raw()],
+/// Writes the IPv4-convention clue option into a caller-provided buffer
+/// and returns the number of bytes written (zero when no clue is
+/// attached). Fails with [`WireError::Truncated`] when `buf` is shorter
+/// than the encoded option; nothing is written in that case.
+pub fn encode_clue_option_into(header: &ClueHeader, buf: &mut [u8]) -> Result<usize, WireError> {
+    write_option(header, buf, true)
+}
+
+/// [`encode_clue_option_into`] with the IPv6 length convention (the
+/// length byte covers the data only).
+pub fn encode_clue_option_v6_into(
+    header: &ClueHeader,
+    buf: &mut [u8],
+) -> Result<usize, WireError> {
+    write_option(header, buf, false)
+}
+
+/// Shared encoder: kind, length (whole-option or data-only convention),
+/// clue byte, optional big-endian index.
+fn write_option(
+    header: &ClueHeader,
+    buf: &mut [u8],
+    length_covers_option: bool,
+) -> Result<usize, WireError> {
+    let Some(clue) = header.clue else {
+        return Ok(0);
+    };
+    let needed = clue_option_len(header);
+    if buf.len() < needed {
+        return Err(WireError::Truncated { needed, got: buf.len() });
+    }
+    let body_len = needed - 2;
+    buf[0] = CLUE_OPTION_KIND;
+    buf[1] = if length_covers_option { needed as u8 } else { body_len as u8 };
+    match header.index {
+        None => buf[2] = clue.raw(),
         Some(ix) => {
-            let [hi, lo] = ix.to_be_bytes();
-            vec![clue.raw() | INDEX_FLAG, hi, lo]
+            buf[2] = clue.raw() | INDEX_FLAG;
+            buf[3..5].copy_from_slice(&ix.to_be_bytes());
         }
-    })
+    }
+    Ok(needed)
 }
 
 /// Parses a clue option body (the bytes after kind+length have been
@@ -128,6 +167,42 @@ mod tests {
         assert_eq!(decode_clue_option::<Ip4>(&[]), Err(WireError::BadOption));
         assert_eq!(decode_clue_option::<Ip4>(&[INDEX_FLAG | 3, 0]), Err(WireError::BadOption));
         assert_eq!(decode_clue_option::<Ip4>(&[3, 0]), Err(WireError::BadOption));
+    }
+
+    #[test]
+    fn write_into_matches_the_vec_encoders() {
+        for h in [
+            ClueHeader::none(),
+            ClueHeader::with_clue(&p4("10.1.0.0/16")),
+            ClueHeader::with_indexed_clue(&p4("10.1.2.0/24"), 0xBEEF),
+        ] {
+            let mut buf = [0xAAu8; MAX_CLUE_OPTION_LEN + 2];
+            let n = encode_clue_option_into(&h, &mut buf).unwrap();
+            assert_eq!(n, clue_option_len(&h));
+            assert_eq!(buf[..n], encode_clue_option(&h)[..]);
+            assert!(buf[n..].iter().all(|&b| b == 0xAA), "wrote past the option");
+            if n > 0 {
+                let back = decode_clue_option::<Ip4>(&buf[2..n]).unwrap();
+                assert_eq!(back, h);
+            }
+
+            let n6 = encode_clue_option_v6_into(&h, &mut buf).unwrap();
+            assert_eq!(buf[..n6], encode_clue_option_v6(&h)[..]);
+        }
+    }
+
+    #[test]
+    fn write_into_reports_the_needed_size_on_short_buffers() {
+        let h = ClueHeader::with_indexed_clue(&p4("10.1.2.0/24"), 7);
+        let mut buf = [0u8; MAX_CLUE_OPTION_LEN];
+        for short in 0..clue_option_len(&h) {
+            let err = encode_clue_option_into(&h, &mut buf[..short]).unwrap_err();
+            assert_eq!(err, WireError::Truncated { needed: 5, got: short });
+            let err = encode_clue_option_v6_into(&h, &mut buf[..short]).unwrap_err();
+            assert_eq!(err, WireError::Truncated { needed: 5, got: short });
+        }
+        // An absent clue writes nothing and needs no space at all.
+        assert_eq!(encode_clue_option_into(&ClueHeader::none(), &mut []), Ok(0));
     }
 
     #[test]

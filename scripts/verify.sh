@@ -15,4 +15,11 @@ target/release/clue throughput 20000 1 --threads 4 --check --json BENCH_throughp
 test -s BENCH_throughput.json
 grep -q '"equivalent": true' BENCH_throughput.json
 
+# Churn smoke: builder + 4 epoch-pinned readers; --check aborts unless
+# the final published snapshot is bit-identical to a from-scratch
+# freeze of the end-state table.
+target/release/clue churn 1000 1 --readers 4 --check --json BENCH_churn.json
+test -s BENCH_churn.json
+grep -q '"identical": true' BENCH_churn.json
+
 echo "verify: OK"
