@@ -93,7 +93,7 @@ fn bench_churn_driver(c: &mut Criterion) {
         cfg.check = false;
         group.bench_function(BenchmarkId::new("bgp_400", readers), |b| {
             b.iter(|| {
-                let report = run_churn(&sender, &receiver, &batches, &cfg, None).unwrap();
+                let report = run_churn(&sender, &receiver, &batches, &cfg, None, None).unwrap();
                 black_box(report.lookups_total)
             })
         });

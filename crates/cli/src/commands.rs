@@ -41,7 +41,19 @@ usage:
                                                  epoch-pinned snapshots;
                                                  --check proves the final
                                                  snapshot bit-identical to a
-                                                 from-scratch rebuild";
+                                                 from-scratch rebuild
+  clue chaos [packets] [seed] [--faults SPEC] [--json PATH] [--check]
+                                                 fault-injection harness:
+                                                 corrupted/truncated/stale/
+                                                 adversarial clues, clueless
+                                                 hops, drops, reorders, plus a
+                                                 churn leg with a reader panic
+                                                 and a stalled rebuild; SPEC is
+                                                 \"all\" or comma-separated
+                                                 fault classes; --check fails
+                                                 unless forwarding stayed
+                                                 bit-identical to the clue-less
+                                                 baseline and serving survived";
 
 /// Entry point: dispatches on the first argument.
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -65,6 +77,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some("metrics") => metrics(&args[1..]),
         Some("throughput") => throughput(&args[1..]),
         Some("churn") => churn(&args[1..]),
+        Some("chaos") => chaos(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".to_owned()),
     }
@@ -493,8 +506,8 @@ fn churn(args: &[String]) -> Result<(), String> {
     let telemetry = clue_telemetry::ChurnTelemetry::registered(&registry, "clue_churn");
     let mut cfg = clue_netsim::ChurnDriverConfig::new(readers, seed);
     cfg.check = check;
-    let report = clue_netsim::run_churn(&sender, &receiver, &stream, &cfg, Some(&telemetry))
-        .map_err(|e| format!("cannot freeze the engine ({} blocks it): {e}", e.feature()))?;
+    let report = clue_netsim::run_churn(&sender, &receiver, &stream, &cfg, Some(&telemetry), None)
+        .map_err(|e| e.to_string())?;
     if check && report.final_identical != Some(true) {
         return Err("churn check failed: final snapshot differs from a from-scratch rebuild"
             .to_owned());
@@ -550,6 +563,149 @@ fn churn(args: &[String]) -> Result<(), String> {
         );
         fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Runs the fault-injection harness: seeded reproducible faults
+/// (corrupted/truncated/out-of-range/stale/adversarial clues, clueless
+/// hops, drops, reorders) through the receiver pipeline, every
+/// forwarding decision differentially checked against the clue-less
+/// baseline, plus a churn leg that must survive an injected reader
+/// panic and a watchdog-tripped rebuild. `--check` fails unless the
+/// run is sound; `--json PATH` exports per-class counts and
+/// degraded-cost percentiles for the `BENCH_*.json` trajectory.
+fn chaos(args: &[String]) -> Result<(), String> {
+    let mut packets = 1_000_000usize;
+    let mut seed = 1u64;
+    let mut spec = "all".to_owned();
+    let mut json_path: Option<String> = None;
+    let mut check = false;
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--faults" => spec = it.next().ok_or("--faults needs a spec")?.clone(),
+            "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--check" => check = true,
+            other => {
+                match positional {
+                    0 => packets = other.parse().map_err(|_| "bad packet count")?,
+                    1 => seed = other.parse().map_err(|_| "bad seed")?,
+                    _ => return Err(format!("unexpected argument {other:?}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if packets == 0 {
+        return Err("packet count must be at least 1".to_owned());
+    }
+
+    let plan = clue_netsim::FaultPlan::parse(&spec, seed)?;
+    let registry = Registry::new();
+    let labels: Vec<&str> = plan.classes().iter().map(|c| c.label()).collect();
+    let telemetry =
+        clue_telemetry::DegradationTelemetry::registered(&registry, "clue_fault", &labels);
+    let mut config = clue_netsim::ChaosConfig::new(packets, seed);
+    config.plan = plan;
+    let report = clue_netsim::run_chaos(&config, Some(&telemetry)).map_err(|e| e.to_string())?;
+
+    println!(
+        "chaos workload: {} packets, seed {seed}, faults \"{spec}\" \
+         ({} delivered, {} dropped, {} reordered, {} parse errors)",
+        report.packets, report.delivered, report.dropped, report.reordered, report.parse_errors
+    );
+    println!(
+        "{:<18} {:>9} {:>9} {:>7} {:>9} {:>5} {:>5} {:>5} {:>5}",
+        "fault class", "injected", "delivered", "parse", "degraded", "p50", "p90", "p99", "max"
+    );
+    for o in &report.by_class {
+        println!(
+            "{:<18} {:>9} {:>9} {:>7} {:>9} {:>5} {:>5} {:>5} {:>5}",
+            o.class.label(),
+            o.injected,
+            o.delivered,
+            o.parse_errors,
+            o.degraded,
+            o.overhead_p50,
+            o.overhead_p90,
+            o.overhead_p99,
+            o.overhead_max,
+        );
+    }
+    println!(
+        "soundness: {} divergences over {} delivered packets; accounting parity: {}",
+        report.divergences,
+        report.delivered,
+        if report.stats_parity { "OK" } else { "BROKEN" }
+    );
+    println!(
+        "churn leg: {} (caught panics: {}, watchdog trips: {}, retries: {}, recoveries: {})",
+        if report.churn_survived { "survived" } else { "DID NOT SURVIVE" },
+        report.churn.reader_panics.len(),
+        report.churn.watchdog_trips,
+        report.churn.backoff_retries,
+        report.churn.recovered_rebuilds + report.churn.recovery_publishes,
+    );
+
+    if let Some(path) = &json_path {
+        let mut by_class = String::new();
+        for (i, o) in report.by_class.iter().enumerate() {
+            let sep = if i + 1 < report.by_class.len() { "," } else { "" };
+            write!(
+                by_class,
+                "\n    {{\"class\": \"{}\", \"injected\": {}, \"delivered\": {}, \
+                 \"parse_errors\": {}, \"degraded\": {}, \"overhead_p50\": {}, \
+                 \"overhead_p90\": {}, \"overhead_p99\": {}, \"overhead_max\": {}, \
+                 \"overhead_mean\": {:.3}}}{sep}",
+                o.class.label(),
+                o.injected,
+                o.delivered,
+                o.parse_errors,
+                o.degraded,
+                o.overhead_p50,
+                o.overhead_p90,
+                o.overhead_p99,
+                o.overhead_max,
+                o.overhead_mean,
+            )
+            .expect("write to string");
+        }
+        let sound = report.sound();
+        let json = format!(
+            "{{\n  \"packets\": {},\n  \"seed\": {seed},\n  \"faults\": \"{spec}\",\n  \
+             \"delivered\": {},\n  \"dropped\": {},\n  \"reordered\": {},\n  \
+             \"parse_errors\": {},\n  \"divergences\": {},\n  \"stats_parity\": {},\n  \
+             \"reader_panics\": {},\n  \"watchdog_trips\": {},\n  \
+             \"backoff_retries\": {},\n  \"recovered_rebuilds\": {},\n  \
+             \"recovery_publishes\": {},\n  \"churn_survived\": {},\n  \
+             \"checked\": {check},\n  \"sound\": {sound},\n  \"by_class\": [{by_class}\n  ]\n}}\n",
+            report.packets,
+            report.delivered,
+            report.dropped,
+            report.reordered,
+            report.parse_errors,
+            report.divergences,
+            report.stats_parity,
+            report.churn.reader_panics.len(),
+            report.churn.watchdog_trips,
+            report.churn.backoff_retries,
+            report.churn.recovered_rebuilds,
+            report.churn.recovery_publishes,
+            report.churn_survived,
+        );
+        fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+
+    if check && !report.sound() {
+        return Err(format!(
+            "chaos check failed: {} divergences, parity {}, churn survived {} \
+             (first divergences: {:?})",
+            report.divergences, report.stats_parity, report.churn_survived,
+            report.divergence_samples,
+        ));
     }
     Ok(())
 }
@@ -663,6 +819,25 @@ mod tests {
         assert!(run(&s(&["churn", "--readers"])).is_err());
         assert!(run(&s(&["churn", "1", "2", "3"])).is_err());
         assert!(run(&s(&["churn", "not-a-number"])).is_err());
+    }
+
+    #[test]
+    fn chaos_runs_checks_and_exports() {
+        let dir = std::env::temp_dir().join("clue-cli-test7");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("chaos.json");
+        let j = json.to_str().unwrap().to_owned();
+        run(&s(&["chaos", "800", "3", "--check", "--json", &j])).unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"divergences\": 0"), "bad export: {text}");
+        assert!(text.contains("\"churn_survived\": true"), "bad export: {text}");
+        assert!(text.contains("\"sound\": true"));
+        assert!(text.contains("\"class\": \"adversarial_clue\""));
+        run(&s(&["chaos", "400", "3", "--faults", "stale_clue,dropped"])).unwrap();
+        assert!(run(&s(&["chaos", "0"])).is_err());
+        assert!(run(&s(&["chaos", "--faults", "gremlins"])).is_err());
+        assert!(run(&s(&["chaos", "--faults"])).is_err());
+        assert!(run(&s(&["chaos", "1", "2", "3"])).is_err());
     }
 
     #[test]

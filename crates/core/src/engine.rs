@@ -148,6 +148,19 @@ impl EngineStats {
         self.clueless + self.finals + self.continued + self.misses + self.malformed
     }
 
+    /// Accumulates `other` into this block — e.g. the per-batch counts
+    /// [`FrozenEngine`](crate::FrozenEngine) returns from
+    /// `lookup_batch`, summed across batches or reader threads. Each
+    /// lookup is counted in exactly one class by exactly one batch, so
+    /// the merged totals keep the exactly-once-per-packet property.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.clueless += other.clueless;
+        self.finals += other.finals;
+        self.continued += other.continued;
+        self.misses += other.misses;
+        self.malformed += other.malformed;
+    }
+
     /// Fraction of clue-carrying lookups resolved by the FD alone.
     pub fn final_rate(&self) -> f64 {
         let clued = self.finals + self.continued + self.misses;

@@ -73,6 +73,7 @@ pub mod fxhash;
 pub mod mpls;
 pub mod neighbors;
 pub mod recursive;
+mod soundness;
 mod table;
 
 pub use cache::{CacheStats, ClueCache, LruCache, PresenceCache};
@@ -82,4 +83,5 @@ pub use engine::{ClueEngine, EngineConfig, EngineStats, Method};
 pub use epoch::{EpochCell, EpochEngine, EpochGuard, EpochReader};
 pub use frozen::{Decision, FreezeError, FrozenEngine, NONE_NODE};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use soundness::{check_soundness, Divergence, SoundnessReport};
 pub use table::{CandidateRange, ClueEntry, ClueIndexer, ClueTable, Continuation, TableKind};

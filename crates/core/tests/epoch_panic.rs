@@ -1,0 +1,125 @@
+//! Partial-failure guarantees of the epoch-swap machinery: a reader
+//! thread that panics while holding an [`EpochGuard`] must not block
+//! reclamation, corrupt the generation counter, or poison the cell for
+//! other readers. The guard's `Drop` runs during the unwind and
+//! quiesces the slot; the reader's `Drop` deregisters it — so a dead
+//! reader is invisible once its stack is gone, and a caught panic
+//! leaves the same reader usable.
+//!
+//! The churn driver (`clue_netsim::run_churn`) relies on exactly these
+//! properties to survive injected reader faults.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+use clue_core::EpochCell;
+
+#[test]
+fn a_panicking_pinned_reader_never_blocks_reclamation() {
+    for readers in [1usize, 4, 8] {
+        let cell = EpochCell::new(0u64);
+        let served = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for r in 0..readers {
+                let mut reader = cell.reader();
+                let served = &served;
+                scope.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let guard = reader.pin();
+                        served.fetch_add(*guard, Relaxed);
+                        if r == 0 {
+                            // While pinned: the unwind must release the
+                            // pin, or every later publish leaks.
+                            panic!("injected: reader 0 dies pinned");
+                        }
+                        drop(guard);
+                    }));
+                    assert_eq!(result.is_err(), r == 0);
+                });
+            }
+        });
+        // Every reader (including the panicked one) deregistered when
+        // its thread unwound; nothing holds a pin.
+        assert_eq!(cell.reader_count(), 0, "{readers} readers");
+        for v in 1..=5u64 {
+            cell.publish(v);
+        }
+        cell.reclaim();
+        assert_eq!(cell.retired_count(), 0, "{readers} readers: reclamation wedged");
+        assert_eq!(cell.current_epoch(), 5);
+    }
+}
+
+#[test]
+fn the_generation_counter_survives_interleaved_reader_panics() {
+    let cell = EpochCell::new(0u64);
+    let mut reader = cell.reader();
+    for gen in 1..=8u64 {
+        cell.publish(gen);
+        // A panic under a live pin, caught in place: epoch bookkeeping
+        // must come out exactly as if the read had completed.
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let guard = reader.pin();
+            assert_eq!(*guard, gen);
+            assert_eq!(guard.epoch(), gen);
+            panic!("injected at generation {gen}");
+        }));
+        assert!(result.is_err());
+        assert_eq!(cell.current_epoch(), gen, "counter corrupted at {gen}");
+    }
+    drop(reader);
+    cell.reclaim();
+    assert_eq!(cell.retired_count(), 0);
+    assert_eq!(cell.current_epoch(), 8);
+}
+
+#[test]
+fn a_reader_recovers_after_a_caught_panic() {
+    let cell = EpochCell::new(10u64);
+    let mut reader = cell.reader();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        let _guard = reader.pin();
+        panic!("injected");
+    }));
+    assert!(result.is_err());
+
+    // The same reader keeps working: its slot was quiesced by the
+    // guard's unwind-drop, not wedged at the old epoch.
+    cell.publish(20);
+    let guard = reader.pin();
+    assert_eq!(*guard, 20);
+    assert_eq!(guard.lag(), 0, "the recovered reader sees the newest snapshot");
+    drop(guard);
+    drop(reader);
+    cell.reclaim();
+    assert_eq!(cell.retired_count(), 0);
+}
+
+#[test]
+fn a_panicked_readers_stale_pin_does_not_leak_past_its_thread() {
+    // Regression shape: reader pins epoch 0, panics, thread dies;
+    // publishes that happen WHILE the reader is still registered must
+    // retire (not free) the pinned snapshot, and its later
+    // deregistration must make that snapshot reclaimable.
+    let cell = EpochCell::new(0u64);
+    std::thread::scope(|scope| {
+        let mut reader = cell.reader();
+        let cell = &cell;
+        let handle = scope.spawn(move || {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                let _guard = reader.pin();
+                panic!("injected");
+            }));
+            assert!(result.is_err());
+            // Unwound but alive: the reader is quiescent, so a publish
+            // may retire the old snapshot and reclaim it immediately.
+            cell.publish(1);
+            cell.reclaim();
+        });
+        handle.join().expect("the panic was caught inside the thread");
+    });
+    assert_eq!(cell.reader_count(), 0);
+    cell.reclaim();
+    assert_eq!(cell.retired_count(), 0);
+    assert_eq!(cell.current_epoch(), 1);
+}

@@ -1,0 +1,111 @@
+//! Property tests for the soundness invariant (see
+//! `clue_core::check_soundness`): generated tables, generated traffic,
+//! and clue streams ranging from honest to adversarial.
+//!
+//! * the Simple method must be sound for **arbitrary** clues — any
+//!   prefix value at all, from any epoch, malformed included;
+//! * the Advance method must be sound for **epoch-consistent** clues
+//!   (the sender's true BMP from the table the engine was precomputed
+//!   against — the discipline the churn driver maintains);
+//! * malformed clues are counted exactly once per packet, identically
+//!   by the scalar engine and the frozen batch path.
+
+use clue_core::{check_soundness, ClueEngine, EngineConfig, Method};
+use clue_lookup::Family;
+use clue_trie::{BinaryTrie, Ip4, Prefix};
+use proptest::prelude::*;
+
+/// A generated prefix table: addresses spread over the top octets so
+/// tables overlap enough to produce nested prefixes and shared clues.
+fn table(max: usize) -> impl Strategy<Value = Vec<Prefix<Ip4>>> {
+    proptest::collection::vec((any::<u32>(), 1u8..=28), 1..max)
+        .prop_map(|raw| raw.into_iter().map(|(a, l)| Prefix::new(Ip4(a), l)).collect())
+}
+
+/// Any clue at all: possibly absent, possibly unrelated to anything.
+fn wild_clues(packets: usize) -> impl Strategy<Value = Vec<Option<Prefix<Ip4>>>> {
+    proptest::collection::vec(
+        proptest::option::of((any::<u32>(), 1u8..=32)),
+        packets..=packets,
+    )
+    .prop_map(|raw| {
+        raw.into_iter().map(|c| c.map(|(a, l)| Prefix::new(Ip4(a), l))).collect()
+    })
+}
+
+fn engine(
+    sender: &[Prefix<Ip4>],
+    receiver: &[Prefix<Ip4>],
+    method: Method,
+) -> ClueEngine<Ip4> {
+    ClueEngine::precomputed(sender, receiver, EngineConfig::new(Family::Regular, method))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simple_is_sound_for_arbitrary_clues(
+        sender in table(24),
+        receiver in table(24),
+        dests in proptest::collection::vec(any::<u32>(), 1..24),
+        clues in wild_clues(24),
+    ) {
+        let dests: Vec<Ip4> = dests.into_iter().map(Ip4).collect();
+        let clues = &clues[..dests.len()];
+        let mut engine = engine(&sender, &receiver, Method::Simple);
+        let frozen = engine.freeze().unwrap();
+        let report = check_soundness(&mut engine, &frozen, &dests, clues);
+        prop_assert!(report.is_sound(), "divergences: {:?}", report.divergences);
+        prop_assert!(
+            report.stats_parity(),
+            "scalar {:?} != frozen {:?}",
+            report.scalar_stats,
+            report.frozen_stats
+        );
+    }
+
+    #[test]
+    fn advance_is_sound_for_epoch_consistent_clues(
+        sender in table(24),
+        receiver in table(24),
+        dests in proptest::collection::vec(any::<u32>(), 1..24),
+    ) {
+        let dests: Vec<Ip4> = dests.into_iter().map(Ip4).collect();
+        let t1: BinaryTrie<Ip4, ()> = sender.iter().map(|p| (*p, ())).collect();
+        let clues: Vec<Option<Prefix<Ip4>>> = dests
+            .iter()
+            .map(|&d| t1.lookup(d).map(|r| t1.prefix(r)).filter(|c| !c.is_empty()))
+            .collect();
+        let mut engine = engine(&sender, &receiver, Method::Advance);
+        let frozen = engine.freeze().unwrap();
+        let report = check_soundness(&mut engine, &frozen, &dests, &clues);
+        prop_assert!(report.is_sound(), "divergences: {:?}", report.divergences);
+        prop_assert!(report.stats_parity());
+    }
+
+    #[test]
+    fn malformed_clues_count_exactly_once_on_both_paths(
+        sender in table(16),
+        receiver in table(16),
+        dests in proptest::collection::vec(any::<u32>(), 1..16),
+        lens in proptest::collection::vec(8u8..=24, 16),
+    ) {
+        // Bitwise-complemented destinations guarantee non-containing
+        // clues: every packet must take the malformed-fallback path and
+        // be counted exactly once by scalar and frozen alike.
+        let dests: Vec<Ip4> = dests.into_iter().map(Ip4).collect();
+        let clues: Vec<Option<Prefix<Ip4>>> = dests
+            .iter()
+            .zip(&lens)
+            .map(|(&d, &l)| Some(Prefix::new(Ip4(!d.0), l)))
+            .collect();
+        let mut engine = engine(&sender, &receiver, Method::Simple);
+        let frozen = engine.freeze().unwrap();
+        let report = check_soundness(&mut engine, &frozen, &dests, &clues);
+        prop_assert!(report.is_sound());
+        prop_assert_eq!(report.scalar_stats.malformed, report.checked);
+        prop_assert_eq!(report.frozen_stats.malformed, report.checked);
+        prop_assert!(report.stats_parity());
+    }
+}

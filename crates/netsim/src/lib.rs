@@ -23,12 +23,18 @@
 //! * [`PathVector`] — a BGP-like path-vector protocol run to
 //!   convergence, with the paper's border-only aggregation policy: the
 //!   distributed origin of the neighbor-table similarity the clue
-//!   scheme exploits (Section 3.3.2).
+//!   scheme exploits (Section 3.3.2);
+//! * [`run_chaos`] — the fault-injection harness: seeded, reproducible
+//!   corrupted/truncated/stale/adversarial clues, clue-less hops,
+//!   drops, reorders, reader panics and stalled rebuilds, checked
+//!   against the soundness invariant (any fault degrades cost, never
+//!   the forwarding decision).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod churn;
+mod faults;
 mod mpls_path;
 mod network;
 mod parallel;
@@ -36,7 +42,11 @@ mod pathvector;
 mod sim;
 mod topology;
 
-pub use churn::{run_churn, ChurnDriverConfig, ChurnReport};
+pub use churn::{run_churn, ChurnDriverConfig, ChurnError, ChurnReport};
+pub use faults::{
+    run_chaos, ChaosConfig, ChaosReport, ChurnFaultPlan, ClassOutcome, FaultClass, FaultPlan,
+    RebuildWatchdog,
+};
 pub use mpls_path::{LabelSwitchedPath, LspHop};
 pub use pathvector::{Aggregation, PathVector, Rib, Route};
 pub use network::{

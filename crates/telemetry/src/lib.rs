@@ -31,11 +31,13 @@
 
 mod churn;
 mod export;
+mod fault;
 mod lookup;
 mod registry;
 pub mod trace;
 
 pub use churn::ChurnTelemetry;
+pub use fault::DegradationTelemetry;
 pub use export::{to_json, to_prometheus};
 pub use lookup::{CacheTelemetry, LookupTelemetry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, Snapshot};
@@ -58,3 +60,10 @@ pub const PREFIX_LENGTH_BOUNDS: &[u64] = &[8, 12, 16, 20, 24, 28, 32];
 /// pathological stalls.
 pub const REBUILD_LATENCY_BOUNDS_US: &[u64] =
     &[50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000];
+
+/// Default degraded-lookup cost-overhead bounds, in extra memory
+/// references versus the clue-less baseline for the same destination.
+/// A sound fault costs at most a wasted clue-table probe plus the full
+/// fallback walk, so the interesting range is small; the overflow
+/// bucket would indicate an unsound (and therefore buggy) degradation.
+pub const DEGRADED_COST_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];

@@ -3,7 +3,7 @@
 
 use clue_core::ClueHeader;
 use clue_trie::{Ip4, Ip6, Prefix};
-use clue_wire::{Ipv4Packet, Ipv6Packet};
+use clue_wire::{option::decode_clue_option, Ipv4Packet, Ipv6Packet, WireError};
 use proptest::prelude::*;
 
 proptest! {
@@ -78,6 +78,70 @@ proptest! {
         prop_assert_eq!(back.traffic_class, tc);
         prop_assert_eq!(back.flow_label, flow);
         prop_assert_eq!(back.clue, pkt.clue);
+    }
+
+    #[test]
+    fn clue_option_decode_never_panics_and_errors_are_typed(
+        body in proptest::collection::vec(any::<u8>(), 0..8),
+    ) {
+        // The option decoder sees raw attacker-controlled bytes; the
+        // only acceptable outcomes are a decoded header or one of the
+        // two typed option errors — never a panic, never a clue the
+        // decoder could not have encoded.
+        for res in [decode_clue_option::<Ip4>(&body), decode_clue_option::<Ip6>(&body)] {
+            match res {
+                Ok(header) => prop_assert!(header.clue.is_some()),
+                Err(WireError::BadOption) | Err(WireError::BadClue) => {}
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ipv4_truncation_reports_the_exact_cut(
+        clue_len in 1u8..=32,
+        index in proptest::option::of(any::<u16>()),
+        cut_seed in any::<u16>(),
+    ) {
+        // Every strict prefix of a valid clued packet fails to parse,
+        // and when the failure is `Truncated` it names the cut point
+        // exactly — degradation diagnostics the chaos harness trusts.
+        let dst = Ip4(0x0A01_0203);
+        let bmp = Prefix::new(dst, clue_len);
+        let header = match index {
+            Some(i) => ClueHeader::with_indexed_clue(&bmp, i),
+            None => ClueHeader::with_clue(&bmp),
+        };
+        let bytes = Ipv4Packet::new(Ip4(0xC000_0201), dst, 6).with_clue(header).to_bytes();
+        let cut = cut_seed as usize % bytes.len();
+        match Ipv4Packet::parse(&bytes[..cut]) {
+            Ok(_) => prop_assert!(false, "a {cut}-byte prefix of {} parsed", bytes.len()),
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > got);
+            }
+            Err(_) => {} // another typed error (checksum, IHL) is fine
+        }
+    }
+
+    #[test]
+    fn ipv6_truncation_reports_the_exact_cut(
+        clue_len in 1u8..=128,
+        cut_seed in any::<u16>(),
+    ) {
+        let dst = Ip6(0x2001_0db8_0000_0000_0000_0000_0000_0001);
+        let bytes = Ipv6Packet::new(Ip6(0x2001_0db8_ffff_0000_0000_0000_0000_0002), dst, 6)
+            .with_clue(ClueHeader::with_clue(&Prefix::new(dst, clue_len)))
+            .to_bytes();
+        let cut = cut_seed as usize % bytes.len();
+        match Ipv6Packet::parse(&bytes[..cut]) {
+            Ok(_) => prop_assert!(false, "a {cut}-byte prefix of {} parsed", bytes.len()),
+            Err(WireError::Truncated { needed, got }) => {
+                prop_assert_eq!(got, cut);
+                prop_assert!(needed > got);
+            }
+            Err(_) => {}
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release
+cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -21,5 +21,14 @@ grep -q '"equivalent": true' BENCH_throughput.json
 target/release/clue churn 1000 1 --readers 4 --check --json BENCH_churn.json
 test -s BENCH_churn.json
 grep -q '"identical": true' BENCH_churn.json
+
+# Chaos smoke: a million fault-injected packets spanning every fault
+# class must forward bit-identically to the clue-less baseline, and the
+# churn leg must survive an injected reader panic plus a watchdog
+# rebuild retry (--check aborts on any divergence or wedge).
+target/release/clue chaos 1000000 1 --check --json BENCH_chaos.json
+test -s BENCH_chaos.json
+grep -q '"divergences": 0' BENCH_chaos.json
+grep -q '"churn_survived": true' BENCH_chaos.json
 
 echo "verify: OK"
