@@ -41,22 +41,22 @@ use crate::table::{Continuation, TableKind};
 /// “No child” sentinel in [`FrozenNode::children`].
 pub const NONE_NODE: u32 = u32::MAX;
 /// Claim-1 continue bit: set iff a candidate may lie strictly below.
-const CONT_BIT: u32 = 1 << 31;
+pub(crate) const CONT_BIT: u32 = 1 << 31;
 /// “No route marked here” in the low 31 bits of the route word.
-const NO_ROUTE: u32 = CONT_BIT - 1;
+pub(crate) const NO_ROUTE: u32 = CONT_BIT - 1;
 
 /// One flattened trie vertex: two child indices and a packed route
 /// word (bit 31 = Claim-1 continue bit, low 31 bits = route index or
 /// [`NO_ROUTE`]). 12 bytes, versus ~56 for the live arena node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FrozenNode {
-    children: [u32; 2],
-    route_word: u32,
+pub(crate) struct FrozenNode {
+    pub(crate) children: [u32; 2],
+    pub(crate) route_word: u32,
 }
 
 impl FrozenNode {
     #[inline]
-    fn may_continue(&self) -> bool {
+    pub(crate) fn may_continue(&self) -> bool {
         self.route_word & CONT_BIT != 0
     }
 }
@@ -64,9 +64,9 @@ impl FrozenNode {
 /// One flattened clue-table entry: the FD fallback plus the
 /// continuation vertex ([`NONE_NODE`] = the paper's “Ptr empty”).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct FrozenEntry<A: Address> {
-    fd: Option<Prefix<A>>,
-    cont: u32,
+pub(crate) struct FrozenEntry<A: Address> {
+    pub(crate) fd: Option<Prefix<A>>,
+    pub(crate) cont: u32,
 }
 
 /// Why an engine could not be frozen.
@@ -454,20 +454,56 @@ impl<A: Address> FrozenEngine<A> {
         stats
     }
 
+    /// As [`Self::lookup_batch`], but resizing and reusing a
+    /// caller-supplied buffer — the steady-state form for drivers that
+    /// loop over windows (`lookup_batch_vec` allocates a fresh `Vec`
+    /// per call, which shows up once the lookups themselves are cheap).
+    pub fn lookup_batch_into(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut Vec<Decision<A>>,
+    ) -> EngineStats {
+        out.clear();
+        out.resize(dests.len(), Decision::default());
+        self.lookup_batch(dests, clues, out)
+    }
+
     /// Allocating convenience over [`Self::lookup_batch`].
     pub fn lookup_batch_vec(
         &self,
         dests: &[A],
         clues: &[Option<Prefix<A>>],
     ) -> (Vec<Decision<A>>, EngineStats) {
-        let mut out = vec![Decision::default(); dests.len()];
-        let stats = self.lookup_batch(dests, clues, &mut out);
+        let mut out = Vec::new();
+        let stats = self.lookup_batch_into(dests, clues, &mut out);
         (out, stats)
+    }
+
+    /// The compiled method flavour (inherited from the live engine).
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    pub(crate) fn raw_nodes(&self) -> &[FrozenNode] {
+        &self.nodes
+    }
+
+    pub(crate) fn raw_routes(&self) -> &[Prefix<A>] {
+        &self.routes
+    }
+
+    pub(crate) fn raw_entries(&self) -> &[FrozenEntry<A>] {
+        &self.entries
+    }
+
+    pub(crate) fn raw_map(&self) -> &FxHashMap<Prefix<A>, u32> {
+        &self.map
     }
 }
 
 #[inline]
-fn bump(stats: &mut EngineStats, class: LookupClass) {
+pub(crate) fn bump(stats: &mut EngineStats, class: LookupClass) {
     match class {
         LookupClass::Clueless => stats.clueless += 1,
         LookupClass::Final => stats.finals += 1,
@@ -481,7 +517,7 @@ fn bump(stats: &mut EngineStats, class: LookupClass) {
 /// depth; for a Continued lookup that is everything but the mandatory
 /// table probe.
 #[inline]
-fn search_depth(class: LookupClass, cost: Cost) -> u64 {
+pub(crate) fn search_depth(class: LookupClass, cost: Cost) -> u64 {
     if class == LookupClass::Continued {
         cost.total() - cost.hash_probes
     } else {

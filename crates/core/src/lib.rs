@@ -72,8 +72,10 @@ mod frozen;
 pub mod fxhash;
 pub mod mpls;
 pub mod neighbors;
+pub mod prefetch;
 pub mod recursive;
 mod soundness;
+mod stride;
 mod table;
 
 pub use cache::{CacheStats, ClueCache, LruCache, PresenceCache};
@@ -84,4 +86,8 @@ pub use epoch::{EpochCell, EpochEngine, EpochGuard, EpochReader};
 pub use frozen::{Decision, FreezeError, FrozenEngine, NONE_NODE};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use soundness::{check_soundness, Divergence, SoundnessReport};
+pub use stride::{
+    StrideConfig, StrideEngine, StrideError, DEFAULT_INITIAL_BITS, DEFAULT_INNER_BITS,
+    DEFAULT_INTERLEAVE,
+};
 pub use table::{CandidateRange, ClueEntry, ClueIndexer, ClueTable, Continuation, TableKind};

@@ -1,0 +1,1106 @@
+//! A stride-compiled second representation of a [`FrozenEngine`]: the
+//! multibit fast path.
+//!
+//! The frozen engine already lays the continuation trie out flat, but
+//! a full walk still consumes one 12-byte node — one dependent load —
+//! per address *bit*, and every clue consult hashes into an
+//! [`FxHashMap`](crate::fxhash::FxHashMap). This module compiles the
+//! frozen snapshot once more, into the layout software-LPM practice
+//! actually deploys:
+//!
+//! * a **direct-indexed initial stride array**: the top
+//!   [`StrideConfig::initial_bits`] address bits index straight into a
+//!   slot that already holds the best route over that whole top-of-trie
+//!   path (leaf-pushed), the number of binary-trie vertices the scalar
+//!   walk would have charged, and where to continue;
+//! * **multibit internal nodes** below the root array: each consumes
+//!   [`StrideConfig::inner_bits`] address bits per step via controlled
+//!   prefix expansion, again with leaf-pushed route words and
+//!   precomputed scalar charge counts;
+//! * **length-indexed flat clue buckets**: clues have at most
+//!   `A::BITS + 1` distinct lengths (≤33 for IPv4), so the per-clue
+//!   probe becomes "pick the bucket for this length, one multiply-shift
+//!   home slot, linear scan" over a flat array — no SipHash, no
+//!   FxHash, one predictable cache line for the common case;
+//! * an interleaved, software-**prefetched**
+//!   [`StrideEngine::lookup_batch`]: packets are processed in lockstep
+//!   groups; pass one prefetches each packet's first probe target
+//!   (root slot or clue-bucket home), pass two runs the walks while
+//!   those fetches are in flight (see [`crate::prefetch`]).
+//!
+//! **The `Decision` contract is unchanged.** For every (destination,
+//! clue) pair the stride engine returns the same BMP, the same
+//! [`LookupClass`] and tick-for-tick the same [`Cost`] as the scalar
+//! engine: `Cost` remains the paper's binary-walk accounting model, so
+//! every stride slot carries the exact number of binary vertices the
+//! scalar walk would have visited (`consumed`), and continued walks —
+//! which must honor the Section 4 Claim-1 bit at single-bit
+//! granularity from arbitrary clue depths — run on a retained copy of
+//! the frozen binary nodes, unchanged. Wall-clock speed comes from
+//! layout and prefetch, never from charging fewer ticks; equivalence
+//! is property-tested in `tests/stride_prop.rs`.
+
+use std::collections::HashMap;
+
+use clue_telemetry::{LookupClass, LookupEvent, LookupTelemetry, StrideTelemetry};
+use clue_trie::{Address, Cost, Prefix};
+
+use crate::engine::{ClueEngine, EngineStats, Method};
+use crate::frozen::{
+    bump, search_depth, Decision, FreezeError, FrozenEngine, FrozenNode, CONT_BIT, NONE_NODE,
+    NO_ROUTE,
+};
+use crate::prefetch::prefetch_read;
+
+/// Default initial stride: 13 bits — 8192 root slots (96 KiB) cover
+/// every real-table prefix shorter than a /14 in a single indexed
+/// read, while staying small enough to be cache-resident next to the
+/// inner nodes. Benchmarked against 8 and 16 in
+/// `clue-bench/benches/stride.rs`.
+pub const DEFAULT_INITIAL_BITS: u8 = 13;
+
+/// Default inner stride width (bits consumed per multibit step).
+pub const DEFAULT_INNER_BITS: u8 = 8;
+
+/// Default interleave group for the prefetched batch loop: 8 packets
+/// in flight cover an L2 miss on the machines we target without
+/// spilling the per-group state out of registers. Benchmarked against
+/// 1/4/16 in `clue-bench/benches/stride.rs`.
+pub const DEFAULT_INTERLEAVE: usize = 8;
+
+/// Hard cap on the interleave group: the decoded ops live in a
+/// fixed stack buffer so the group loop never touches the allocator
+/// (larger requests are clamped, which is semantically inert — see
+/// [`StrideEngine::lookup_batch_interleaved`]).
+const MAX_INTERLEAVE: usize = 64;
+
+/// Largest accepted initial stride (2^20 root slots, 12 MiB).
+const MAX_INITIAL_BITS: u8 = 20;
+
+/// Largest accepted inner stride width.
+const MAX_INNER_BITS: u8 = 16;
+
+/// Empty-slot sentinel in a clue bucket (the slot's `cont` field).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// Occupied-and-final sentinel in a clue bucket's `cont` field: the
+/// inlined entry has no Claim-1 continuation. Distinct from
+/// [`EMPTY_SLOT`]; real continuation vertices are dense indices far
+/// below either sentinel.
+const FINAL_SLOT: u32 = u32::MAX - 1;
+
+/// Shape of the stride compilation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StrideConfig {
+    /// Address bits resolved by the direct-indexed root array
+    /// (1 ..= 20, and strictly less than `A::BITS`).
+    pub initial_bits: u8,
+    /// Address bits consumed per multibit inner node (1 ..= 16).
+    pub inner_bits: u8,
+}
+
+impl Default for StrideConfig {
+    fn default() -> Self {
+        StrideConfig { initial_bits: DEFAULT_INITIAL_BITS, inner_bits: DEFAULT_INNER_BITS }
+    }
+}
+
+impl StrideConfig {
+    /// A config with the given strides (validated at compile time —
+    /// see [`FrozenEngine::compile_stride`]).
+    pub fn new(initial_bits: u8, inner_bits: u8) -> Self {
+        StrideConfig { initial_bits, inner_bits }
+    }
+
+    fn validate<A: Address>(self) -> Result<(), StrideError> {
+        if self.initial_bits == 0
+            || self.initial_bits > MAX_INITIAL_BITS
+            || self.initial_bits >= A::BITS
+        {
+            return Err(StrideError::InitialBits(self.initial_bits));
+        }
+        if self.inner_bits == 0 || self.inner_bits > MAX_INNER_BITS {
+            return Err(StrideError::InnerBits(self.inner_bits));
+        }
+        Ok(())
+    }
+}
+
+/// Why a stride compilation was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrideError {
+    /// The initial stride is 0, over 20, or not below the address width.
+    InitialBits(u8),
+    /// The inner stride is 0 or over 16.
+    InnerBits(u8),
+    /// The engine could not even be frozen (see [`FreezeError`]).
+    Freeze(FreezeError),
+}
+
+impl core::fmt::Display for StrideError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StrideError::InitialBits(b) => write!(
+                f,
+                "initial stride {b} out of range (1..={MAX_INITIAL_BITS}, below the address width)"
+            ),
+            StrideError::InnerBits(b) => {
+                write!(f, "inner stride {b} out of range (1..={MAX_INNER_BITS})")
+            }
+            StrideError::Freeze(e) => write!(f, "cannot freeze: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StrideError {}
+
+impl From<FreezeError> for StrideError {
+    fn from(e: FreezeError) -> Self {
+        StrideError::Freeze(e)
+    }
+}
+
+/// One root-array slot: the compiled outcome of walking the top
+/// `initial_bits` of an address through the binary trie.
+#[derive(Debug, Clone, Copy)]
+struct RootSlot {
+    /// Leaf-pushed best route over the walked path ([`NO_ROUTE`] if
+    /// none marked), low 31 bits of the frozen route-word encoding.
+    route_word: u32,
+    /// Inner stride node to continue at, [`NONE_NODE`] if the walk
+    /// dead-ends within the initial stride.
+    next: u32,
+    /// Binary vertices the scalar walk charges for this path: the root
+    /// plus one per descended edge.
+    consumed: u8,
+}
+
+/// One expanded slot of a multibit inner node.
+#[derive(Debug, Clone, Copy)]
+struct InnerSlot {
+    /// Leaf-pushed best route among the vertices this chunk descends
+    /// into ([`NO_ROUTE`] if none).
+    route_word: u32,
+    /// Child inner node, [`NONE_NODE`] if the walk ends here.
+    child: u32,
+    /// Binary vertices the scalar walk charges inside this chunk (one
+    /// per descended edge; the chunk's entry vertex was charged by the
+    /// previous level).
+    consumed: u8,
+}
+
+/// A multibit inner node: `2^width` expanded slots starting at
+/// `first_slot`, consuming address bits `base .. base + width`.
+#[derive(Debug, Clone, Copy)]
+struct InnerNode {
+    first_slot: u32,
+    base: u8,
+    width: u8,
+}
+
+/// Descriptor of one length's open-addressed region inside the shared
+/// flat slot array: clues of length `l` live in
+/// `slots[offset .. offset + mask + 1]`, a power-of-two window at most
+/// half full, so a multiply-shift home index plus a short linear scan
+/// always terminates on an empty slot. Lengths with no clues point at
+/// the shared always-empty sentinel slot 0 (`mask == 0`), so the probe
+/// needs no emptiness branch. One flat array (instead of a `Vec` per
+/// length) keeps the probe to two dependent loads: this 12-byte
+/// descriptor, then the slot itself.
+#[derive(Debug, Clone, Copy)]
+struct BucketDesc {
+    offset: u32,
+    /// `capacity - 1` of the window (0 for the empty sentinel).
+    mask: u32,
+    /// `64 - log2(capacity)` — the multiply-shift downshift.
+    shift: u32,
+}
+
+const EMPTY_DESC: BucketDesc = BucketDesc { offset: 0, mask: 0, shift: 63 };
+
+/// `fd_len` value marking an absent FD field in a [`BucketSlot`].
+const NO_FD: u8 = u8::MAX;
+
+/// One probe slot with the clue entry's payload inlined: a Final-class
+/// lookup — the overwhelming steady-state majority — resolves with a
+/// single data-dependent load (the frozen path needs the hash slot
+/// *and* a separate entry record). The FD prefix is stored unpacked
+/// (bits + length, [`NO_FD`] for none) and the struct is 16-aligned so
+/// an IPv4 slot is 16 bytes and never straddles a cache line.
+#[derive(Debug, Clone, Copy)]
+#[repr(align(16))]
+struct BucketSlot<A: Address> {
+    key: A,
+    /// Bits of the inlined FD field ([`Address::ZERO`] when absent).
+    fd_bits: A,
+    /// Inlined continuation: a vertex index into the retained binary
+    /// nodes, [`FINAL_SLOT`] when the entry is final, or
+    /// [`EMPTY_SLOT`] when the slot is vacant.
+    cont: u32,
+    /// Length of the inlined FD prefix, [`NO_FD`] when absent.
+    fd_len: u8,
+}
+
+impl<A: Address> BucketSlot<A> {
+    /// Rebuilds the FD field stored in this slot.
+    #[inline]
+    fn fd(&self) -> Option<Prefix<A>> {
+        if self.fd_len == NO_FD {
+            None
+        } else {
+            Some(Prefix::new(self.fd_bits, self.fd_len))
+        }
+    }
+}
+
+/// A packet decoded by the interleaved batch loop's first pass: either
+/// a full walk (with its already-determined class) or a bucket probe
+/// whose home counter is precomputed — the resolve pass starts at the
+/// slot the prefetch pointed to instead of re-deriving it.
+#[derive(Clone, Copy)]
+enum PacketOp {
+    /// Clue not consulted: Clueless or Malformed, walk from the root.
+    Walk(LookupClass),
+    /// Clue consulted: probe length `len`'s window from counter `k`.
+    Probe { k: u32, len: u8 },
+}
+
+/// Fibonacci multiply-shift over the (masked) clue bits; the high bits
+/// of the product index the bucket window.
+#[inline]
+fn fold_hash<A: Address>(bits: A) -> u64 {
+    let x = bits.to_u128();
+    (((x >> 64) as u64) ^ (x as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// The stride-compiled engine; see the module docs. Compiled from a
+/// [`FrozenEngine`] via [`FrozenEngine::compile_stride`], read-only
+/// and `Sync` like its source.
+#[derive(Debug, Clone)]
+pub struct StrideEngine<A: Address> {
+    method: Method,
+    config: StrideConfig,
+    /// `2^initial_bits` direct-indexed slots.
+    root: Vec<RootSlot>,
+    /// Multibit nodes below the root array.
+    inner: Vec<InnerNode>,
+    /// Expanded slots of every inner node, contiguous per node.
+    slots: Vec<InnerSlot>,
+    /// The frozen binary nodes, retained verbatim: continued walks
+    /// honor the Claim-1 bit at single-bit granularity from arbitrary
+    /// clue depths, which a fixed-stride layout cannot express.
+    bin_nodes: Vec<FrozenNode>,
+    /// Route prefixes referenced by every route word.
+    routes: Vec<Prefix<A>>,
+    /// Per-length probe windows into `bucket_slots`, indexed by clue
+    /// length (`A::BITS + 1` descriptors — ≤33 for IPv4).
+    bucket_desc: Vec<BucketDesc>,
+    /// All length windows back to back; slot 0 is the shared empty
+    /// sentinel that zero-clue lengths point at.
+    bucket_slots: Vec<BucketSlot<A>>,
+    telemetry: Option<LookupTelemetry>,
+    stride_telemetry: Option<StrideTelemetry>,
+}
+
+/// Walks `width` bits of `value` (MSB first) down the binary trie from
+/// `start`, returning the edges descended, the deepest route word seen
+/// among the visited vertices (optionally including `start`'s own) and
+/// the end vertex ([`NONE_NODE`] on a dead end).
+fn descend(
+    nodes: &[FrozenNode],
+    start: u32,
+    value: usize,
+    width: u8,
+    include_start_route: bool,
+) -> (u8, u32, u32) {
+    let mut cur = start;
+    let mut best = NO_ROUTE;
+    if include_start_route && nodes[cur as usize].route_word & NO_ROUTE != NO_ROUTE {
+        best = nodes[cur as usize].route_word & NO_ROUTE;
+    }
+    let mut edges = 0u8;
+    for i in (0..width).rev() {
+        let bit = (value >> i) & 1;
+        let child = nodes[cur as usize].children[bit];
+        if child == NONE_NODE {
+            return (edges, best, NONE_NODE);
+        }
+        cur = child;
+        edges += 1;
+        let route = nodes[cur as usize].route_word & NO_ROUTE;
+        if route != NO_ROUTE {
+            best = route;
+        }
+    }
+    (edges, best, cur)
+}
+
+#[inline]
+fn has_children(node: &FrozenNode) -> bool {
+    node.children[0] != NONE_NODE || node.children[1] != NONE_NODE
+}
+
+impl<A: Address> ClueEngine<A> {
+    /// [`ClueEngine::freeze`] followed by
+    /// [`FrozenEngine::compile_stride`], as one call.
+    pub fn freeze_stride(&self, config: StrideConfig) -> Result<StrideEngine<A>, StrideError> {
+        self.freeze()?.compile_stride(config)
+    }
+}
+
+impl<A: Address> FrozenEngine<A> {
+    /// Compiles this snapshot into a [`StrideEngine`]: leaf-pushed
+    /// root array and multibit inner nodes via controlled prefix
+    /// expansion, flat length-indexed clue buckets, and a retained
+    /// copy of the binary nodes for Claim-1 continuations. Pure
+    /// function of the snapshot; the frozen engine is unchanged.
+    pub fn compile_stride(&self, config: StrideConfig) -> Result<StrideEngine<A>, StrideError> {
+        config.validate::<A>()?;
+        let nodes = self.raw_nodes();
+        let s = config.initial_bits;
+        let w = config.inner_bits;
+
+        let mut inner: Vec<InnerNode> = Vec::new();
+        let mut inner_bin: Vec<u32> = Vec::new(); // inner id → binary vertex
+        let mut by_bin: HashMap<u32, u32> = HashMap::new();
+        let mut queue: Vec<u32> = Vec::new();
+        let mut alloc = |bin: u32,
+                         base: u8,
+                         inner: &mut Vec<InnerNode>,
+                         inner_bin: &mut Vec<u32>,
+                         queue: &mut Vec<u32>|
+         -> u32 {
+            *by_bin.entry(bin).or_insert_with(|| {
+                let id = inner.len() as u32;
+                let width = w.min(A::BITS - base);
+                inner.push(InnerNode { first_slot: u32::MAX, base, width });
+                inner_bin.push(bin);
+                queue.push(id);
+                id
+            })
+        };
+
+        // Root array: simulate the scalar walk for every top-of-trie
+        // path once, at compile time.
+        let mut root = Vec::with_capacity(1usize << s);
+        for value in 0..(1usize << s) {
+            let (edges, best, end) = descend(nodes, 0, value, s, true);
+            let next = if end != NONE_NODE && has_children(&nodes[end as usize]) {
+                alloc(end, s, &mut inner, &mut inner_bin, &mut queue)
+            } else {
+                NONE_NODE
+            };
+            root.push(RootSlot { route_word: best, next, consumed: 1 + edges });
+        }
+
+        // Inner nodes, breadth-first: expand each boundary vertex into
+        // 2^width slots; children found at a full-chunk walk whose end
+        // vertex still branches become further inner nodes.
+        let mut slots: Vec<InnerSlot> = Vec::new();
+        let mut head = 0;
+        while head < queue.len() {
+            let id = queue[head];
+            head += 1;
+            let bin = inner_bin[id as usize];
+            let InnerNode { base, width, .. } = inner[id as usize];
+            inner[id as usize].first_slot = slots.len() as u32;
+            for value in 0..(1usize << width) {
+                let (edges, best, end) = descend(nodes, bin, value, width, false);
+                let child = if end != NONE_NODE && has_children(&nodes[end as usize]) {
+                    alloc(end, base + width, &mut inner, &mut inner_bin, &mut queue)
+                } else {
+                    NONE_NODE
+                };
+                slots.push(InnerSlot { route_word: best, child, consumed: edges });
+            }
+        }
+
+        // Length-indexed probe windows, built in canonical
+        // (sorted-clue) order so compilation is a pure function of the
+        // snapshot. Slot 0 is the shared empty sentinel.
+        let mut by_len: Vec<Vec<(A, u32)>> = vec![Vec::new(); A::BITS as usize + 1];
+        let mut sorted: Vec<_> = self.raw_map().iter().map(|(clue, &i)| (*clue, i)).collect();
+        sorted.sort_by_key(|(clue, _)| *clue);
+        for (clue, i) in sorted {
+            by_len[clue.len() as usize].push((clue.bits(), i));
+        }
+        let vacant =
+            BucketSlot { key: A::ZERO, fd_bits: A::ZERO, cont: EMPTY_SLOT, fd_len: NO_FD };
+        let entries = self.raw_entries();
+        let mut bucket_desc = Vec::with_capacity(by_len.len());
+        let mut bucket_slots = vec![vacant];
+        for keys in by_len {
+            if keys.is_empty() {
+                bucket_desc.push(EMPTY_DESC);
+                continue;
+            }
+            let cap = (keys.len() * 2).next_power_of_two().max(2);
+            let desc = BucketDesc {
+                offset: bucket_slots.len() as u32,
+                mask: (cap - 1) as u32,
+                shift: 64 - cap.trailing_zeros(),
+            };
+            bucket_slots.resize(bucket_slots.len() + cap, vacant);
+            for (bits, entry) in keys {
+                let e = &entries[entry as usize];
+                let cont = if e.cont == NONE_NODE { FINAL_SLOT } else { e.cont };
+                let (fd_bits, fd_len) = match e.fd {
+                    Some(p) => (p.bits(), p.len()),
+                    None => (A::ZERO, NO_FD),
+                };
+                let mut k = (fold_hash(bits) >> desc.shift) as u32;
+                loop {
+                    let i = (desc.offset + (k & desc.mask)) as usize;
+                    if bucket_slots[i].cont == EMPTY_SLOT {
+                        bucket_slots[i] = BucketSlot { key: bits, fd_bits, cont, fd_len };
+                        break;
+                    }
+                    debug_assert!(bucket_slots[i].key != bits, "duplicate clue in bucket");
+                    k = k.wrapping_add(1);
+                }
+            }
+            bucket_desc.push(desc);
+        }
+
+        Ok(StrideEngine {
+            method: self.method(),
+            config,
+            root,
+            inner,
+            slots,
+            bin_nodes: nodes.to_vec(),
+            routes: self.raw_routes().to_vec(),
+            bucket_desc,
+            bucket_slots,
+            telemetry: self.telemetry().cloned(),
+            stride_telemetry: None,
+        })
+    }
+}
+
+impl<A: Address> StrideEngine<A> {
+    /// The compiled method flavour (inherited through the freeze).
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The stride shape this engine was compiled with.
+    pub fn config(&self) -> StrideConfig {
+        self.config
+    }
+
+    /// Number of multibit inner nodes.
+    pub fn inner_node_count(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Number of expanded inner slots across all multibit nodes.
+    pub fn inner_slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Resident bytes of every structure the hot paths touch: root
+    /// array, inner nodes and slots, retained binary nodes, routes and
+    /// the payload-inlined clue buckets.
+    pub fn memory_bytes(&self) -> usize {
+        self.root.len() * core::mem::size_of::<RootSlot>()
+            + self.inner.len() * core::mem::size_of::<InnerNode>()
+            + self.slots.len() * core::mem::size_of::<InnerSlot>()
+            + self.bin_nodes.len() * core::mem::size_of::<FrozenNode>()
+            + self.routes.len() * core::mem::size_of::<Prefix<A>>()
+            + self.bucket_desc.len() * core::mem::size_of::<BucketDesc>()
+            + self.bucket_slots.len() * core::mem::size_of::<BucketSlot<A>>()
+    }
+
+    /// Replaces the inherited per-lookup telemetry bundle.
+    pub fn attach_telemetry(&mut self, telemetry: LookupTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Attaches the stride-path bundle (batch/group/prefetch counters).
+    pub fn attach_stride_telemetry(&mut self, telemetry: StrideTelemetry) {
+        self.stride_telemetry = Some(telemetry);
+    }
+
+    /// The attached per-lookup telemetry, if any.
+    pub fn telemetry(&self) -> Option<&LookupTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// The attached stride-path telemetry, if any.
+    pub fn stride_telemetry(&self) -> Option<&StrideTelemetry> {
+        self.stride_telemetry.as_ref()
+    }
+
+    #[inline]
+    fn root_index(&self, dest: A) -> usize {
+        (dest.to_u128() >> (A::BITS - self.config.initial_bits)) as usize
+    }
+
+    #[inline]
+    fn chunk(dest: A, base: u8, width: u8) -> usize {
+        ((dest.to_u128() >> (A::BITS - base - width)) & ((1u128 << width) - 1)) as usize
+    }
+
+    #[inline]
+    fn route_prefix(&self, word: u32) -> Option<Prefix<A>> {
+        let r = word & NO_ROUTE;
+        (r != NO_ROUTE).then(|| self.routes[r as usize])
+    }
+
+    /// Probes the flat clue window for length `len` starting at probe
+    /// counter `k` (the multiply-shift home): one descriptor read,
+    /// then a linear scan that in the half-full steady state touches a
+    /// single slot — and that slot already carries the entry payload.
+    #[inline]
+    fn bucket_get_from(&self, len: u8, bits: A, mut k: u32) -> Option<&BucketSlot<A>> {
+        let d = self.bucket_desc[len as usize];
+        loop {
+            let slot = &self.bucket_slots[(d.offset + (k & d.mask)) as usize];
+            if slot.cont == EMPTY_SLOT {
+                return None;
+            }
+            if slot.key == bits {
+                return Some(slot);
+            }
+            k = k.wrapping_add(1);
+        }
+    }
+
+    /// The home probe counter for `bits` in length `len`'s window.
+    #[inline]
+    fn bucket_home(&self, len: u8, bits: A) -> u32 {
+        (fold_hash(bits) >> self.bucket_desc[len as usize].shift) as u32
+    }
+
+    #[inline]
+    fn bucket_get(&self, len: u8, bits: A) -> Option<&BucketSlot<A>> {
+        self.bucket_get_from(len, bits, self.bucket_home(len, bits))
+    }
+
+    /// The full (clueless) lookup on the stride layout: one indexed
+    /// root read, then at most `⌈(A::BITS − initial) / inner⌉` multibit
+    /// steps — while charging `cost` exactly what the scalar bit walk
+    /// would have (each slot carries its precomputed vertex count).
+    #[inline(never)]
+    fn common_walk(&self, dest: A, cost: &mut Cost) -> Option<Prefix<A>> {
+        let slot = &self.root[self.root_index(dest)];
+        cost.trie_nodes += u64::from(slot.consumed);
+        let mut best = self.route_prefix(slot.route_word);
+        let mut node = slot.next;
+        while node != NONE_NODE {
+            let n = &self.inner[node as usize];
+            let i = n.first_slot as usize + Self::chunk(dest, n.base, n.width);
+            let slot = &self.slots[i];
+            cost.trie_nodes += u64::from(slot.consumed);
+            if let Some(p) = self.route_prefix(slot.route_word) {
+                best = Some(p);
+            }
+            node = slot.child;
+        }
+        best
+    }
+
+    /// The continued walk, bit-for-bit the frozen engine's: start at
+    /// the clue's continuation vertex, honor the Claim-1 bit, charge
+    /// one vertex per visit. Runs on the retained binary nodes.
+    #[inline(never)]
+    fn walk_from(&self, start: u32, mut depth: u8, dest: A, cost: &mut Cost) -> Option<Prefix<A>> {
+        let mut cur = &self.bin_nodes[start as usize];
+        cost.trie_node();
+        let mut best = self.route_prefix(cur.route_word);
+        loop {
+            if !cur.may_continue() || depth >= A::BITS {
+                break;
+            }
+            let c = cur.children[dest.bit(depth) as usize];
+            if c == NONE_NODE {
+                break;
+            }
+            cur = &self.bin_nodes[c as usize];
+            depth += 1;
+            cost.trie_node();
+            if let Some(p) = self.route_prefix(cur.route_word) {
+                best = Some(p);
+            }
+        }
+        best
+    }
+
+    /// One stride lookup: the same flow (and the same charges) as
+    /// [`FrozenEngine::lookup`], with the stride structures underneath.
+    /// The bucket probe still charges exactly one
+    /// [`Cost::hash_probe`] — the paper's single mandatory table
+    /// access; the accounting model does not change with the layout.
+    #[inline]
+    pub fn lookup(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        let s = match (self.method, clue) {
+            (Method::Common, _) | (_, None) => {
+                return (self.common_walk(dest, cost), LookupClass::Clueless);
+            }
+            (_, Some(s)) => s,
+        };
+        if !s.contains(dest) {
+            return (self.common_walk(dest, cost), LookupClass::Malformed);
+        }
+        cost.hash_probe();
+        match self.bucket_get(s.len(), s.bits()) {
+            Some(slot) => {
+                if slot.cont == FINAL_SLOT {
+                    (slot.fd(), LookupClass::Final)
+                } else {
+                    let found = self.walk_from(slot.cont, s.len(), dest, cost);
+                    (found.or(slot.fd()), LookupClass::Continued)
+                }
+            }
+            None => (self.common_walk(dest, cost), LookupClass::Miss),
+        }
+    }
+
+    /// As [`Self::lookup`], packaged as a [`Decision`].
+    pub fn lookup_decision(&self, dest: A, clue: Option<Prefix<A>>) -> Decision<A> {
+        let mut cost = Cost::new();
+        let (bmp, class) = self.lookup(dest, clue, &mut cost);
+        Decision { bmp, class, cost }
+    }
+
+    /// Decodes one packet for the interleaved batch loop: classifies
+    /// it, computes the probe position its lookup will start from,
+    /// prefetches that cache line, and returns the decoded op so the
+    /// resolve pass can pick up exactly where the prefetch pointed —
+    /// the classify/hash work is done once, not twice.
+    #[inline]
+    fn decode_packet(&self, dest: A, clue: Option<Prefix<A>>) -> PacketOp {
+        match (self.method, clue) {
+            (Method::Common, _) | (_, None) => {
+                prefetch_read(&self.root[self.root_index(dest)]);
+                PacketOp::Walk(LookupClass::Clueless)
+            }
+            (_, Some(s)) => {
+                if s.contains(dest) {
+                    let len = s.len();
+                    let k = self.bucket_home(len, s.bits());
+                    let d = self.bucket_desc[len as usize];
+                    prefetch_read(&self.bucket_slots[(d.offset + (k & d.mask)) as usize]);
+                    PacketOp::Probe { k, len }
+                } else {
+                    prefetch_read(&self.root[self.root_index(dest)]);
+                    PacketOp::Walk(LookupClass::Malformed)
+                }
+            }
+        }
+    }
+
+    /// Resolves a packet decoded by [`Self::decode_packet`]. Produces
+    /// the same `(bmp, class)` and charges the same `cost` as
+    /// [`Self::lookup`] — the op merely carries the classification and
+    /// home-slot computation across the two passes.
+    #[inline]
+    fn finish_packet(
+        &self,
+        op: PacketOp,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        match op {
+            PacketOp::Walk(class) => (self.common_walk(dest, cost), class),
+            PacketOp::Probe { k, len } => {
+                cost.hash_probe();
+                let s = clue.expect("a probe op is only decoded from a present clue");
+                match self.bucket_get_from(len, s.bits(), k) {
+                    Some(slot) => {
+                        if slot.cont == FINAL_SLOT {
+                            (slot.fd(), LookupClass::Final)
+                        } else {
+                            let found = self.walk_from(slot.cont, len, dest, cost);
+                            (found.or(slot.fd()), LookupClass::Continued)
+                        }
+                    }
+                    None => (self.common_walk(dest, cost), LookupClass::Miss),
+                }
+            }
+        }
+    }
+
+    /// Batched lookup at the default interleave
+    /// ([`DEFAULT_INTERLEAVE`]); see
+    /// [`Self::lookup_batch_interleaved`].
+    ///
+    /// # Panics
+    /// Panics unless `dests`, `clues` and `out` have equal lengths.
+    pub fn lookup_batch(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+    ) -> EngineStats {
+        self.lookup_batch_interleaved(dests, clues, out, DEFAULT_INTERLEAVE)
+    }
+
+    /// Batched lookup in lockstep groups of `group` packets: pass one
+    /// prefetches each packet's first probe target, pass two resolves
+    /// the group while the fetches are in flight. `group <= 1`
+    /// disables the prefetch pass; larger groups are clamped to an
+    /// internal cap (64) so the decoded ops stay on the stack. The
+    /// resolved decisions and stats are identical at every group size
+    /// — interleave is a latency treatment, not a semantic one.
+    ///
+    /// # Panics
+    /// Panics unless `dests`, `clues` and `out` have equal lengths.
+    pub fn lookup_batch_interleaved(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+        group: usize,
+    ) -> EngineStats {
+        assert_eq!(dests.len(), clues.len(), "one clue slot per destination");
+        assert_eq!(dests.len(), out.len(), "one decision slot per destination");
+        let group = group.max(1);
+        // The telemetry branch is hoisted clear of the loops; both arms
+        // monomorphize `batch_core` with their record closure inlined.
+        let (stats, groups, prefetches) = match &self.telemetry {
+            None => self.batch_core(dests, clues, out, group, |_, _, _| {}),
+            Some(t) => self.batch_core(dests, clues, out, group, |clue_len, class, cost| {
+                t.record(&LookupEvent {
+                    clue_len,
+                    class,
+                    search_depth: search_depth(class, cost),
+                    cache_hit: None,
+                    memory_references: cost.total(),
+                });
+            }),
+        };
+        if let Some(st) = &self.stride_telemetry {
+            st.record_batch(dests.len() as u64, groups, prefetches);
+        }
+        stats
+    }
+
+    /// The batch loop body. With `group > 1` each group is resolved in
+    /// two passes — decode-and-prefetch, then finish from the decoded
+    /// ops — so every prefetch has a group's worth of work to hide
+    /// behind and the classify/hash step runs once per packet. Returns
+    /// `(stats, groups, prefetches)` for the stride telemetry record.
+    fn batch_core(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+        group: usize,
+        mut record: impl FnMut(Option<u8>, LookupClass, Cost),
+    ) -> (EngineStats, u64, u64) {
+        let mut stats = EngineStats::default();
+        let mut groups = 0u64;
+        let mut prefetches = 0u64;
+        if group <= 1 {
+            groups = dests.len() as u64;
+            for ((&dest, &clue), slot) in dests.iter().zip(clues).zip(out.iter_mut()) {
+                let mut cost = Cost::new();
+                let (bmp, class) = self.lookup(dest, clue, &mut cost);
+                bump(&mut stats, class);
+                record(clue.map(|s| s.len()), class, cost);
+                *slot = Decision { bmp, class, cost };
+            }
+        } else {
+            let group = group.min(MAX_INTERLEAVE);
+            let mut ops = [PacketOp::Walk(LookupClass::Clueless); MAX_INTERLEAVE];
+            for ((dests, clues), out) in dests
+                .chunks(group)
+                .zip(clues.chunks(group))
+                .zip(out.chunks_mut(group))
+            {
+                groups += 1;
+                prefetches += dests.len() as u64;
+                for ((&dest, &clue), op) in dests.iter().zip(clues).zip(ops.iter_mut()) {
+                    *op = self.decode_packet(dest, clue);
+                }
+                for (((&dest, &clue), slot), &op) in
+                    dests.iter().zip(clues).zip(out.iter_mut()).zip(&ops)
+                {
+                    let mut cost = Cost::new();
+                    let (bmp, class) = self.finish_packet(op, dest, clue, &mut cost);
+                    bump(&mut stats, class);
+                    record(clue.map(|s| s.len()), class, cost);
+                    *slot = Decision { bmp, class, cost };
+                }
+            }
+        }
+        (stats, groups, prefetches)
+    }
+
+    /// As [`Self::lookup_batch`], resizing and reusing a
+    /// caller-supplied buffer.
+    pub fn lookup_batch_into(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut Vec<Decision<A>>,
+    ) -> EngineStats {
+        out.clear();
+        out.resize(dests.len(), Decision::default());
+        self.lookup_batch(dests, clues, out)
+    }
+
+    /// Allocating convenience over [`Self::lookup_batch`].
+    pub fn lookup_batch_vec(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+    ) -> (Vec<Decision<A>>, EngineStats) {
+        let mut out = Vec::new();
+        let stats = self.lookup_batch_into(dests, clues, &mut out);
+        (out, stats)
+    }
+}
+
+// The Claim-1 bit must survive the recompilation untouched: assert the
+// encoding the retained nodes rely on is the frozen one.
+const _: () = assert!(CONT_BIT == 1 << 31);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use clue_lookup::Family;
+    use clue_trie::Ip4;
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ip4 {
+        s.parse().unwrap()
+    }
+
+    fn tables() -> (Vec<Prefix<Ip4>>, Vec<Prefix<Ip4>>) {
+        let sender = vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.168.0.0/16")];
+        let receiver = vec![
+            p("10.0.0.0/8"),
+            p("10.1.0.0/16"),
+            p("10.1.2.0/24"),
+            p("10.2.0.0/16"),
+            p("192.168.0.0/16"),
+        ];
+        (sender, receiver)
+    }
+
+    fn configs() -> [StrideConfig; 4] {
+        [
+            StrideConfig::default(),
+            StrideConfig::new(8, 8),
+            StrideConfig::new(16, 8),
+            StrideConfig::new(5, 3),
+        ]
+    }
+
+    fn check_parity(
+        method: Method,
+        config: StrideConfig,
+        dest: Ip4,
+        clue: Option<Prefix<Ip4>>,
+    ) {
+        let (sender, receiver) = tables();
+        let mut scalar =
+            ClueEngine::precomputed(&sender, &receiver, EngineConfig::new(Family::Regular, method));
+        let frozen = scalar.freeze().unwrap();
+        let stride = frozen.compile_stride(config).unwrap();
+        let mut sc = Cost::new();
+        let want = scalar.lookup(dest, clue, None, &mut sc);
+        let d = stride.lookup_decision(dest, clue);
+        assert_eq!(d.bmp, want, "{method} {config:?} bmp for {dest} clue {clue:?}");
+        assert_eq!(d.cost, sc, "{method} {config:?} cost for {dest} clue {clue:?}");
+        assert_eq!(d, frozen.lookup_decision(dest, clue), "stride == frozen decision");
+    }
+
+    #[test]
+    fn parity_across_methods_classes_and_strides() {
+        for method in [Method::Common, Method::Simple, Method::Advance] {
+            for config in configs() {
+                check_parity(method, config, a("10.1.2.3"), None); // clueless
+                check_parity(method, config, a("10.1.2.3"), Some(p("10.1.0.0/16")));
+                check_parity(method, config, a("10.1.99.1"), Some(p("10.1.0.0/16")));
+                check_parity(method, config, a("192.168.3.4"), Some(p("192.168.0.0/16")));
+                check_parity(method, config, a("10.9.9.9"), Some(p("10.0.0.0/8")));
+                check_parity(method, config, a("10.1.2.3"), Some(p("192.168.0.0/16"))); // malformed
+                check_parity(method, config, a("10.1.2.3"), Some(p("10.1.2.0/24"))); // miss
+                check_parity(method, config, a("11.1.2.3"), None); // no route
+            }
+        }
+    }
+
+    #[test]
+    fn interleave_is_semantically_inert() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let stride = scalar.freeze_stride(StrideConfig::default()).unwrap();
+        let dests = vec![a("10.1.2.3"), a("192.168.3.4"), a("10.1.2.3"), a("7.7.7.7")];
+        let clues = vec![
+            Some(p("10.1.0.0/16")),
+            Some(p("192.168.0.0/16")),
+            Some(p("192.168.0.0/16")), // malformed
+            None,
+        ];
+        let (want, want_stats) = stride.lookup_batch_vec(&dests, &clues);
+        for group in [0, 1, 2, 3, 8, 64] {
+            let mut out = vec![Decision::default(); dests.len()];
+            let stats = stride.lookup_batch_interleaved(&dests, &clues, &mut out, group);
+            assert_eq!(out, want, "group {group}");
+            assert_eq!(stats, want_stats, "group {group}");
+        }
+        for (i, (&dest, &clue)) in dests.iter().zip(&clues).enumerate() {
+            assert_eq!(want[i], stride.lookup_decision(dest, clue), "packet {i}");
+        }
+        assert_eq!(
+            (want_stats.continued, want_stats.finals, want_stats.malformed, want_stats.clueless),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn batch_into_reuses_the_buffer() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let stride = scalar.freeze_stride(StrideConfig::default()).unwrap();
+        let dests = vec![a("10.1.2.3"), a("192.168.3.4")];
+        let clues = vec![Some(p("10.1.0.0/16")), None];
+        let mut out = Vec::with_capacity(16);
+        stride.lookup_batch_into(&dests, &clues, &mut out);
+        let ptr = out.as_ptr();
+        let (want, _) = stride.lookup_batch_vec(&dests, &clues);
+        stride.lookup_batch_into(&dests, &clues, &mut out);
+        assert_eq!(out, want);
+        assert_eq!(out.as_ptr(), ptr, "no reallocation on reuse");
+    }
+
+    #[test]
+    fn telemetry_streams_are_recorded() {
+        use clue_telemetry::Registry;
+        let (sender, receiver) = tables();
+        let mut scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let registry = Registry::new();
+        scalar.instrument(&registry);
+        let mut stride = scalar.freeze_stride(StrideConfig::default()).unwrap();
+        assert!(stride.telemetry().is_some(), "lookup telemetry inherited through freeze");
+        stride.attach_stride_telemetry(StrideTelemetry::registered(&registry, "clue_stride"));
+        let dests = vec![a("10.1.2.3"), a("192.168.3.4"), a("10.9.9.9")];
+        let clues = vec![Some(p("10.1.0.0/16")), Some(p("192.168.0.0/16")), None];
+        let mut out = vec![Decision::default(); dests.len()];
+        let stats = stride.lookup_batch_interleaved(&dests, &clues, &mut out, 2);
+        let t = stride.telemetry().unwrap();
+        assert_eq!(t.lookups_total.get(), 3);
+        assert_eq!(t.class_count(LookupClass::Final), stats.finals);
+        let st = stride.stride_telemetry().unwrap();
+        assert_eq!(st.batches_total.get(), 1);
+        assert_eq!(st.packets_total.get(), 3);
+        assert_eq!(st.groups_total.get(), 2);
+        assert_eq!(st.prefetches_total.get(), 3);
+    }
+
+    #[test]
+    fn compile_rejects_bad_strides() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::<Ip4>::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let frozen = scalar.freeze().unwrap();
+        for bad in [0, 21, 32, 40] {
+            assert_eq!(
+                frozen.compile_stride(StrideConfig::new(bad, 8)).unwrap_err(),
+                StrideError::InitialBits(bad)
+            );
+        }
+        for bad in [0, 17] {
+            assert_eq!(
+                frozen.compile_stride(StrideConfig::new(13, bad)).unwrap_err(),
+                StrideError::InnerBits(bad)
+            );
+        }
+        assert!(StrideError::InitialBits(0).to_string().contains("initial stride"));
+        assert!(StrideError::Freeze(FreezeError::CacheEnabled).to_string().contains("cache"));
+    }
+
+    #[test]
+    fn freeze_stride_surfaces_freeze_errors() {
+        let (sender, receiver) = tables();
+        let patricia = ClueEngine::<Ip4>::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Patricia, Method::Advance),
+        );
+        assert_eq!(
+            patricia.freeze_stride(StrideConfig::default()).unwrap_err(),
+            StrideError::Freeze(FreezeError::UnsupportedFamily)
+        );
+    }
+
+    #[test]
+    fn stride_layout_is_compact() {
+        assert_eq!(core::mem::size_of::<RootSlot>(), 12);
+        assert_eq!(core::mem::size_of::<InnerSlot>(), 12);
+        assert_eq!(core::mem::size_of::<InnerNode>(), 8);
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let stride = scalar.freeze_stride(StrideConfig::new(8, 8)).unwrap();
+        assert_eq!(stride.root.len(), 256);
+        assert!(stride.inner_node_count() > 0);
+        assert_eq!(stride.inner_slot_count(), stride.inner_node_count() * 256);
+        assert!(stride.memory_bytes() > 0);
+        assert_eq!(stride.method(), Method::Advance);
+        assert_eq!(stride.config(), StrideConfig::new(8, 8));
+    }
+
+    #[test]
+    fn buckets_find_every_clue_and_only_clues() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let frozen = scalar.freeze().unwrap();
+        let stride = frozen.compile_stride(StrideConfig::default()).unwrap();
+        for (clue, &i) in frozen.raw_map() {
+            let entry = &frozen.raw_entries()[i as usize];
+            let slot = stride
+                .bucket_get(clue.len(), clue.bits())
+                .unwrap_or_else(|| panic!("clue {clue} missing from its bucket"));
+            assert_eq!(slot.key, clue.bits());
+            assert_eq!(slot.fd(), entry.fd, "inlined FD diverges for {clue}");
+            let want = if entry.cont == NONE_NODE { FINAL_SLOT } else { entry.cont };
+            assert_eq!(slot.cont, want, "inlined continuation diverges for {clue}");
+        }
+        assert!(
+            stride.bucket_get(24, a("10.1.2.0")).is_none(),
+            "receiver-only route is no clue"
+        );
+        assert!(
+            stride.bucket_get(0, Ip4::ZERO).is_none(),
+            "length-0 window is the empty sentinel"
+        );
+    }
+}

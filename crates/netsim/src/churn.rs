@@ -610,12 +610,15 @@ mod tests {
         let engine_config = EngineConfig::new(Family::Regular, Method::Advance);
         let (dests, clues) = churn_traffic(&sender, &receiver, &cfg);
         let mut live = ClueEngine::precomputed(&sender, &receiver, engine_config);
-        let mut per_epoch = vec![live.freeze().unwrap().lookup_batch_vec(&dests, &clues).0];
+        let mut decisions = Vec::new();
+        live.freeze().unwrap().lookup_batch_into(&dests, &clues, &mut decisions);
+        let mut per_epoch = vec![decisions.clone()];
         for batch in &batches {
             for u in batch {
                 apply_update(&mut live, u);
             }
-            per_epoch.push(live.freeze().unwrap().lookup_batch_vec(&dests, &clues).0);
+            live.freeze().unwrap().lookup_batch_into(&dests, &clues, &mut decisions);
+            per_epoch.push(decisions.clone());
         }
 
         // Run the real concurrent driver; then spot-check that a
@@ -624,8 +627,8 @@ mod tests {
         assert_eq!(report.final_identical, Some(true));
         let end = end_state(&receiver, &batches);
         let fresh = ClueEngine::precomputed(&sender, &end, engine_config).freeze().unwrap();
-        let (final_decisions, _) = fresh.lookup_batch_vec(&dests, &clues);
-        assert_eq!(final_decisions, *per_epoch.last().unwrap());
+        fresh.lookup_batch_into(&dests, &clues, &mut decisions);
+        assert_eq!(decisions, *per_epoch.last().unwrap());
     }
 
     #[test]

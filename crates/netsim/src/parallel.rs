@@ -30,8 +30,6 @@
 //! independent: the same property that makes the run parallelizable
 //! makes it deterministic.
 
-use std::collections::HashMap;
-
 use clue_core::{ClueHeader, FreezeError, FrozenEngine};
 use clue_trie::{Address, Cost, CostStats};
 use rand::rngs::StdRng;
@@ -42,12 +40,23 @@ use crate::network::{Hop, HopRecord, Network, PathTrace};
 use crate::sim::RunStats;
 use crate::topology::RouterId;
 
+/// “No per-neighbor engine” sentinel in [`FrozenRouter::by_neighbor`].
+const NO_ENGINE: u32 = u32::MAX;
+
 /// One router's frozen lookup state (the FIB stays borrowed from the
 /// live [`Network`]).
+///
+/// Per-neighbor engines live in a dense vector behind a
+/// direct-indexed `by_neighbor` table: the live network keys them by
+/// neighbor id in a `HashMap`, but a SipHash probe per hop is real
+/// money on the forwarding path, and router ids are small dense
+/// integers anyway.
 #[derive(Debug)]
 struct FrozenRouter<A: Address> {
     base: FrozenEngine<A>,
-    engines: HashMap<RouterId, FrozenEngine<A>>,
+    /// Neighbor id → index into `engines`, [`NO_ENGINE`] if none.
+    by_neighbor: Vec<u32>,
+    engines: Vec<FrozenEngine<A>>,
     participates: bool,
 }
 
@@ -66,17 +75,20 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
     /// caches make per-packet cost history-dependent, which the
     /// deterministic sharded driver cannot reproduce).
     pub fn freeze(net: &'n Network<A>) -> Result<Self, FreezeError> {
+        let n = net.topology().len();
         let routers = net
             .routers()
             .iter()
             .map(|r| {
-                let engines = r
-                    .engines
-                    .iter()
-                    .map(|(&nb, e)| e.freeze().map(|f| (nb, f)))
-                    .collect::<Result<HashMap<_, _>, _>>()?;
+                let mut by_neighbor = vec![NO_ENGINE; n];
+                let mut engines = Vec::with_capacity(r.engines.len());
+                for (&nb, e) in &r.engines {
+                    by_neighbor[nb] = engines.len() as u32;
+                    engines.push(e.freeze()?);
+                }
                 Ok(FrozenRouter {
                     base: r.base.freeze()?,
+                    by_neighbor,
                     engines,
                     participates: r.participates,
                 })
@@ -108,11 +120,12 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
             let mut cost = Cost::new();
             let node = &self.routers[cur];
             let fib = &routers[cur].fib;
-            let used_clue = node.participates
-                && prev.is_some_and(|p| node.engines.contains_key(&p))
-                && header.clue.is_some();
+            let engine_slot =
+                prev.map_or(NO_ENGINE, |p| node.by_neighbor.get(p).copied().unwrap_or(NO_ENGINE));
+            let used_clue =
+                node.participates && engine_slot != NO_ENGINE && header.clue.is_some();
             let bmp = if used_clue {
-                let engine = &node.engines[&prev.expect("used_clue implies prev")];
+                let engine = &node.engines[engine_slot as usize];
                 engine.lookup(dest, header.decode(dest), &mut cost).0
             } else {
                 node.base.lookup(dest, None, &mut cost).0
@@ -160,6 +173,60 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
             }
         }
         PathTrace { dest, hops, delivered }
+    }
+
+    /// Routes `packets` random packets through this already-frozen
+    /// view, sharded over `threads` scoped OS threads — the hot half
+    /// of [`run_workload_parallel`], with the one-off freeze hoisted
+    /// out. Callers that already hold a `FrozenNetwork` (or want to
+    /// time the steady state without the setup) use this directly.
+    ///
+    /// Results are bit-identical for a given `seed` regardless of
+    /// `threads` (see the module docs).
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty, the network has no origins, or
+    /// `threads` is zero.
+    pub fn run_workload(
+        &self,
+        sources: &[RouterId],
+        packets: usize,
+        seed: u64,
+        threads: usize,
+    ) -> RunStats {
+        assert!(threads > 0, "need at least one thread");
+        assert!(!sources.is_empty(), "need at least one source");
+        let origins = self.net.config().origins.clone();
+        assert!(!origins.is_empty(), "need at least one origin");
+
+        let n = self.net.topology().len();
+        let chunk = packets.div_ceil(threads);
+        let mut acc = Accum::new(n);
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = (t * chunk).min(packets);
+                    let hi = ((t + 1) * chunk).min(packets);
+                    let (frozen, origins, sources) = (&*self, &origins, sources);
+                    scope.spawn(move || {
+                        let mut shard = Accum::new(n);
+                        for i in lo..hi {
+                            let (src, dest) =
+                                draw_packet(frozen.network(), sources, origins, seed, i as u64);
+                            shard.record(&frozen.route_packet(src, dest));
+                        }
+                        shard
+                    })
+                })
+                .collect();
+            // Join in spawn order: shard t covers packets
+            // [t·chunk, …), so a left-to-right merge is packet order.
+            for h in handles {
+                acc.merge(&h.join().expect("shard thread panicked"));
+            }
+        });
+        acc.finish(packets)
     }
 }
 
@@ -306,8 +373,13 @@ pub fn run_workload_per_packet<A: Address>(
     acc.finish(packets)
 }
 
-/// Routes `packets` random packets through a frozen copy of `net`,
+/// Freezes `net` and routes `packets` random packets through it,
 /// sharded over `threads` scoped OS threads.
+///
+/// This is the freeze-and-run convenience; the freeze is one-off
+/// setup, so anything timing the steady state (or running several
+/// workloads over one table) should call [`FrozenNetwork::freeze`]
+/// once and [`FrozenNetwork::run_workload`] per run instead.
 ///
 /// Results are bit-identical for a given `seed` regardless of
 /// `threads`, and equal to [`run_workload_per_packet`] on the live
@@ -327,40 +399,7 @@ pub fn run_workload_parallel<A: Address>(
     seed: u64,
     threads: usize,
 ) -> Result<RunStats, FreezeError> {
-    assert!(threads > 0, "need at least one thread");
-    assert!(!sources.is_empty(), "need at least one source");
-    let origins = net.config().origins.clone();
-    assert!(!origins.is_empty(), "need at least one origin");
-
-    let frozen = FrozenNetwork::freeze(net)?;
-    let n = net.topology().len();
-    let chunk = packets.div_ceil(threads);
-    let mut acc = Accum::new(n);
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = (t * chunk).min(packets);
-                let hi = ((t + 1) * chunk).min(packets);
-                let (frozen, origins, sources) = (&frozen, &origins, sources);
-                scope.spawn(move || {
-                    let mut shard = Accum::new(n);
-                    for i in lo..hi {
-                        let (src, dest) =
-                            draw_packet(frozen.network(), sources, origins, seed, i as u64);
-                        shard.record(&frozen.route_packet(src, dest));
-                    }
-                    shard
-                })
-            })
-            .collect();
-        // Join in spawn order: shard t covers packets [t·chunk, …), so
-        // a left-to-right merge is packet order.
-        for h in handles {
-            acc.merge(&h.join().expect("shard thread panicked"));
-        }
-    });
-    Ok(acc.finish(packets))
+    Ok(FrozenNetwork::freeze(net)?.run_workload(sources, packets, seed, threads))
 }
 
 #[cfg(test)]
@@ -414,6 +453,17 @@ mod tests {
         assert_eq!(r1, r8);
         assert_eq!(r1.packets, 120);
         assert!(r1.delivered > 0);
+    }
+
+    #[test]
+    fn frozen_run_workload_matches_the_convenience_wrapper() {
+        let (net, edges) = build(Method::Advance);
+        let frozen = FrozenNetwork::freeze(&net).unwrap();
+        let a = frozen.run_workload(&edges, 80, 13, 2);
+        let b = frozen.run_workload(&edges, 80, 13, 5);
+        let c = run_workload_parallel(&net, &edges, 80, 13, 3).unwrap();
+        assert_eq!(a, b, "reusing one frozen view is thread-count invariant");
+        assert_eq!(a, c, "freeze-once equals freeze-and-run");
     }
 
     #[test]

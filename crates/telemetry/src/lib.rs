@@ -34,6 +34,7 @@ mod export;
 mod fault;
 mod lookup;
 mod registry;
+mod stride;
 pub mod trace;
 
 pub use churn::ChurnTelemetry;
@@ -41,6 +42,7 @@ pub use fault::DegradationTelemetry;
 pub use export::{to_json, to_prometheus};
 pub use lookup::{CacheTelemetry, LookupTelemetry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, Snapshot};
+pub use stride::StrideTelemetry;
 pub use trace::{LookupClass, LookupEvent, RingBufferSubscriber, Subscriber};
 
 /// Default memory-reference histogram bounds: fine granularity around

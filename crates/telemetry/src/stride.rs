@@ -1,0 +1,105 @@
+//! Metric bundle for the stride-compiled batch path.
+//!
+//! The stride engine's per-packet walk is deliberately uninstrumented
+//! (it inherits the ordinary [`crate::LookupTelemetry`] stream from
+//! the engine it was compiled from); this bundle counts what is *new*
+//! about the stride path — batch calls, interleave groups and issued
+//! prefetches — so an operator can see whether the prefetched loop is
+//! actually engaged and at what group size it runs.
+
+use crate::registry::{Counter, Registry};
+
+/// Telemetry for the stride engine's interleaved batch loop.
+///
+/// Counters are recorded once per batch (accumulated locally in the
+/// hot loop), so attaching the bundle costs a handful of relaxed adds
+/// per `lookup_batch`, not per packet.
+#[derive(Clone, Debug, Default)]
+pub struct StrideTelemetry {
+    /// Batch calls served by the stride path.
+    pub batches_total: Counter,
+    /// Packets resolved by the stride path.
+    pub packets_total: Counter,
+    /// Interleave groups processed (one prefetch pass each).
+    pub groups_total: Counter,
+    /// Software prefetches issued (0 when interleaving is disabled or
+    /// the target has no prefetch intrinsic wired up).
+    pub prefetches_total: Counter,
+}
+
+impl StrideTelemetry {
+    /// A detached bundle: live cells, no registry.
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    /// A bundle registered into `registry` under `prefix` (e.g.
+    /// `clue_stride`), creating or sharing:
+    ///
+    /// * `{prefix}_batches_total`
+    /// * `{prefix}_packets_total`
+    /// * `{prefix}_groups_total`
+    /// * `{prefix}_prefetches_total`
+    pub fn registered(registry: &Registry, prefix: &str) -> Self {
+        StrideTelemetry {
+            batches_total: registry.counter(
+                &format!("{prefix}_batches_total"),
+                "Batch calls served by the stride-compiled path",
+            ),
+            packets_total: registry.counter(
+                &format!("{prefix}_packets_total"),
+                "Packets resolved by the stride-compiled path",
+            ),
+            groups_total: registry.counter(
+                &format!("{prefix}_groups_total"),
+                "Interleave groups processed by the stride batch loop",
+            ),
+            prefetches_total: registry.counter(
+                &format!("{prefix}_prefetches_total"),
+                "Software prefetches issued by the stride batch loop",
+            ),
+        }
+    }
+
+    /// Records one batch: `packets` resolved across `groups` interleave
+    /// groups with `prefetches` prefetch hints issued.
+    #[inline]
+    pub fn record_batch(&self, packets: u64, groups: u64, prefetches: u64) {
+        self.batches_total.inc();
+        self.packets_total.add(packets);
+        self.groups_total.add(groups);
+        self.prefetches_total.add(prefetches);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detached_counts() {
+        let t = StrideTelemetry::detached();
+        t.record_batch(64, 8, 64);
+        t.record_batch(10, 2, 0);
+        assert_eq!(t.batches_total.get(), 2);
+        assert_eq!(t.packets_total.get(), 74);
+        assert_eq!(t.groups_total.get(), 10);
+        assert_eq!(t.prefetches_total.get(), 64);
+    }
+
+    #[test]
+    fn registered_uses_the_naming_convention() {
+        let registry = Registry::new();
+        let t = StrideTelemetry::registered(&registry, "clue_stride");
+        t.record_batch(5, 1, 5);
+        for name in [
+            "clue_stride_batches_total",
+            "clue_stride_packets_total",
+            "clue_stride_groups_total",
+            "clue_stride_prefetches_total",
+        ] {
+            assert!(registry.contains(name), "{name} registered");
+        }
+        assert_eq!(t.packets_total.get(), 5);
+    }
+}

@@ -8,12 +8,18 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Throughput smoke: the batched-frozen and sharded-parallel pipelines
-# must agree exactly with the scalar engine (--check aborts on any
-# divergence); also seeds the BENCH_* trajectory.
-target/release/clue throughput 20000 1 --threads 4 --check --json BENCH_throughput.json
+# Throughput smoke: the batched-frozen, stride-compiled and
+# sharded-parallel pipelines must agree exactly with the scalar engine
+# (--check aborts on any divergence); also seeds the BENCH_*
+# trajectory. The perf gates are part of the bar: the stride path must
+# beat the frozen batch path on the same (paper-scale table) workload,
+# and the sharded driver must actually scale past the sequential
+# reference — a regression on either fails verification.
+target/release/clue throughput 100000 1 --threads 4 --check --json BENCH_throughput.json
 test -s BENCH_throughput.json
 grep -q '"equivalent": true' BENCH_throughput.json
+grep -q '"stride_beats_batch": true' BENCH_throughput.json
+grep -q '"parallel_scales": true' BENCH_throughput.json
 
 # Churn smoke: builder + 4 epoch-pinned readers; --check aborts unless
 # the final published snapshot is bit-identical to a from-scratch
