@@ -1,16 +1,18 @@
 //! Sub-command implementations.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
+use std::sync::Arc;
 
-use clue_core::{ClueEngine, EngineConfig, Method};
+use clue_core::{ClueEngine, EngineConfig, Method, Stage, StageProfiler};
 use clue_lookup::{reference_bmp, Family};
 use clue_tablegen::{
     derive_neighbor, export_length_histogram, format_prefixes, generate, length_histogram,
     minimize, parse_prefixes, parse_table, synthesize_ipv4, NeighborConfig, PairStats,
     TrafficConfig,
 };
-use clue_telemetry::Registry;
+use clue_telemetry::{Histogram, HistogramSnapshot, Registry, ScrapeServer};
 use clue_trie::{BinaryTrie, Cost, CostStats, Ip4, Prefix};
 
 /// Top-level usage text.
@@ -27,8 +29,32 @@ usage:
                                                  and dump the telemetry
                                                  registry (default: both
                                                  formats)
+  clue profile [packets] [seed] [--table P] [--stride BITS] [--json PATH]
+               [--serve ADDR] [--check]         per-stage lookup profiler:
+                                                 attributes predicted Cost
+                                                 ticks, measured nanoseconds
+                                                 and touched record bytes to
+                                                 the root/inner/clue-probe/
+                                                 continuation/cache stages of
+                                                 the scalar, frozen and
+                                                 stride paths (plus the
+                                                 network driver), reporting
+                                                 ns/lookup percentiles and
+                                                 the predicted-vs-measured
+                                                 correlation; --check proves
+                                                 profiling is semantically
+                                                 inert
+  clue bench-diff <baseline.json> <fresh.json> [--tolerance PCT]
+                  [--time-tolerance PCT]        compare two BENCH_*.json
+                                                 exports key by key: booleans
+                                                 and strings exactly, numbers
+                                                 within a relative tolerance
+                                                 (timing- and run-variable
+                                                 keys get the wider
+                                                 --time-tolerance; defaults
+                                                 10 / 100)
   clue throughput [packets] [seed] [--threads N] [--table P] [--stride BITS]
-                  [--prefetch G] [--json PATH] [--check]
+                  [--prefetch G] [--json PATH] [--serve ADDR] [--check]
                                                  packets/sec for the scalar,
                                                  batched-frozen, stride-
                                                  compiled (initial stride BITS,
@@ -37,8 +63,13 @@ usage:
                                                  sharded-parallel pipelines
                                                  over a P-prefix table;
                                                  --check verifies result
-                                                 equivalence
-  clue churn [updates] [seed] [--readers N] [--json PATH] [--check]
+                                                 equivalence; --serve ADDR
+                                                 exposes /metrics and
+                                                 /metrics.json live during
+                                                 the run (also on churn,
+                                                 chaos and profile)
+  clue churn [updates] [seed] [--readers N] [--json PATH] [--serve ADDR]
+             [--check]
                                                  live-churn serving: a builder
                                                  applies a BGP-style update
                                                  stream and republishes frozen
@@ -48,7 +79,8 @@ usage:
                                                  --check proves the final
                                                  snapshot bit-identical to a
                                                  from-scratch rebuild
-  clue chaos [packets] [seed] [--faults SPEC] [--json PATH] [--check]
+  clue chaos [packets] [seed] [--faults SPEC] [--json PATH] [--serve ADDR]
+             [--check]
                                                  fault-injection harness:
                                                  corrupted/truncated/stale/
                                                  adversarial clues, clueless
@@ -81,6 +113,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ),
         Some("minimize") => minimize_cmd(args.get(1).ok_or("minimize needs a table file")?),
         Some("metrics") => metrics(&args[1..]),
+        Some("profile") => profile(&args[1..]),
+        Some("bench-diff") => bench_diff(&args[1..]),
         Some("throughput") => throughput(&args[1..]),
         Some("churn") => churn(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
@@ -300,11 +334,40 @@ fn metrics(args: &[String]) -> Result<(), String> {
         &TrafficConfig { count: packets, ..TrafficConfig::paper(seed) },
     );
     let t1: BinaryTrie<Ip4, ()> = sender.iter().map(|p| (*p, ())).collect();
-    for &dest in &dests {
-        let clue = t1.lookup(dest).map(|r| t1.prefix(r)).filter(|c| !c.is_empty());
+    let clues: Vec<Option<Prefix<Ip4>>> = dests
+        .iter()
+        .map(|&d| t1.lookup(d).map(|r| t1.prefix(r)).filter(|c| !c.is_empty()))
+        .collect();
+    for (&dest, &clue) in dests.iter().zip(&clues) {
         let mut cost = Cost::new();
         engine.lookup(dest, clue, None, &mut cost);
     }
+
+    // The compiled fast path and the resilience families are part of
+    // the default dump: the same stream drives a stride batch so its
+    // counters are live, and the churn/degradation families register
+    // their full schema (zero until their workloads run) so one scrape
+    // shows every metric the suite can emit.
+    let frozen = ClueEngine::precomputed(
+        &sender,
+        &receiver,
+        EngineConfig::new(Family::Regular, Method::Advance),
+    )
+    .freeze()
+    .map_err(|e| format!("cannot freeze the engine ({} blocks it): {e}", e.feature()))?;
+    let mut stride = frozen
+        .compile_stride(clue_core::StrideConfig::default())
+        .map_err(|e| e.to_string())?;
+    stride.attach_stride_telemetry(clue_telemetry::StrideTelemetry::registered(
+        &registry,
+        "clue_stride",
+    ));
+    let mut out = vec![clue_core::Decision::default(); dests.len()];
+    let _ = stride.lookup_batch_interleaved(&dests, &clues, &mut out, clue_core::DEFAULT_INTERLEAVE);
+    let plan = clue_netsim::FaultPlan::parse("all", seed)?;
+    let labels: Vec<&str> = plan.classes().iter().map(|c| c.label()).collect();
+    let _ = clue_telemetry::DegradationTelemetry::registered(&registry, "clue_fault", &labels);
+    let _ = clue_telemetry::ChurnTelemetry::registered(&registry, "clue_churn");
 
     if prom {
         print!("{}", registry.to_prometheus());
@@ -315,6 +378,584 @@ fn metrics(args: &[String]) -> Result<(), String> {
     if json {
         println!("{}", registry.to_json());
     }
+    Ok(())
+}
+
+/// Starts the zero-dependency scrape server on `addr` and announces
+/// the endpoint; the returned guard keeps it serving until dropped.
+fn start_scrape(addr: &str, registry: &Arc<Registry>) -> Result<ScrapeServer, String> {
+    let server =
+        ScrapeServer::start(addr, registry.clone()).map_err(|e| format!("--serve {addr}: {e}"))?;
+    println!("serving metrics on http://{}/metrics (and /metrics.json)", server.addr());
+    Ok(server)
+}
+
+/// `{:.2}`-formats an optional statistic, `-` when undefined.
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_owned(), |x| format!("{x:.2}"))
+}
+
+/// JSON-formats an optional statistic, `null` when undefined.
+fn json_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) if x.is_finite() => format!("{x:.4}"),
+        _ => "null".to_owned(),
+    }
+}
+
+/// Prints one profiled path's per-stage attribution table and its
+/// summary line.
+fn print_profile_path(name: &str, prof: &StageProfiler, snap: &HistogramSnapshot) {
+    println!("path: {name}");
+    println!(
+        "  {:<13} {:>9} {:>10} {:>9} {:>12} {:>9} {:>7}",
+        "stage", "visits", "ticks", "t/visit", "bytes", "ns/tick", "corr"
+    );
+    for stage in Stage::all() {
+        let s = prof.stage(stage);
+        if s.visits == 0 {
+            continue;
+        }
+        println!(
+            "  {:<13} {:>9} {:>10} {:>9} {:>12} {:>9} {:>7}",
+            stage.label(),
+            s.visits,
+            s.ticks,
+            fmt_opt(s.ticks_per_visit()),
+            s.bytes,
+            fmt_opt(s.ns_per_tick()),
+            fmt_opt(s.correlation()),
+        );
+    }
+    println!(
+        "  lookups {}, ns/lookup p50 {:.0} p90 {:.0} p99 {:.0}, bytes/lookup {}, \
+         cost-vs-time r {}",
+        prof.lookups(),
+        snap.p50(),
+        snap.p90(),
+        snap.p99(),
+        fmt_opt(prof.bytes_per_lookup()),
+        fmt_opt(prof.lookup_correlation()),
+    );
+}
+
+/// One profiled path as a `BENCH_profile.json` object body.
+fn profile_path_json(prof: &StageProfiler, snap: &HistogramSnapshot) -> String {
+    let mut stages = String::new();
+    let live: Vec<Stage> = Stage::all().into_iter().filter(|s| prof.stage(*s).visits > 0).collect();
+    for (i, stage) in live.iter().enumerate() {
+        let s = prof.stage(*stage);
+        let sep = if i + 1 < live.len() { "," } else { "" };
+        write!(
+            stages,
+            "\n      \"{}\": {{\"visits\": {}, \"ticks\": {}, \"bytes\": {}, \"nanos\": {}, \
+             \"ticks_per_visit\": {}, \"ns_per_tick\": {}, \"correlation\": {}}}{sep}",
+            stage.label(),
+            s.visits,
+            s.ticks,
+            s.bytes,
+            s.nanos,
+            json_opt(s.ticks_per_visit()),
+            json_opt(s.ns_per_tick()),
+            json_opt(s.correlation()),
+        )
+        .expect("write to string");
+    }
+    format!(
+        "{{\n    \"lookups\": {}, \"total_ticks\": {}, \"total_bytes\": {}, \
+         \"total_nanos\": {},\n    \"ns_p50\": {:.1}, \"ns_p90\": {:.1}, \"ns_p99\": {:.1},\n    \
+         \"bytes_per_lookup\": {}, \"cost_time_correlation\": {},\n    \"stages\": {{{stages}\n    \
+         }}\n  }}",
+        prof.lookups(),
+        prof.total_ticks(),
+        prof.total_bytes(),
+        prof.total_nanos(),
+        snap.p50(),
+        snap.p90(),
+        snap.p99(),
+        json_opt(prof.bytes_per_lookup()),
+        json_opt(prof.lookup_correlation()),
+    )
+}
+
+/// Runs the per-stage lookup profiler over the scalar, frozen and
+/// stride paths (plus the sharded network driver), cross-validating
+/// the paper's predicted [`Cost`] ticks against measured nanoseconds
+/// stage by stage. Every packet runs through both the plain and the
+/// profiled variant of each path; `--check` fails unless they agree
+/// bit-for-bit (BMP, class, per-packet `Cost`, engine stats) — the
+/// profiler's "semantically inert" contract. `--json PATH` exports
+/// the attribution for the `BENCH_*.json` trajectory; `--serve ADDR`
+/// exposes the per-path latency histograms live while the run is hot.
+fn profile(args: &[String]) -> Result<(), String> {
+    let mut packets = 20_000usize;
+    let mut seed = 1u64;
+    let mut table = 40_000usize;
+    let mut stride_bits = clue_core::DEFAULT_INITIAL_BITS;
+    let mut json_path: Option<String> = None;
+    let mut serve: Option<String> = None;
+    let mut check = false;
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--table" => {
+                table = it
+                    .next()
+                    .ok_or("--table needs a prefix count")?
+                    .parse()
+                    .map_err(|_| "bad table size")?;
+                if table == 0 {
+                    return Err("--table must be at least 1".to_owned());
+                }
+            }
+            "--stride" => {
+                stride_bits = it
+                    .next()
+                    .ok_or("--stride needs a bit count")?
+                    .parse()
+                    .map_err(|_| "bad stride bit count")?;
+            }
+            "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--serve" => serve = Some(it.next().ok_or("--serve needs an address")?.clone()),
+            "--check" => check = true,
+            other => {
+                match positional {
+                    0 => packets = other.parse().map_err(|_| "bad packet count")?,
+                    1 => seed = other.parse().map_err(|_| "bad seed")?,
+                    _ => return Err(format!("unexpected argument {other:?}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if packets == 0 {
+        return Err("packet count must be at least 1".to_owned());
+    }
+
+    // Same table/traffic shape as `clue throughput`, so the profile
+    // explains the numbers that command reports. The scalar pair
+    // carries the Section 3.5 presence cache so the Cache stage is
+    // exercised; freezing rejects caches, so the frozen/stride paths
+    // compile from an uncached twin.
+    let sender = synthesize_ipv4(table, seed);
+    let receiver = derive_neighbor(&sender, &NeighborConfig::same_isp(seed.wrapping_add(1)));
+    let cfg = || EngineConfig::new(Family::Regular, Method::Advance);
+    let mut scalar_plain = ClueEngine::precomputed(&sender, &receiver, cfg());
+    let mut scalar_prof = ClueEngine::precomputed(&sender, &receiver, cfg());
+    scalar_plain.enable_cache(256);
+    scalar_prof.enable_cache(256);
+    let frozen = ClueEngine::precomputed(&sender, &receiver, cfg())
+        .freeze()
+        .map_err(|e| format!("cannot freeze the engine ({} blocks it): {e}", e.feature()))?;
+    let stride = frozen
+        .compile_stride(clue_core::StrideConfig::new(stride_bits, clue_core::DEFAULT_INNER_BITS))
+        .map_err(|e| format!("--stride: {e}"))?;
+    let dests = generate(
+        &sender,
+        &receiver,
+        &TrafficConfig { count: packets, ..TrafficConfig::paper(seed) },
+    );
+    let t1: BinaryTrie<Ip4, ()> = sender.iter().map(|p| (*p, ())).collect();
+    let clues: Vec<Option<Prefix<Ip4>>> = dests
+        .iter()
+        .map(|&d| t1.lookup(d).map(|r| t1.prefix(r)).filter(|c| !c.is_empty()))
+        .collect();
+
+    let registry = Arc::new(Registry::new());
+    let hist = |path: &str| -> Histogram {
+        registry.histogram(
+            &format!("clue_profile_{path}_lookup_nanos"),
+            "Measured wall-clock nanoseconds per profiled lookup",
+            clue_telemetry::LOOKUP_NANOS_BOUNDS,
+        )
+    };
+    let (h_scalar, h_frozen, h_stride) = (hist("scalar"), hist("frozen"), hist("stride"));
+    let lookups_total =
+        registry.counter("clue_profile_lookups_total", "Profiled lookups across all paths");
+    let _server = match &serve {
+        Some(addr) => Some(start_scrape(addr, &registry)?),
+        None => None,
+    };
+
+    let mut inert = true;
+
+    // Scalar: twin engines so learning/cache/stats mutate identically.
+    let mut prof_scalar = StageProfiler::new();
+    for (&dest, &clue) in dests.iter().zip(&clues) {
+        let mut c0 = Cost::new();
+        let r0 = scalar_plain.lookup(dest, clue, None, &mut c0);
+        let t0 = std::time::Instant::now();
+        let mut c1 = Cost::new();
+        let r1 = scalar_prof.lookup_profiled(dest, clue, None, &mut c1, &mut prof_scalar);
+        h_scalar.observe(t0.elapsed().as_nanos() as u64);
+        lookups_total.inc();
+        if r0 != r1 || c0 != c1 {
+            inert = false;
+        }
+    }
+    if scalar_plain.stats() != scalar_prof.stats() {
+        inert = false;
+    }
+
+    let mut prof_frozen = StageProfiler::new();
+    for (&dest, &clue) in dests.iter().zip(&clues) {
+        let mut c0 = Cost::new();
+        let r0 = frozen.lookup(dest, clue, &mut c0);
+        let t0 = std::time::Instant::now();
+        let mut c1 = Cost::new();
+        let r1 = frozen.lookup_profiled(dest, clue, &mut c1, &mut prof_frozen);
+        h_frozen.observe(t0.elapsed().as_nanos() as u64);
+        lookups_total.inc();
+        if r0 != r1 || c0 != c1 {
+            inert = false;
+        }
+    }
+
+    let mut prof_stride = StageProfiler::new();
+    for (&dest, &clue) in dests.iter().zip(&clues) {
+        let mut c0 = Cost::new();
+        let r0 = stride.lookup(dest, clue, &mut c0);
+        let t0 = std::time::Instant::now();
+        let mut c1 = Cost::new();
+        let r1 = stride.lookup_profiled(dest, clue, &mut c1, &mut prof_stride);
+        h_stride.observe(t0.elapsed().as_nanos() as u64);
+        lookups_total.inc();
+        if r0 != r1 || c0 != c1 {
+            inert = false;
+        }
+    }
+
+    // Network leg: the sharded driver with per-thread profilers merged
+    // in order — stats must match the unprofiled driver exactly.
+    let (topo, edges) = clue_netsim::Topology::backbone(4, 2);
+    let mut net_cfg = clue_netsim::NetworkConfig::new(edges.clone(), cfg());
+    net_cfg.seed = seed;
+    let net: clue_netsim::Network<Ip4> = clue_netsim::Network::build(topo, net_cfg);
+    let net_packets = packets.min(5_000);
+    let frozen_net = clue_netsim::FrozenNetwork::freeze(&net)
+        .map_err(|e| format!("cannot freeze the network ({} blocks it): {e}", e.feature()))?;
+    let plain_stats = frozen_net.run_workload(&edges, net_packets, seed, 2);
+    let (profiled_stats, prof_net) = frozen_net.profile_workload(&edges, net_packets, seed, 2);
+    if profiled_stats != plain_stats {
+        inert = false;
+    }
+    let h_net = hist("network");
+    // The network driver times whole lookups inside the profiler; the
+    // histogram gets a per-hop mean so the scrape shows all four paths.
+    if prof_net.lookups() > 0 {
+        h_net.observe(prof_net.total_nanos() / prof_net.lookups());
+    }
+
+    println!(
+        "profile workload: {packets} packets (sender {table} prefixes, seed {seed}), \
+         network {net_packets} packets over a 4x2 backbone"
+    );
+    print_profile_path("scalar (presence cache 256)", &prof_scalar, &h_scalar.snapshot());
+    print_profile_path("frozen", &prof_frozen, &h_frozen.snapshot());
+    print_profile_path(
+        &format!("stride (initial {stride_bits} bits)"),
+        &prof_stride,
+        &h_stride.snapshot(),
+    );
+    print_profile_path("network (per hop)", &prof_net, &h_net.snapshot());
+    if check {
+        if !inert {
+            return Err(
+                "profile check failed: a profiled path diverged from its unprofiled twin"
+                    .to_owned(),
+            );
+        }
+        println!("check: profiled paths semantically inert (bmp, class, cost, stats parity)");
+    }
+
+    if let Some(path) = json_path {
+        let json = format!(
+            "{{\n  \"packets\": {packets},\n  \"net_packets\": {net_packets},\n  \
+             \"seed\": {seed},\n  \"table\": {table},\n  \"stride_bits\": {stride_bits},\n  \
+             \"checked\": {check},\n  \"inert\": {inert},\n  \"paths\": {{\n  \
+             \"scalar\": {},\n  \"frozen\": {},\n  \"stride\": {},\n  \"network\": {}\n  }}\n}}\n",
+            profile_path_json(&prof_scalar, &h_scalar.snapshot()),
+            profile_path_json(&prof_frozen, &h_frozen.snapshot()),
+            profile_path_json(&prof_stride, &h_stride.snapshot()),
+            profile_path_json(&prof_net, &h_net.snapshot()),
+        );
+        fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// A flattened JSON scalar, as produced by [`flatten_json`].
+#[derive(Debug, Clone, PartialEq)]
+enum JsonVal {
+    Num(f64),
+    Bool(bool),
+    Str(String),
+    Null,
+}
+
+/// Flattens a JSON document into `path.to.key` → scalar pairs (array
+/// elements keyed by index). A minimal recursive-descent parser — the
+/// BENCH_*.json exports are machine-written by this binary, so the
+/// grammar is plain JSON with no surprises, and pulling in a parser
+/// dependency for that would be absurd.
+fn flatten_json(text: &str) -> Result<BTreeMap<String, JsonVal>, String> {
+    struct P<'a> {
+        s: &'a [u8],
+        i: usize,
+    }
+    impl P<'_> {
+        fn ws(&mut self) {
+            while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+                self.i += 1;
+            }
+        }
+        fn peek(&mut self) -> Result<u8, String> {
+            self.ws();
+            self.s.get(self.i).copied().ok_or_else(|| "unexpected end of input".to_owned())
+        }
+        fn eat(&mut self, c: u8) -> Result<(), String> {
+            if self.peek()? == c {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected {:?} at byte {}", c as char, self.i))
+            }
+        }
+        fn string(&mut self) -> Result<String, String> {
+            self.eat(b'"')?;
+            let mut out = String::new();
+            loop {
+                let c = *self.s.get(self.i).ok_or("unterminated string")?;
+                self.i += 1;
+                match c {
+                    b'"' => return Ok(out),
+                    b'\\' => {
+                        let e = *self.s.get(self.i).ok_or("unterminated escape")?;
+                        self.i += 1;
+                        match e {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = self
+                                    .s
+                                    .get(self.i..self.i + 4)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                    16,
+                                )
+                                .map_err(|_| "bad \\u escape")?;
+                                self.i += 4;
+                                out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            }
+                            other => return Err(format!("bad escape \\{}", other as char)),
+                        }
+                    }
+                    other => out.push(other as char),
+                }
+            }
+        }
+        fn value(
+            &mut self,
+            path: &str,
+            out: &mut BTreeMap<String, JsonVal>,
+        ) -> Result<(), String> {
+            match self.peek()? {
+                b'{' => {
+                    self.eat(b'{')?;
+                    if self.peek()? == b'}' {
+                        return self.eat(b'}');
+                    }
+                    loop {
+                        let key = self.string()?;
+                        self.eat(b':')?;
+                        let sub = if path.is_empty() { key } else { format!("{path}.{key}") };
+                        self.value(&sub, out)?;
+                        match self.peek()? {
+                            b',' => self.eat(b',')?,
+                            b'}' => return self.eat(b'}'),
+                            c => return Err(format!("expected , or }} got {:?}", c as char)),
+                        }
+                    }
+                }
+                b'[' => {
+                    self.eat(b'[')?;
+                    if self.peek()? == b']' {
+                        return self.eat(b']');
+                    }
+                    let mut idx = 0usize;
+                    loop {
+                        self.value(&format!("{path}.{idx}"), out)?;
+                        idx += 1;
+                        match self.peek()? {
+                            b',' => self.eat(b',')?,
+                            b']' => return self.eat(b']'),
+                            c => return Err(format!("expected , or ] got {:?}", c as char)),
+                        }
+                    }
+                }
+                b'"' => {
+                    let s = self.string()?;
+                    out.insert(path.to_owned(), JsonVal::Str(s));
+                    Ok(())
+                }
+                b't' | b'f' | b'n' => {
+                    for (lit, val) in [
+                        ("true", Some(JsonVal::Bool(true))),
+                        ("false", Some(JsonVal::Bool(false))),
+                        ("null", Some(JsonVal::Null)),
+                    ] {
+                        if self.s[self.i..].starts_with(lit.as_bytes()) {
+                            self.i += lit.len();
+                            out.insert(path.to_owned(), val.expect("literal value"));
+                            return Ok(());
+                        }
+                    }
+                    Err(format!("bad literal at byte {}", self.i))
+                }
+                _ => {
+                    let start = self.i;
+                    while self
+                        .s
+                        .get(self.i)
+                        .is_some_and(|c| c.is_ascii_digit() || b"+-.eE".contains(c))
+                    {
+                        self.i += 1;
+                    }
+                    let text = std::str::from_utf8(&self.s[start..self.i])
+                        .expect("ascii number bytes");
+                    let n: f64 =
+                        text.parse().map_err(|_| format!("bad number {text:?} at {start}"))?;
+                    out.insert(path.to_owned(), JsonVal::Num(n));
+                    Ok(())
+                }
+            }
+        }
+    }
+    let mut p = P { s: text.as_bytes(), i: 0 };
+    let mut out = BTreeMap::new();
+    p.value("", &mut out)?;
+    p.ws();
+    if p.i != text.len() {
+        return Err(format!("trailing garbage at byte {}", p.i));
+    }
+    Ok(out)
+}
+
+/// Keys whose values are timing-derived or run-variable rather than
+/// seed-deterministic: measured rates/latencies, correlations and
+/// scheduler-dependent counts. They get `--time-tolerance` instead of
+/// the strict `--tolerance`.
+fn is_noisy_key(key: &str) -> bool {
+    const NOISY: &[&str] = &[
+        "pps", "_ms", "_us", "nanos", "ns_p", "ns_per", "speedup", "correlation", "freeze",
+        "rebuild", "stale", "lookups_total", "epochs", "swaps", "retired", "reclaimed",
+    ];
+    NOISY.iter().any(|p| key.contains(p))
+}
+
+/// Compares two `BENCH_*.json` exports key by key: every baseline key
+/// must exist in the fresh run; booleans and strings must match
+/// exactly; numbers must agree within a relative tolerance —
+/// seed-deterministic keys (packet counts, predicted ticks, bytes)
+/// under `--tolerance`, timing-derived/run-variable keys (pps,
+/// latencies, correlations) under the wider `--time-tolerance`. `null`
+/// on either side is a wildcard (an undefined statistic such as a
+/// constant-series correlation). The perf-regression gate in
+/// `scripts/verify.sh` is built on this.
+fn bench_diff(args: &[String]) -> Result<(), String> {
+    let mut tolerance = 10.0f64;
+    let mut time_tolerance = 100.0f64;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tolerance" => {
+                tolerance = it
+                    .next()
+                    .ok_or("--tolerance needs a percentage")?
+                    .parse()
+                    .map_err(|_| "bad tolerance")?;
+            }
+            "--time-tolerance" => {
+                time_tolerance = it
+                    .next()
+                    .ok_or("--time-tolerance needs a percentage")?
+                    .parse()
+                    .map_err(|_| "bad time tolerance")?;
+            }
+            _ => paths.push(a),
+        }
+    }
+    let [baseline_path, fresh_path] = paths[..] else {
+        return Err("bench-diff needs exactly two files: <baseline.json> <fresh.json>".to_owned());
+    };
+    let read = |p: &str| -> Result<BTreeMap<String, JsonVal>, String> {
+        flatten_json(&fs::read_to_string(p).map_err(|e| format!("{p}: {e}"))?)
+            .map_err(|e| format!("{p}: {e}"))
+    };
+    let baseline = read(baseline_path)?;
+    let fresh = read(fresh_path)?;
+
+    let mut compared = 0usize;
+    let mut worst: Option<(f64, String)> = None;
+    let mut failures: Vec<String> = Vec::new();
+    for (key, b) in &baseline {
+        let Some(f) = fresh.get(key) else {
+            failures.push(format!("{key}: present in baseline, missing in fresh run"));
+            continue;
+        };
+        match (b, f) {
+            (JsonVal::Null, _) | (_, JsonVal::Null) => {}
+            (JsonVal::Bool(x), JsonVal::Bool(y)) => {
+                compared += 1;
+                if x != y {
+                    failures.push(format!("{key}: {x} -> {y}"));
+                }
+            }
+            (JsonVal::Str(x), JsonVal::Str(y)) => {
+                compared += 1;
+                if x != y {
+                    failures.push(format!("{key}: {x:?} -> {y:?}"));
+                }
+            }
+            (JsonVal::Num(x), JsonVal::Num(y)) => {
+                compared += 1;
+                let tol = if is_noisy_key(key) { time_tolerance } else { tolerance };
+                let drift = (x - y).abs() / x.abs().max(y.abs()).max(1e-9) * 100.0;
+                if worst.as_ref().is_none_or(|(w, _)| drift > *w) {
+                    worst = Some((drift, key.clone()));
+                }
+                if drift > tol {
+                    failures.push(format!("{key}: {x} -> {y} ({drift:.1}% > {tol}%)"));
+                }
+            }
+            _ => failures.push(format!("{key}: type changed")),
+        }
+    }
+    let extra = fresh.keys().filter(|k| !baseline.contains_key(k.as_str())).count();
+    println!(
+        "bench-diff: {compared} keys compared ({} baseline, {extra} new in fresh), \
+         tolerance {tolerance}% / {time_tolerance}% (timing)",
+        baseline.len()
+    );
+    if let Some((drift, key)) = &worst {
+        println!("  worst numeric drift: {key} ({drift:.1}%)");
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "bench-diff failed: {} key(s) out of tolerance:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ));
+    }
+    println!("  all keys within tolerance");
     Ok(())
 }
 
@@ -346,6 +987,7 @@ fn throughput(args: &[String]) -> Result<(), String> {
     let mut stride_bits = clue_core::DEFAULT_INITIAL_BITS;
     let mut prefetch = clue_core::DEFAULT_INTERLEAVE;
     let mut json_path: Option<String> = None;
+    let mut serve: Option<String> = None;
     let mut check = false;
     let mut positional = 0;
     let mut it = args.iter();
@@ -386,6 +1028,7 @@ fn throughput(args: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad prefetch group")?;
             }
             "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--serve" => serve = Some(it.next().ok_or("--serve needs an address")?.clone()),
             "--check" => check = true,
             other => {
                 match positional {
@@ -418,7 +1061,22 @@ fn throughput(args: &[String]) -> Result<(), String> {
         .freeze()
         .map_err(|e| format!("cannot freeze the engine ({} blocks it): {e}", e.feature()))?;
     let stride_cfg = clue_core::StrideConfig::new(stride_bits, clue_core::DEFAULT_INNER_BITS);
-    let stride = frozen.compile_stride(stride_cfg).map_err(|e| format!("--stride: {e}"))?;
+    let mut stride = frozen.compile_stride(stride_cfg).map_err(|e| format!("--stride: {e}"))?;
+    // With a live scrape endpoint the scalar engine and the stride
+    // batch are instrumented — the counters cost a few sharded
+    // fetch_adds per packet, paid only when someone asked to watch.
+    let registry = Arc::new(Registry::new());
+    let _server = match &serve {
+        Some(addr) => {
+            scalar.instrument(&registry);
+            stride.attach_stride_telemetry(clue_telemetry::StrideTelemetry::registered(
+                &registry,
+                "clue_stride",
+            ));
+            Some(start_scrape(addr, &registry)?)
+        }
+        None => None,
+    };
     let dests = generate(
         &sender,
         &receiver,
@@ -549,6 +1207,7 @@ fn churn(args: &[String]) -> Result<(), String> {
     let mut seed = 1u64;
     let mut readers = 4usize;
     let mut json_path: Option<String> = None;
+    let mut serve: Option<String> = None;
     let mut check = false;
     let mut positional = 0;
     let mut it = args.iter();
@@ -565,6 +1224,7 @@ fn churn(args: &[String]) -> Result<(), String> {
                 }
             }
             "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--serve" => serve = Some(it.next().ok_or("--serve needs an address")?.clone()),
             "--check" => check = true,
             other => {
                 match positional {
@@ -587,8 +1247,12 @@ fn churn(args: &[String]) -> Result<(), String> {
         &clue_tablegen::ChurnConfig::bgp(updates, seed.wrapping_add(2)),
     );
 
-    let registry = Registry::new();
+    let registry = Arc::new(Registry::new());
     let telemetry = clue_telemetry::ChurnTelemetry::registered(&registry, "clue_churn");
+    let _server = match &serve {
+        Some(addr) => Some(start_scrape(addr, &registry)?),
+        None => None,
+    };
     let mut cfg = clue_netsim::ChurnDriverConfig::new(readers, seed);
     cfg.check = check;
     let report = clue_netsim::run_churn(&sender, &receiver, &stream, &cfg, Some(&telemetry), None)
@@ -665,6 +1329,7 @@ fn chaos(args: &[String]) -> Result<(), String> {
     let mut seed = 1u64;
     let mut spec = "all".to_owned();
     let mut json_path: Option<String> = None;
+    let mut serve: Option<String> = None;
     let mut check = false;
     let mut positional = 0;
     let mut it = args.iter();
@@ -672,6 +1337,7 @@ fn chaos(args: &[String]) -> Result<(), String> {
         match a.as_str() {
             "--faults" => spec = it.next().ok_or("--faults needs a spec")?.clone(),
             "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--serve" => serve = Some(it.next().ok_or("--serve needs an address")?.clone()),
             "--check" => check = true,
             other => {
                 match positional {
@@ -688,10 +1354,14 @@ fn chaos(args: &[String]) -> Result<(), String> {
     }
 
     let plan = clue_netsim::FaultPlan::parse(&spec, seed)?;
-    let registry = Registry::new();
+    let registry = Arc::new(Registry::new());
     let labels: Vec<&str> = plan.classes().iter().map(|c| c.label()).collect();
     let telemetry =
         clue_telemetry::DegradationTelemetry::registered(&registry, "clue_fault", &labels);
+    let _server = match &serve {
+        Some(addr) => Some(start_scrape(addr, &registry)?),
+        None => None,
+    };
     let mut config = clue_netsim::ChaosConfig::new(packets, seed);
     config.plan = plan;
     let report = clue_netsim::run_chaos(&config, Some(&telemetry)).map_err(|e| e.to_string())?;
@@ -942,6 +1612,82 @@ mod tests {
         assert!(run(&s(&["chaos", "--faults", "gremlins"])).is_err());
         assert!(run(&s(&["chaos", "--faults"])).is_err());
         assert!(run(&s(&["chaos", "1", "2", "3"])).is_err());
+    }
+
+    #[test]
+    fn profile_runs_checks_and_exports() {
+        let dir = std::env::temp_dir().join("clue-cli-test8");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("profile.json");
+        let j = json.to_str().unwrap().to_owned();
+        run(&s(&[
+            "profile", "400", "3", "--table", "900", "--stride", "10", "--check", "--json", &j,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"inert\": true"), "bad export: {text}");
+        assert!(text.contains("\"checked\": true"));
+        for path in ["scalar", "frozen", "stride", "network"] {
+            assert!(text.contains(&format!("\"{path}\"")), "missing path {path}: {text}");
+        }
+        assert!(text.contains("\"clue_probe\""));
+        assert!(text.contains("\"ns_p50\""));
+        assert!(text.contains("\"cost_time_correlation\""));
+        assert!(run(&s(&["profile", "0"])).is_err());
+        assert!(run(&s(&["profile", "--table", "0"])).is_err());
+        assert!(run(&s(&["profile", "--stride"])).is_err());
+        assert!(run(&s(&["profile", "--serve"])).is_err());
+        assert!(run(&s(&["profile", "1", "2", "3"])).is_err());
+    }
+
+    #[test]
+    fn bench_diff_compares_exports() {
+        let dir = std::env::temp_dir().join("clue-cli-test9");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(
+            &a,
+            "{\"packets\": 100, \"scalar_pps\": 1000.0, \"equivalent\": true, \"corr\": null}\n",
+        )
+        .unwrap();
+        std::fs::write(
+            &b,
+            "{\"packets\": 100, \"scalar_pps\": 1400.0, \"equivalent\": true, \"corr\": 0.5, \
+             \"extra\": 1}\n",
+        )
+        .unwrap();
+        let (pa, pb) = (a.to_str().unwrap().to_owned(), b.to_str().unwrap().to_owned());
+        // pps is a timing key: a 40% drift sits inside the default
+        // 100% time tolerance, and null is a wildcard.
+        run(&s(&["bench-diff", &pa, &pb])).unwrap();
+        // A tight time tolerance trips on the same drift.
+        assert!(run(&s(&["bench-diff", &pa, &pb, "--time-tolerance", "10"])).is_err());
+        // A baseline key missing from the fresh run fails regardless.
+        std::fs::write(&b, "{\"packets\": 100}\n").unwrap();
+        assert!(run(&s(&["bench-diff", &pa, &pb, "--time-tolerance", "1e9"])).is_err());
+        // Booleans compare exactly, no tolerance.
+        std::fs::write(
+            &b,
+            "{\"packets\": 100, \"scalar_pps\": 1000.0, \"equivalent\": false, \"corr\": null}\n",
+        )
+        .unwrap();
+        assert!(run(&s(&["bench-diff", &pa, &pb])).is_err());
+        assert!(run(&s(&["bench-diff", &pa])).is_err());
+        assert!(run(&s(&["bench-diff", &pa, "/nonexistent/x.json"])).is_err());
+        assert!(run(&s(&["bench-diff", &pa, &pb, "--tolerance"])).is_err());
+    }
+
+    #[test]
+    fn serve_flag_wires_the_scrape_server() {
+        // An ephemeral port proves the wiring end to end without
+        // colliding with anything; the live-scrape protocol itself is
+        // pinned by the telemetry server tests and the verify.sh smoke.
+        run(&s(&["throughput", "200", "3", "--table", "600", "--serve", "127.0.0.1:0"]))
+            .unwrap();
+        run(&s(&["churn", "120", "3", "--readers", "2", "--serve", "127.0.0.1:0"])).unwrap();
+        assert!(run(&s(&["churn", "120", "3", "--serve"])).is_err());
+        assert!(run(&s(&["throughput", "100", "--serve", "not-an-addr"])).is_err());
     }
 
     #[test]

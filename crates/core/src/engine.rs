@@ -26,6 +26,7 @@ use clue_trie::{Address, BinaryTrie, Cost, Location, NodeId, PatriciaTrie, Prefi
 use crate::cache::{CacheStats, PresenceCache};
 use crate::classify::{classify, Classification};
 use crate::clue::ClueHeader;
+use crate::profile::{record_walk_split, Span, Stage, StageProfiler};
 use crate::table::{CandidateRange, ClueEntry, ClueTable, Continuation, TableKind};
 
 /// The three per-family method variants of the paper's Tables 4–9.
@@ -498,6 +499,146 @@ impl<A: Address> ClueEngine<A> {
             });
         }
         result
+    }
+
+    /// As [`Self::lookup`], additionally attributing predicted ticks,
+    /// measured nanoseconds and touched record bytes to pipeline
+    /// stages in `prof` (see [`crate::StageProfiler`]).
+    ///
+    /// **Semantically inert**: the full Figure-5 flow runs unchanged —
+    /// same BMP, same class, tick-for-tick the same `cost`, the same
+    /// stats/telemetry/learning/cache side effects — with stage spans
+    /// observing the deltas. A separate function, so the unprofiled
+    /// hot path carries zero profiling overhead.
+    ///
+    /// Byte attribution uses the engine's mean arena-record size per
+    /// charged trie tick; exact for the Regular family (every tick is
+    /// one arena vertex), an approximation for the range/length
+    /// families whose probes touch different record shapes.
+    pub fn lookup_profiled(
+        &mut self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        index: Option<u16>,
+        cost: &mut Cost,
+        prof: &mut StageProfiler,
+    ) -> Option<Prefix<A>> {
+        let node_bytes = (self.t2.memory_bytes() / self.t2.arena_len().max(1)) as u64;
+        let whole = Span::start();
+        let refs_start = cost.total();
+        let mut clue_len = None;
+        let mut cache_hit = None;
+        let mut search_depth = 0;
+        let (result, class) = 'resolved: {
+            let s = match (self.config.method, clue) {
+                (Method::Common, _) | (_, None) => {
+                    break 'resolved (
+                        self.profiled_common(dest, cost, prof, node_bytes),
+                        LookupClass::Clueless,
+                    );
+                }
+                (_, Some(s)) => s,
+            };
+            clue_len = Some(s.len());
+            if !s.contains(dest) {
+                break 'resolved (
+                    self.profiled_common(dest, cost, prof, node_bytes),
+                    LookupClass::Malformed,
+                );
+            }
+            let mut cached = false;
+            if let Some(cache) = &mut self.cache {
+                let span = Span::start();
+                cost.cache_read();
+                cached = cache.get(&s).is_some();
+                let ns = span.stop();
+                cache_hit = Some(cached);
+                prof.record(Stage::Cache, 1, core::mem::size_of::<Prefix<A>>() as u64, ns);
+            }
+            let mut was_final = false;
+            let probe_before = cost.total();
+            let probe_span = Span::start();
+            let probe = self.table.get_with_residency(&s, index, cached, cost);
+            let probe_ns = probe_span.stop();
+            prof.record(
+                Stage::ClueProbe,
+                cost.total() - probe_before,
+                core::mem::size_of::<ClueEntry<A>>() as u64,
+                probe_ns,
+            );
+            let resolved = match probe {
+                Some(entry) => {
+                    was_final = entry.is_final();
+                    let before = cost.total();
+                    let span = Span::start();
+                    let r = self.resolve(entry, dest, cost);
+                    let ns = span.stop();
+                    search_depth = cost.total() - before;
+                    if !was_final {
+                        prof.record(
+                            Stage::Continuation,
+                            search_depth,
+                            node_bytes * search_depth,
+                            ns,
+                        );
+                    }
+                    Some(r)
+                }
+                None => None,
+            };
+            if !cached && resolved.is_some() {
+                if let Some(cache) = &mut self.cache {
+                    cache.insert(s, ());
+                }
+            }
+            match resolved {
+                Some(r) if was_final => (r, LookupClass::Final),
+                Some(r) => (r, LookupClass::Continued),
+                None => {
+                    let r = self.profiled_common(dest, cost, prof, node_bytes);
+                    if self.config.learning {
+                        self.learn(s, index);
+                    }
+                    (r, LookupClass::Miss)
+                }
+            }
+        };
+        match class {
+            LookupClass::Clueless => self.stats.clueless += 1,
+            LookupClass::Final => self.stats.finals += 1,
+            LookupClass::Continued => self.stats.continued += 1,
+            LookupClass::Miss => self.stats.misses += 1,
+            LookupClass::Malformed => self.stats.malformed += 1,
+        }
+        if let Some(t) = &self.telemetry {
+            t.record(&LookupEvent {
+                clue_len,
+                class,
+                search_depth,
+                cache_hit,
+                memory_references: cost.total() - refs_start,
+            });
+        }
+        prof.record_lookup(cost.total() - refs_start, whole.stop());
+        result
+    }
+
+    /// The common lookup with its span attributed across Root/Inner
+    /// (see [`crate::profile::record_walk_split`] for the split rule).
+    fn profiled_common(
+        &self,
+        dest: A,
+        cost: &mut Cost,
+        prof: &mut StageProfiler,
+        node_bytes: u64,
+    ) -> Option<Prefix<A>> {
+        let span = Span::start();
+        let mut walk = Cost::new();
+        let bmp = self.common_lookup(dest, &mut walk);
+        let ns = span.stop();
+        record_walk_split(prof, &walk, ns, node_bytes);
+        *cost += walk;
+        bmp
     }
 
     /// As [`Self::lookup`], decoding the clue from a packet header.

@@ -36,6 +36,7 @@ use clue_trie::{Address, Cost, Prefix};
 
 use crate::engine::{ClueEngine, EngineStats, Method};
 use crate::fxhash::FxHashMap;
+use crate::profile::{record_walk_split, Span, Stage, StageProfiler};
 use crate::table::{Continuation, TableKind};
 
 /// “No child” sentinel in [`FrozenNode::children`].
@@ -407,6 +408,82 @@ impl<A: Address> FrozenEngine<A> {
         Decision { bmp, class, cost }
     }
 
+    /// As [`Self::lookup`], additionally attributing the lookup's
+    /// predicted ticks, measured nanoseconds and touched record bytes
+    /// to pipeline stages in `prof` (see [`crate::StageProfiler`]).
+    ///
+    /// **Semantically inert**: returns the same BMP and class and
+    /// charges `cost` tick-for-tick like the unprofiled path — the
+    /// stage spans observe the walk deltas, they never alter them.
+    /// This is a separate function precisely so the unprofiled paths
+    /// carry zero profiling overhead.
+    pub fn lookup_profiled(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+        prof: &mut StageProfiler,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        let node_bytes = core::mem::size_of::<FrozenNode>() as u64;
+        let map_bytes = core::mem::size_of::<(Prefix<A>, u32)>() as u64;
+        let entry_bytes = core::mem::size_of::<FrozenEntry<A>>() as u64;
+        let whole = Span::start();
+        let before = cost.total();
+
+        let profiled_common = |cost: &mut Cost, prof: &mut StageProfiler| {
+            let span = Span::start();
+            let mut walk = Cost::new();
+            let bmp = self.common_walk(dest, &mut walk);
+            let ns = span.stop();
+            record_walk_split(prof, &walk, ns, node_bytes);
+            *cost += walk;
+            bmp
+        };
+
+        let (result, class) = 'resolved: {
+            let s = match (self.method, clue) {
+                (Method::Common, _) | (_, None) => {
+                    break 'resolved (profiled_common(cost, prof), LookupClass::Clueless);
+                }
+                (_, Some(s)) => s,
+            };
+            if !s.contains(dest) {
+                break 'resolved (profiled_common(cost, prof), LookupClass::Malformed);
+            }
+            cost.hash_probe();
+            let span = Span::start();
+            let hit = self.map.get(&s).map(|&i| self.entries[i as usize]);
+            let probe_ns = span.stop();
+            match hit {
+                Some(entry) => {
+                    prof.record(Stage::ClueProbe, 1, map_bytes + entry_bytes, probe_ns);
+                    if entry.cont == NONE_NODE {
+                        (entry.fd, LookupClass::Final)
+                    } else {
+                        let span = Span::start();
+                        let mut walk = Cost::new();
+                        let found = self.walk_from(entry.cont, s.len(), dest, &mut walk);
+                        let ns = span.stop();
+                        prof.record(
+                            Stage::Continuation,
+                            walk.total(),
+                            node_bytes * walk.total(),
+                            ns,
+                        );
+                        *cost += walk;
+                        (found.or(entry.fd), LookupClass::Continued)
+                    }
+                }
+                None => {
+                    prof.record(Stage::ClueProbe, 1, map_bytes, probe_ns);
+                    (profiled_common(cost, prof), LookupClass::Miss)
+                }
+            }
+        };
+        prof.record_lookup(cost.total() - before, whole.stop());
+        (result, class)
+    }
+
     /// Batched lookup: resolves `dests[i]` with `clues[i]` into
     /// `out[i]` and returns the per-class counts for the batch.
     ///
@@ -726,6 +803,51 @@ mod tests {
         churned.add_receiver_route(p("10.3.0.0/16"));
         let c = churned.freeze().unwrap();
         assert!(!a.bit_identical(&c), "a differing route must show");
+    }
+
+    #[test]
+    fn profiled_lookup_is_semantically_inert() {
+        use crate::profile::{Stage, StageProfiler};
+        let (sender, receiver) = tables();
+        let cases: Vec<(Ip4, Option<Prefix<Ip4>>)> = vec![
+            (a("10.1.2.3"), None),                          // clueless
+            (a("10.1.2.3"), Some(p("10.1.0.0/16"))),        // continued
+            (a("192.168.3.4"), Some(p("192.168.0.0/16"))),  // final
+            (a("10.1.2.3"), Some(p("192.168.0.0/16"))),     // malformed
+            (a("10.1.2.3"), Some(p("10.1.2.0/24"))),        // miss
+            (a("11.1.2.3"), None),                          // no route
+        ];
+        for method in [Method::Common, Method::Simple, Method::Advance] {
+            let frozen = ClueEngine::precomputed(
+                &sender,
+                &receiver,
+                EngineConfig::new(Family::Regular, method),
+            )
+            .freeze()
+            .unwrap();
+            let mut prof = StageProfiler::new();
+            for &(dest, clue) in &cases {
+                let mut pc = Cost::new();
+                let got = frozen.lookup_profiled(dest, clue, &mut pc, &mut prof);
+                let mut uc = Cost::new();
+                let want = frozen.lookup(dest, clue, &mut uc);
+                assert_eq!(got, want, "{method} {dest} {clue:?}");
+                assert_eq!(pc, uc, "{method} cost parity for {dest} {clue:?}");
+            }
+            assert_eq!(prof.lookups(), cases.len() as u64);
+            // Every charged tick lands in exactly one stage.
+            let charged: u64 = cases
+                .iter()
+                .map(|&(dest, clue)| {
+                    let mut c = Cost::new();
+                    frozen.lookup(dest, clue, &mut c);
+                    c.total()
+                })
+                .sum();
+            assert_eq!(prof.total_ticks(), charged, "{method} stage ticks must sum to cost");
+            assert!(prof.stage(Stage::Root).visits > 0);
+            assert_eq!(prof.stage(Stage::Cache).visits, 0, "frozen engines have no cache");
+        }
     }
 
     #[test]

@@ -73,6 +73,7 @@ pub mod fxhash;
 pub mod mpls;
 pub mod neighbors;
 pub mod prefetch;
+mod profile;
 pub mod recursive;
 mod soundness;
 mod stride;
@@ -84,6 +85,7 @@ pub use clue::{ClueHeader, EncodedClue};
 pub use engine::{ClueEngine, EngineConfig, EngineStats, Method};
 pub use epoch::{EpochCell, EpochEngine, EpochGuard, EpochReader};
 pub use frozen::{Decision, FreezeError, FrozenEngine, NONE_NODE};
+pub use profile::{Stage, StageAccum, StageProfiler};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use soundness::{check_soundness, Divergence, SoundnessReport};
 pub use stride::{

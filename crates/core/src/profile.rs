@@ -1,0 +1,419 @@
+//! The per-stage lookup profiler: predicted-vs-measured attribution.
+//!
+//! The paper's entire evaluation metric is *predicted* — [`Cost`] ticks
+//! model memory references per lookup (Tables 4–9). This module
+//! cross-validates that model against the machine: each engine exposes
+//! a `lookup_profiled` variant that attributes every lookup's ticks,
+//! measured nanoseconds and touched record bytes to a pipeline
+//! [`Stage`], and accumulates per-stage running sums from which a
+//! Pearson correlation between predicted ticks and measured time falls
+//! out. A high per-stage correlation is empirical support for the
+//! paper's claim that tick counts are the right cost model; a low one
+//! flags a stage whose "one access" abstraction leaks (e.g. a probe
+//! that is one tick but two dependent cache lines).
+//!
+//! **Profiling is opt-in by construction, not by flag**: the profiled
+//! lookups are separate functions, so the normal paths compile without
+//! a single profiling branch — disabled profiling costs literally
+//! nothing. The profiled variants replicate the unprofiled control flow
+//! exactly (same BMP, same class, tick-for-tick the same `Cost`);
+//! `clue profile --check` and the parity tests in each engine hold
+//! them to it.
+//!
+//! Timing is *span*-based: a stage is timed once per lookup with a
+//! pair of `Instant` reads around its whole span, never per node —
+//! per-visit timestamps would cost more than the visits themselves and
+//! drown the signal in timer overhead.
+
+use std::time::Instant;
+
+use clue_trie::Cost;
+
+/// A pipeline stage of a clue lookup, across all three engine
+/// representations (scalar, frozen, stride).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The entry read: the stride engine's direct-indexed root slot, or
+    /// the first trie vertex of a scalar/frozen common walk.
+    Root,
+    /// The descent below the entry: multibit inner-node steps (stride)
+    /// or the remaining vertices of a common walk (scalar/frozen).
+    Inner,
+    /// The mandatory clue-table consult: hash probe (scalar/frozen) or
+    /// flat length-bucket probe (stride).
+    ClueProbe,
+    /// The continued walk from the clue's continuation vertex,
+    /// honoring the Section 4 Claim-1 bits.
+    Continuation,
+    /// The Section 3.5 presence-cache read in front of the clue table
+    /// (scalar engine only).
+    Cache,
+}
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub fn all() -> [Stage; 5] {
+        [Stage::Root, Stage::Inner, Stage::ClueProbe, Stage::Continuation, Stage::Cache]
+    }
+
+    /// Stable snake_case label (JSON keys, metric names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Stage::Root => "root",
+            Stage::Inner => "inner",
+            Stage::ClueProbe => "clue_probe",
+            Stage::Continuation => "continuation",
+            Stage::Cache => "cache",
+        }
+    }
+
+    #[inline]
+    fn index(self) -> usize {
+        match self {
+            Stage::Root => 0,
+            Stage::Inner => 1,
+            Stage::ClueProbe => 2,
+            Stage::Continuation => 3,
+            Stage::Cache => 4,
+        }
+    }
+}
+
+/// Running sums for a Pearson correlation between two series, mergeable
+/// across profilers (all five moments are plain sums).
+#[derive(Debug, Default, Clone, Copy)]
+struct Corr {
+    n: u64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    syy: f64,
+    sxy: f64,
+}
+
+impl Corr {
+    #[inline]
+    fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.syy += y * y;
+        self.sxy += x * y;
+    }
+
+    fn merge(&mut self, o: &Corr) {
+        self.n += o.n;
+        self.sx += o.sx;
+        self.sy += o.sy;
+        self.sxx += o.sxx;
+        self.syy += o.syy;
+        self.sxy += o.sxy;
+    }
+
+    /// Pearson r, `None` when undefined (fewer than two points, or a
+    /// constant series — e.g. a stage that always costs exactly one
+    /// tick has zero x-variance and no meaningful correlation).
+    fn r(&self) -> Option<f64> {
+        if self.n < 2 {
+            return None;
+        }
+        let n = self.n as f64;
+        let cov = self.sxy - self.sx * self.sy / n;
+        let vx = self.sxx - self.sx * self.sx / n;
+        let vy = self.syy - self.sy * self.sy / n;
+        if vx <= 0.0 || vy <= 0.0 {
+            return None;
+        }
+        Some(cov / (vx * vy).sqrt())
+    }
+}
+
+/// Accumulated attribution for one [`Stage`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StageAccum {
+    /// Lookups that exercised this stage (≤ 1 event per lookup).
+    pub visits: u64,
+    /// Predicted [`Cost`] ticks attributed to the stage.
+    pub ticks: u64,
+    /// Engine-record bytes the stage dereferenced, per the layout model
+    /// (`size_of` of the records actually walked).
+    pub bytes: u64,
+    /// Measured wall-clock nanoseconds across the stage's spans.
+    pub nanos: u64,
+    corr: Corr,
+}
+
+impl StageAccum {
+    /// Measured nanoseconds per predicted tick (the stage's empirical
+    /// cost of one modeled memory access); `None` with no ticks.
+    pub fn ns_per_tick(&self) -> Option<f64> {
+        (self.ticks > 0).then(|| self.nanos as f64 / self.ticks as f64)
+    }
+
+    /// Mean predicted ticks per visit.
+    pub fn ticks_per_visit(&self) -> Option<f64> {
+        (self.visits > 0).then(|| self.ticks as f64 / self.visits as f64)
+    }
+
+    /// Pearson correlation between per-event predicted ticks and
+    /// measured nanoseconds; `None` when undefined (see [`Corr::r`]).
+    pub fn correlation(&self) -> Option<f64> {
+        self.corr.r()
+    }
+}
+
+/// Accumulates per-stage and per-lookup attribution; the object a
+/// profiled run threads through `lookup_profiled` calls and merges
+/// across threads at the end.
+#[derive(Debug, Default, Clone)]
+pub struct StageProfiler {
+    stages: [StageAccum; 5],
+    lookups: u64,
+    lookup_corr: Corr,
+}
+
+impl StageProfiler {
+    /// A fresh profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one stage event: `ticks` predicted accesses, `bytes`
+    /// record bytes, `nanos` measured for the stage's span.
+    #[inline]
+    pub fn record(&mut self, stage: Stage, ticks: u64, bytes: u64, nanos: u64) {
+        let s = &mut self.stages[stage.index()];
+        s.visits += 1;
+        s.ticks += ticks;
+        s.bytes += bytes;
+        s.nanos += nanos;
+        s.corr.push(ticks as f64, nanos as f64);
+    }
+
+    /// Records one whole lookup (total predicted ticks vs total
+    /// measured nanoseconds) for the cross-stage correlation.
+    #[inline]
+    pub fn record_lookup(&mut self, ticks: u64, nanos: u64) {
+        self.lookups += 1;
+        self.lookup_corr.push(ticks as f64, nanos as f64);
+    }
+
+    /// Folds `other` into this profiler (per-thread profilers merged at
+    /// scrape/report time — same pattern as the sharded telemetry).
+    pub fn merge(&mut self, other: &StageProfiler) {
+        for (a, b) in self.stages.iter_mut().zip(&other.stages) {
+            a.visits += b.visits;
+            a.ticks += b.ticks;
+            a.bytes += b.bytes;
+            a.nanos += b.nanos;
+            a.corr.merge(&b.corr);
+        }
+        self.lookups += other.lookups;
+        self.lookup_corr.merge(&other.lookup_corr);
+    }
+
+    /// The accumulated attribution for `stage`.
+    pub fn stage(&self, stage: Stage) -> &StageAccum {
+        &self.stages[stage.index()]
+    }
+
+    /// Lookups recorded via [`Self::record_lookup`].
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+
+    /// Total predicted ticks across all stages.
+    pub fn total_ticks(&self) -> u64 {
+        self.stages.iter().map(|s| s.ticks).sum()
+    }
+
+    /// Total record bytes across all stages.
+    pub fn total_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.bytes).sum()
+    }
+
+    /// Total measured nanoseconds across all stage spans.
+    pub fn total_nanos(&self) -> u64 {
+        self.stages.iter().map(|s| s.nanos).sum()
+    }
+
+    /// Mean record bytes touched per lookup.
+    pub fn bytes_per_lookup(&self) -> Option<f64> {
+        (self.lookups > 0).then(|| self.total_bytes() as f64 / self.lookups as f64)
+    }
+
+    /// Pearson correlation between each lookup's total predicted ticks
+    /// and its total measured nanoseconds — the headline
+    /// predicted-vs-measured number.
+    pub fn lookup_correlation(&self) -> Option<f64> {
+        self.lookup_corr.r()
+    }
+}
+
+/// A running span timer for one stage: created at the stage boundary,
+/// [`Self::stop`]ped at the end, yielding elapsed nanoseconds.
+#[derive(Debug)]
+pub(crate) struct Span(Instant);
+
+impl Span {
+    #[inline]
+    pub(crate) fn start() -> Self {
+        Span(Instant::now())
+    }
+
+    #[inline]
+    pub(crate) fn stop(self) -> u64 {
+        u64::try_from(self.0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Splits a common-walk span between [`Stage::Root`] (the first
+/// charged vertex) and [`Stage::Inner`] (the rest), attributing time
+/// proportionally to ticks: the walk is timed once — per-vertex
+/// timestamps would dwarf the vertices — so the split follows the
+/// model.  `delta` is the walk's total cost delta, `nanos` its span,
+/// `bytes_per_tick` the record size the walk dereferences per tick.
+pub(crate) fn record_walk_split(
+    prof: &mut StageProfiler,
+    delta: &Cost,
+    nanos: u64,
+    bytes_per_tick: u64,
+) {
+    let ticks = delta.total();
+    if ticks == 0 {
+        return;
+    }
+    let root_ns = nanos / ticks;
+    prof.record(Stage::Root, 1, bytes_per_tick, root_ns);
+    if ticks > 1 {
+        prof.record(Stage::Inner, ticks - 1, bytes_per_tick * (ticks - 1), nanos - root_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_have_stable_labels_and_order() {
+        let labels: Vec<_> = Stage::all().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["root", "inner", "clue_probe", "continuation", "cache"]);
+        for (i, s) in Stage::all().into_iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn record_accumulates_per_stage() {
+        let mut p = StageProfiler::new();
+        p.record(Stage::Root, 1, 12, 100);
+        p.record(Stage::Root, 1, 12, 120);
+        p.record(Stage::Continuation, 5, 60, 900);
+        let root = p.stage(Stage::Root);
+        assert_eq!((root.visits, root.ticks, root.bytes, root.nanos), (2, 2, 24, 220));
+        assert_eq!(root.ns_per_tick(), Some(110.0));
+        assert_eq!(p.total_ticks(), 7);
+        assert_eq!(p.total_bytes(), 84);
+        assert_eq!(p.total_nanos(), 1120);
+        assert_eq!(p.stage(Stage::Cache).visits, 0);
+    }
+
+    #[test]
+    fn perfect_linear_series_correlates_to_one() {
+        let mut p = StageProfiler::new();
+        for t in 1..=10u64 {
+            p.record(Stage::Continuation, t, 0, t * 50);
+            p.record_lookup(t, t * 50);
+        }
+        let r = p.stage(Stage::Continuation).correlation().unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "got {r}");
+        let r = p.lookup_correlation().unwrap();
+        assert!((r - 1.0).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn constant_series_has_no_correlation() {
+        let mut p = StageProfiler::new();
+        for _ in 0..10 {
+            p.record(Stage::ClueProbe, 1, 16, 40); // always one tick
+        }
+        assert_eq!(p.stage(Stage::ClueProbe).correlation(), None);
+        assert_eq!(p.stage(Stage::ClueProbe).ticks_per_visit(), Some(1.0));
+        let mut empty = StageProfiler::new();
+        empty.record(Stage::Root, 1, 0, 5);
+        assert_eq!(empty.stage(Stage::Root).correlation(), None, "one point");
+    }
+
+    #[test]
+    fn anticorrelated_series_is_negative() {
+        let mut p = StageProfiler::new();
+        for t in 1..=10u64 {
+            p.record(Stage::Inner, t, 0, (11 - t) * 30);
+        }
+        let r = p.stage(Stage::Inner).correlation().unwrap();
+        assert!((r + 1.0).abs() < 1e-9, "got {r}");
+    }
+
+    #[test]
+    fn merge_equals_single_accumulation() {
+        let mut whole = StageProfiler::new();
+        let mut a = StageProfiler::new();
+        let mut b = StageProfiler::new();
+        for t in 1..=20u64 {
+            let (stage, ns) = (Stage::Root, t * 7 + t % 3);
+            whole.record(stage, t, t * 12, ns);
+            whole.record_lookup(t, ns);
+            let half = if t % 2 == 0 { &mut a } else { &mut b };
+            half.record(stage, t, t * 12, ns);
+            half.record_lookup(t, ns);
+        }
+        a.merge(&b);
+        assert_eq!(a.lookups(), whole.lookups());
+        assert_eq!(a.total_ticks(), whole.total_ticks());
+        assert_eq!(a.total_bytes(), whole.total_bytes());
+        assert_eq!(a.total_nanos(), whole.total_nanos());
+        let (ra, rw) = (a.lookup_correlation().unwrap(), whole.lookup_correlation().unwrap());
+        assert!((ra - rw).abs() < 1e-12, "merged correlation must match: {ra} vs {rw}");
+    }
+
+    #[test]
+    fn walk_split_attributes_root_then_inner() {
+        let mut p = StageProfiler::new();
+        let mut delta = Cost::new();
+        for _ in 0..4 {
+            delta.trie_node();
+        }
+        record_walk_split(&mut p, &delta, 400, 12);
+        assert_eq!(p.stage(Stage::Root).ticks, 1);
+        assert_eq!(p.stage(Stage::Root).nanos, 100);
+        assert_eq!(p.stage(Stage::Root).bytes, 12);
+        assert_eq!(p.stage(Stage::Inner).ticks, 3);
+        assert_eq!(p.stage(Stage::Inner).nanos, 300);
+        assert_eq!(p.stage(Stage::Inner).bytes, 36);
+
+        // A one-tick walk is all Root, no Inner.
+        let mut p = StageProfiler::new();
+        let mut one = Cost::new();
+        one.trie_node();
+        record_walk_split(&mut p, &one, 50, 12);
+        assert_eq!(p.stage(Stage::Root).ticks, 1);
+        assert_eq!(p.stage(Stage::Inner).visits, 0);
+
+        // An empty walk records nothing.
+        let mut p = StageProfiler::new();
+        record_walk_split(&mut p, &Cost::new(), 50, 12);
+        assert_eq!(p.stage(Stage::Root).visits, 0);
+    }
+
+    #[test]
+    fn bytes_per_lookup_averages() {
+        let mut p = StageProfiler::new();
+        p.record(Stage::Root, 1, 12, 10);
+        p.record(Stage::ClueProbe, 1, 28, 10);
+        p.record_lookup(2, 20);
+        p.record_lookup(2, 20);
+        assert_eq!(p.bytes_per_lookup(), Some(20.0));
+        assert_eq!(StageProfiler::new().bytes_per_lookup(), None);
+    }
+}

@@ -51,6 +51,7 @@ use crate::frozen::{
     NO_ROUTE,
 };
 use crate::prefetch::prefetch_read;
+use crate::profile::{Span, Stage, StageProfiler};
 
 /// Default initial stride: 13 bits — 8192 root slots (96 KiB) cover
 /// every real-table prefix shorter than a /14 in a single indexed
@@ -669,6 +670,130 @@ impl<A: Address> StrideEngine<A> {
         Decision { bmp, class, cost }
     }
 
+    /// [`Self::common_walk`] with per-stage attribution: the stride
+    /// layout gives Root/Inner a *real* boundary (the direct-indexed
+    /// slot read vs the multibit descent), so unlike the scalar and
+    /// frozen walks no proportional split is needed.
+    fn common_walk_profiled(
+        &self,
+        dest: A,
+        cost: &mut Cost,
+        prof: &mut StageProfiler,
+    ) -> Option<Prefix<A>> {
+        let span = Span::start();
+        let slot = &self.root[self.root_index(dest)];
+        let consumed = u64::from(slot.consumed);
+        cost.trie_nodes += consumed;
+        let mut best = self.route_prefix(slot.route_word);
+        let mut node = slot.next;
+        let root_ns = span.stop();
+        prof.record(Stage::Root, consumed, core::mem::size_of::<RootSlot>() as u64, root_ns);
+        if node != NONE_NODE {
+            let span = Span::start();
+            let mut ticks = 0u64;
+            let mut steps = 0u64;
+            while node != NONE_NODE {
+                let n = &self.inner[node as usize];
+                let i = n.first_slot as usize + Self::chunk(dest, n.base, n.width);
+                let slot = &self.slots[i];
+                ticks += u64::from(slot.consumed);
+                steps += 1;
+                if let Some(p) = self.route_prefix(slot.route_word) {
+                    best = Some(p);
+                }
+                node = slot.child;
+            }
+            let ns = span.stop();
+            cost.trie_nodes += ticks;
+            let step_bytes =
+                (core::mem::size_of::<InnerNode>() + core::mem::size_of::<InnerSlot>()) as u64;
+            prof.record(Stage::Inner, ticks, steps * step_bytes, ns);
+        }
+        best
+    }
+
+    /// As [`Self::lookup`], additionally attributing predicted ticks,
+    /// measured nanoseconds and touched record bytes to pipeline
+    /// stages in `prof`. Semantically inert: same BMP, same class,
+    /// tick-for-tick the same `cost` as the unprofiled path — and a
+    /// separate function, so the unprofiled path carries zero
+    /// profiling overhead.
+    pub fn lookup_profiled(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+        prof: &mut StageProfiler,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        let node_bytes = core::mem::size_of::<FrozenNode>() as u64;
+        let whole = Span::start();
+        let before = cost.total();
+        let (result, class) = 'resolved: {
+            let s = match (self.method, clue) {
+                (Method::Common, _) | (_, None) => {
+                    break 'resolved (
+                        self.common_walk_profiled(dest, cost, prof),
+                        LookupClass::Clueless,
+                    );
+                }
+                (_, Some(s)) => s,
+            };
+            if !s.contains(dest) {
+                break 'resolved (
+                    self.common_walk_profiled(dest, cost, prof),
+                    LookupClass::Malformed,
+                );
+            }
+            // The probe's byte model counts what the scan dereferenced:
+            // the 12-byte descriptor plus every 16-byte slot visited.
+            cost.hash_probe();
+            let span = Span::start();
+            let d = self.bucket_desc[s.len() as usize];
+            let mut k = self.bucket_home(s.len(), s.bits());
+            let mut scanned = 0u64;
+            let hit = loop {
+                let slot = &self.bucket_slots[(d.offset + (k & d.mask)) as usize];
+                scanned += 1;
+                if slot.cont == EMPTY_SLOT {
+                    break None;
+                }
+                if slot.key == s.bits() {
+                    break Some(*slot);
+                }
+                k = k.wrapping_add(1);
+            };
+            let probe_ns = span.stop();
+            let probe_bytes = core::mem::size_of::<BucketDesc>() as u64
+                + scanned * core::mem::size_of::<BucketSlot<A>>() as u64;
+            prof.record(Stage::ClueProbe, 1, probe_bytes, probe_ns);
+            match hit {
+                Some(slot) => {
+                    if slot.cont == FINAL_SLOT {
+                        (slot.fd(), LookupClass::Final)
+                    } else {
+                        let span = Span::start();
+                        let mut walk = Cost::new();
+                        let found = self.walk_from(slot.cont, s.len(), dest, &mut walk);
+                        let ns = span.stop();
+                        prof.record(
+                            Stage::Continuation,
+                            walk.total(),
+                            node_bytes * walk.total(),
+                            ns,
+                        );
+                        *cost += walk;
+                        (found.or(slot.fd()), LookupClass::Continued)
+                    }
+                }
+                None => {
+                    (self.common_walk_profiled(dest, cost, prof), LookupClass::Miss)
+                }
+            }
+        };
+        prof.record_lookup(cost.total() - before, whole.stop());
+        (result, class)
+    }
+
     /// Decodes one packet for the interleaved batch loop: classifies
     /// it, computes the probe position its lookup will start from,
     /// prefetches that cache line, and returns the decoded op so the
@@ -1013,6 +1138,52 @@ mod tests {
         assert_eq!(st.packets_total.get(), 3);
         assert_eq!(st.groups_total.get(), 2);
         assert_eq!(st.prefetches_total.get(), 3);
+    }
+
+    #[test]
+    fn profiled_lookup_is_semantically_inert() {
+        use crate::profile::{Stage, StageProfiler};
+        let (sender, receiver) = tables();
+        let cases: Vec<(Ip4, Option<Prefix<Ip4>>)> = vec![
+            (a("10.1.2.3"), None),                          // clueless
+            (a("10.1.2.3"), Some(p("10.1.0.0/16"))),        // continued
+            (a("192.168.3.4"), Some(p("192.168.0.0/16"))),  // final
+            (a("10.1.2.3"), Some(p("192.168.0.0/16"))),     // malformed
+            (a("10.1.2.3"), Some(p("10.1.2.0/24"))),        // miss
+            (a("11.1.2.3"), None),                          // no route
+        ];
+        for method in [Method::Common, Method::Simple, Method::Advance] {
+            for config in configs() {
+                let stride = ClueEngine::precomputed(
+                    &sender,
+                    &receiver,
+                    EngineConfig::new(Family::Regular, method),
+                )
+                .freeze_stride(config)
+                .unwrap();
+                let mut prof = StageProfiler::new();
+                for &(dest, clue) in &cases {
+                    let mut pc = Cost::new();
+                    let got = stride.lookup_profiled(dest, clue, &mut pc, &mut prof);
+                    let mut uc = Cost::new();
+                    let want = stride.lookup(dest, clue, &mut uc);
+                    assert_eq!(got, want, "{method} {config:?} {dest} {clue:?}");
+                    assert_eq!(pc, uc, "{method} {config:?} cost parity for {dest} {clue:?}");
+                }
+                assert_eq!(prof.lookups(), cases.len() as u64);
+                let charged: u64 = cases
+                    .iter()
+                    .map(|&(dest, clue)| stride.lookup_decision(dest, clue).cost.total())
+                    .sum();
+                assert_eq!(
+                    prof.total_ticks(),
+                    charged,
+                    "{method} {config:?} stage ticks must sum to cost"
+                );
+                assert!(prof.stage(Stage::Root).visits > 0);
+                assert_eq!(prof.stage(Stage::Cache).visits, 0, "stride engines have no cache");
+            }
+        }
     }
 
     #[test]

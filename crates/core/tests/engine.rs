@@ -375,3 +375,55 @@ fn randomized_matrix_agreement() {
         }
     }
 }
+
+/// The profiled scalar lookup must be a perfect mirror of the plain
+/// one: same BMP, tick-for-tick the same cost, the same evolving
+/// engine state (stats, cache residency) — across every family and
+/// method, with honest clues, and with the Section 3.5 cache enabled.
+#[test]
+fn profiled_lookup_mirrors_plain_lookup() {
+    use clue_core::{Stage, StageProfiler};
+    let (sender, receiver) = tables();
+    let families = [Family::Regular, Family::Patricia, Family::Binary, Family::LogW];
+    for family in families {
+        for method in Method::all() {
+            for with_cache in [false, true] {
+                let config = EngineConfig::new(family, method);
+                let mut plain = ClueEngine::precomputed(&sender, &receiver, config);
+                let mut profiled = ClueEngine::precomputed(&sender, &receiver, config);
+                if with_cache {
+                    plain.enable_cache(4);
+                    profiled.enable_cache(4);
+                }
+                let mut prof = StageProfiler::new();
+                let mut lookups = 0u64;
+                for &dest in &destinations() {
+                    for clue in [None, reference_bmp(&sender, dest)] {
+                        let mut pc = Cost::new();
+                        let want = plain.lookup(dest, clue, None, &mut pc);
+                        let mut qc = Cost::new();
+                        let got = profiled.lookup_profiled(dest, clue, None, &mut qc, &mut prof);
+                        assert_eq!(
+                            got, want,
+                            "{family:?}/{method} cache={with_cache} {dest} {clue:?}"
+                        );
+                        assert_eq!(
+                            qc, pc,
+                            "{family:?}/{method} cache={with_cache} cost for {dest} {clue:?}"
+                        );
+                        lookups += 1;
+                    }
+                }
+                assert_eq!(plain.stats(), profiled.stats(), "{family:?}/{method} stats");
+                assert_eq!(prof.lookups(), lookups);
+                assert!(prof.total_ticks() > 0);
+                if with_cache && method != Method::Common {
+                    assert!(
+                        prof.stage(Stage::Cache).visits > 0,
+                        "{family:?}/{method}: cache stage must be exercised"
+                    );
+                }
+            }
+        }
+    }
+}

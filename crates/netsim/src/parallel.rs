@@ -30,7 +30,7 @@
 //! independent: the same property that makes the run parallelizable
 //! makes it deterministic.
 
-use clue_core::{ClueHeader, FreezeError, FrozenEngine};
+use clue_core::{ClueHeader, FreezeError, FrozenEngine, StageProfiler};
 use clue_trie::{Address, Cost, CostStats};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -175,6 +175,87 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
         PathTrace { dest, hops, delivered }
     }
 
+    /// As [`Self::route_packet`], additionally attributing every hop's
+    /// engine lookup to pipeline stages in `prof` (see
+    /// [`StageProfiler`]). Semantically inert: same hops, same
+    /// per-hop [`Cost`], same delivery — the profiled engine paths
+    /// observe the walk deltas, they never alter them. The Section
+    /// 5.4 shifted-work leg is raw FIB trie work rather than an
+    /// engine lookup and stays unprofiled.
+    pub fn route_packet_profiled(
+        &self,
+        src: RouterId,
+        dest: A,
+        prof: &mut StageProfiler,
+    ) -> PathTrace<A> {
+        let config = self.net.config();
+        let routers = self.net.routers();
+        let mut hops = Vec::new();
+        let mut header = ClueHeader::none();
+        let mut prev: Option<RouterId> = None;
+        let mut cur = src;
+        let mut delivered = false;
+        let max_hops = self.net.topology().len() * 2 + 4;
+
+        for _ in 0..max_hops {
+            let mut cost = Cost::new();
+            let node = &self.routers[cur];
+            let fib = &routers[cur].fib;
+            let engine_slot =
+                prev.map_or(NO_ENGINE, |p| node.by_neighbor.get(p).copied().unwrap_or(NO_ENGINE));
+            let used_clue =
+                node.participates && engine_slot != NO_ENGINE && header.clue.is_some();
+            let bmp = if used_clue {
+                let engine = &node.engines[engine_slot as usize];
+                engine.lookup_profiled(dest, header.decode(dest), &mut cost, prof).0
+            } else {
+                node.base.lookup_profiled(dest, None, &mut cost, prof).0
+            };
+
+            let next = bmp.and_then(|p| fib.get(&p)).map(|r| *fib.value(r));
+
+            let mut shift_cost = Cost::new();
+            if node.participates {
+                if let Some(p) = bmp {
+                    header = ClueHeader::with_clue(&p);
+                }
+                if config.shift_work_to_edges {
+                    if let Some(Hop::Via(nh)) = next {
+                        if config.core.contains(&nh) {
+                            let nb_fib = &routers[nh].fib;
+                            let nb_bmp = match bmp.and_then(|p| nb_fib.node_of_prefix(&p)) {
+                                Some(start) => nb_fib
+                                    .lookup_from(start, dest, &mut shift_cost)
+                                    .map(|r| nb_fib.prefix(r)),
+                                None => nb_fib
+                                    .lookup_counted(dest, &mut shift_cost)
+                                    .map(|r| nb_fib.prefix(r)),
+                            };
+                            if let Some(p) = nb_bmp {
+                                header = ClueHeader::with_clue(&p);
+                            }
+                        }
+                    }
+                }
+            }
+
+            hops.push(HopRecord { router: cur, from: prev, bmp, cost, shift_cost, used_clue });
+
+            match next {
+                Some(Hop::Local) => {
+                    delivered = true;
+                    break;
+                }
+                Some(Hop::Via(nh)) => {
+                    prev = Some(cur);
+                    cur = nh;
+                }
+                None => break,
+            }
+        }
+        PathTrace { dest, hops, delivered }
+    }
+
     /// Routes `packets` random packets through this already-frozen
     /// view, sharded over `threads` scoped OS threads — the hot half
     /// of [`run_workload_parallel`], with the one-off freeze hoisted
@@ -227,6 +308,64 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
             }
         });
         acc.finish(packets)
+    }
+
+    /// As [`Self::run_workload`], additionally aggregating a
+    /// [`StageProfiler`] across every hop's engine lookup: per-thread
+    /// profilers, merged left to right like the cost shards, so the
+    /// predicted half of the attribution (visits, ticks, bytes) is
+    /// bit-identical for a given seed regardless of thread count —
+    /// only the measured nanoseconds vary with the machine.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty, the network has no origins, or
+    /// `threads` is zero.
+    pub fn profile_workload(
+        &self,
+        sources: &[RouterId],
+        packets: usize,
+        seed: u64,
+        threads: usize,
+    ) -> (RunStats, StageProfiler) {
+        assert!(threads > 0, "need at least one thread");
+        assert!(!sources.is_empty(), "need at least one source");
+        let origins = self.net.config().origins.clone();
+        assert!(!origins.is_empty(), "need at least one origin");
+
+        let n = self.net.topology().len();
+        let chunk = packets.div_ceil(threads);
+        let mut acc = Accum::new(n);
+        let mut prof = StageProfiler::new();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let lo = (t * chunk).min(packets);
+                    let hi = ((t + 1) * chunk).min(packets);
+                    let (frozen, origins, sources) = (&*self, &origins, sources);
+                    scope.spawn(move || {
+                        let mut shard = Accum::new(n);
+                        let mut shard_prof = StageProfiler::new();
+                        for i in lo..hi {
+                            let (src, dest) =
+                                draw_packet(frozen.network(), sources, origins, seed, i as u64);
+                            shard.record(&frozen.route_packet_profiled(
+                                src,
+                                dest,
+                                &mut shard_prof,
+                            ));
+                        }
+                        (shard, shard_prof)
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (shard, shard_prof) = h.join().expect("shard thread panicked");
+                acc.merge(&shard);
+                prof.merge(&shard_prof);
+            }
+        });
+        (acc.finish(packets), prof)
     }
 }
 
@@ -482,6 +621,55 @@ mod tests {
         assert_eq!(a, b);
         let hops: u64 = a.per_router.iter().map(CostStats::samples).sum();
         assert_eq!(hops, a.total_hops);
+    }
+
+    #[test]
+    fn profiled_routing_is_semantically_inert() {
+        let (net, edges) = build(Method::Advance);
+        let origins = net.config().origins.clone();
+        let frozen = FrozenNetwork::freeze(&net).unwrap();
+        let mut prof = StageProfiler::new();
+        let mut charged = 0u64;
+        for i in 0..60u64 {
+            let (src, dest) = draw_packet(&net, &edges, &origins, 21, i);
+            let plain = frozen.route_packet(src, dest);
+            let profiled = frozen.route_packet_profiled(src, dest, &mut prof);
+            assert_eq!(plain.delivered, profiled.delivered);
+            assert_eq!(plain.hops.len(), profiled.hops.len());
+            for (p, q) in plain.hops.iter().zip(&profiled.hops) {
+                assert_eq!((p.router, p.bmp, p.used_clue), (q.router, q.bmp, q.used_clue));
+                assert_eq!(p.cost, q.cost, "cost parity at router {}", p.router);
+                assert_eq!(p.shift_cost, q.shift_cost);
+                charged += p.cost.total();
+            }
+        }
+        // Every charged tick is attributed to exactly one stage; the
+        // unprofiled shift leg charges shift_cost, not cost.
+        assert_eq!(prof.total_ticks(), charged);
+        assert!(prof.lookups() > 0);
+        assert!(prof.stage(clue_core::Stage::Root).visits > 0);
+    }
+
+    #[test]
+    fn profile_workload_matches_run_workload_and_is_thread_invariant() {
+        let (net, edges) = build(Method::Advance);
+        let frozen = FrozenNetwork::freeze(&net).unwrap();
+        let plain = frozen.run_workload(&edges, 90, 17, 3);
+        let (s1, p1) = frozen.profile_workload(&edges, 90, 17, 1);
+        let (s4, p4) = frozen.profile_workload(&edges, 90, 17, 4);
+        assert_eq!(plain, s1, "profiling must not change the workload stats");
+        assert_eq!(s1, s4);
+        assert_eq!(p1.lookups(), s1.total_hops, "one profiled lookup per hop");
+        assert_eq!(p1.lookups(), p4.lookups());
+        // The predicted half of the attribution is deterministic; only
+        // the measured nanoseconds depend on the machine and threads.
+        assert_eq!(p1.total_ticks(), p4.total_ticks());
+        assert_eq!(p1.total_bytes(), p4.total_bytes());
+        for stage in clue_core::Stage::all() {
+            assert_eq!(p1.stage(stage).visits, p4.stage(stage).visits, "{}", stage.label());
+            assert_eq!(p1.stage(stage).ticks, p4.stage(stage).ticks, "{}", stage.label());
+        }
+        assert!(p1.total_ticks() > 0);
     }
 
     #[test]

@@ -11,7 +11,13 @@
 //! * [`Registry`] — named [`Counter`]s, [`Gauge`]s and fixed-bucket
 //!   [`Histogram`]s over `AtomicU64` cells. Handles are cheap clones
 //!   of shared atomics, so the hot path never takes a lock and a
-//!   shared `&Registry` works from parallel workloads.
+//!   shared `&Registry` works from parallel workloads. Counters and
+//!   histograms are **cacheline-sharded** per recording thread and
+//!   merged only at scrape time, so parallel recording never bounces a
+//!   cacheline between cores.
+//! * [`ScrapeServer`] — a zero-dependency HTTP endpoint (std
+//!   `TcpListener`) serving `/metrics` (Prometheus) and
+//!   `/metrics.json` live while a workload runs.
 //! * [`trace`] — structured per-lookup events ([`LookupEvent`]) with a
 //!   pluggable [`Subscriber`]; the default [`RingBufferSubscriber`]
 //!   keeps the last N events in bounded memory.
@@ -34,14 +40,17 @@ mod export;
 mod fault;
 mod lookup;
 mod registry;
+mod server;
+mod shard;
 mod stride;
 pub mod trace;
 
 pub use churn::ChurnTelemetry;
 pub use fault::DegradationTelemetry;
-pub use export::{to_json, to_prometheus};
+pub use export::{parse_prometheus, to_json, to_prometheus, PromDocument};
 pub use lookup::{CacheTelemetry, LookupTelemetry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, Snapshot};
+pub use server::ScrapeServer;
 pub use stride::StrideTelemetry;
 pub use trace::{LookupClass, LookupEvent, RingBufferSubscriber, Subscriber};
 
@@ -69,3 +78,11 @@ pub const REBUILD_LATENCY_BOUNDS_US: &[u64] =
 /// fallback walk, so the interesting range is small; the overflow
 /// bucket would indicate an unsound (and therefore buggy) degradation.
 pub const DEGRADED_COST_BOUNDS: &[u64] = &[1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64];
+
+/// Default per-lookup latency bounds, in nanoseconds: geometric from a
+/// cache-resident clue hit (tens of ns) up past a cold full walk; the
+/// overflow bucket absorbs scheduler preemptions. Used by the
+/// `clue profile` percentile report.
+pub const LOOKUP_NANOS_BOUNDS: &[u64] = &[
+    25, 50, 100, 200, 400, 800, 1_600, 3_200, 6_400, 12_800, 25_600, 51_200, 102_400, 204_800,
+];

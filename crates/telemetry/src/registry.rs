@@ -1,20 +1,27 @@
 //! The metric registry: named counters, gauges and histograms over
-//! lock-free `AtomicU64` cells.
+//! lock-free, cacheline-sharded atomic cells.
 //!
 //! Registration takes a short mutex to update the name map; the handles
-//! it returns are clones of `Arc<AtomicU64>` cells, so recording on the
-//! hot path is a relaxed atomic add with no lock anywhere. A shared
-//! `&Registry` (or a cloned handle) therefore works unchanged from
-//! future parallel workloads.
+//! it returns are clones of `Arc`-shared cells, so recording on the hot
+//! path is a relaxed atomic add with no lock anywhere. Counters and
+//! histograms are **sharded** ([`crate::shard`]): each recording thread
+//! writes its own cacheline-padded cell and the shards are merged only
+//! when something reads — `get()`, `snapshot()`, an exporter, the
+//! scrape server. A shared `&Registry` (or a cloned handle) therefore
+//! works unchanged from parallel workloads, with no cross-core
+//! cacheline traffic on the record path.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// A monotonically increasing counter.
+use crate::shard::{shard_index, ShardedU64, SHARDS};
+
+/// A monotonically increasing counter. Sharded: `inc`/`add` touch only
+/// the calling thread's cell; `get` merges at read time.
 #[derive(Debug, Clone, Default)]
 pub struct Counter {
-    cell: Arc<AtomicU64>,
+    cell: Arc<ShardedU64>,
 }
 
 impl Counter {
@@ -26,29 +33,30 @@ impl Counter {
     /// Adds one.
     #[inline]
     pub fn inc(&self) {
-        self.cell.fetch_add(1, Ordering::Relaxed);
+        self.cell.add(1);
     }
 
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.cell.fetch_add(n, Ordering::Relaxed);
+        self.cell.add(n);
     }
 
-    /// The current value.
+    /// The current value (merged across shards).
     pub fn get(&self) -> u64 {
-        self.cell.load(Ordering::Relaxed)
+        self.cell.sum()
     }
 
     /// Resets to zero (e.g. after a warm-up phase).
     pub fn reset(&self) {
-        self.cell.store(0, Ordering::Relaxed);
+        self.cell.reset();
     }
 }
 
 /// A gauge: an arbitrary value that can go up and down. Stored as the
 /// bit pattern of an `f64` so fractions (hit rates, problematic
-/// fractions) fit alongside sizes.
+/// fractions) fit alongside sizes. Gauges are *set*, not accumulated,
+/// so they stay a single cell — sharding has nothing to merge.
 #[derive(Debug, Clone)]
 pub struct Gauge {
     bits: Arc<AtomicU64>,
@@ -78,19 +86,53 @@ impl Gauge {
     }
 }
 
+/// One shard of a histogram: its own buckets, sum and count, alone on
+/// its cachelines so concurrent observers never write a line another
+/// observer reads. `count` is incremented **last, with Release** — the
+/// snapshot's consistency anchor (see [`Histogram::snapshot`]).
+#[repr(align(64))]
+#[derive(Debug)]
+struct HistShard {
+    /// `bounds.len() + 1` cells; the last is the overflow (`+Inf`).
+    buckets: Box<[AtomicU64]>,
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl HistShard {
+    fn new(buckets: usize) -> Self {
+        HistShard {
+            buckets: (0..buckets).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
 /// A fixed-bucket histogram with inclusive upper bounds and an overflow
-/// bucket, plus running `sum` and `count`.
+/// bucket, plus running `sum` and `count`, sharded per recording
+/// thread.
 ///
 /// `observe(v)` increments the first bucket whose bound satisfies
 /// `v <= bound`, or the overflow bucket when `v` exceeds every bound —
 /// Prometheus `le` semantics.
+///
+/// **Snapshot consistency.** An observation is three stores (bucket,
+/// sum, count); a concurrent scrape could once see `count != Σ buckets`
+/// and render a histogram whose `_count` line disagreed with its own
+/// cumulative buckets. The fix is ordered: `observe` bumps the bucket
+/// and sum first and the count **last with Release**; `snapshot` reads
+/// each shard's count **first with Acquire** (so every counted
+/// observation's bucket increment is visible) and then clamps the
+/// bucket counts down to the count, trimming in-flight observations
+/// that had reached their bucket but not yet the count. Every snapshot
+/// therefore satisfies `Σ counts == count` exactly. (`sum` may still
+/// momentarily include an in-flight value — the same benign skew real
+/// Prometheus client libraries exhibit.)
 #[derive(Debug, Clone)]
 pub struct Histogram {
     bounds: Arc<Vec<u64>>,
-    /// `bounds.len() + 1` cells; the last is the overflow (`+Inf`).
-    buckets: Arc<Vec<AtomicU64>>,
-    sum: Arc<AtomicU64>,
-    count: Arc<AtomicU64>,
+    shards: Arc<Vec<HistShard>>,
 }
 
 impl Histogram {
@@ -105,20 +147,21 @@ impl Histogram {
             "histogram bounds must be strictly increasing"
         );
         Histogram {
+            shards: Arc::new((0..SHARDS).map(|_| HistShard::new(bounds.len() + 1)).collect()),
             bounds: Arc::new(bounds.to_vec()),
-            buckets: Arc::new((0..=bounds.len()).map(|_| AtomicU64::new(0)).collect()),
-            sum: Arc::new(AtomicU64::new(0)),
-            count: Arc::new(AtomicU64::new(0)),
         }
     }
 
-    /// Records one observation.
+    /// Records one observation (into the calling thread's shard only).
     #[inline]
     pub fn observe(&self, v: u64) {
         let i = self.bounds.partition_point(|&b| b < v);
-        self.buckets[i].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.count.fetch_add(1, Ordering::Relaxed);
+        let shard = &self.shards[shard_index()];
+        shard.buckets[i].fetch_add(1, Ordering::Relaxed);
+        shard.sum.fetch_add(v, Ordering::Relaxed);
+        // Last, with Release: once a reader acquires this increment it
+        // also sees the bucket and sum increments above.
+        shard.count.fetch_add(1, Ordering::Release);
     }
 
     /// The configured inclusive upper bounds (without the overflow).
@@ -128,12 +171,12 @@ impl Histogram {
 
     /// Number of observations.
     pub fn count(&self) -> u64 {
-        self.count.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.count.load(Ordering::Acquire)).sum()
     }
 
     /// Sum of all observed values.
     pub fn sum(&self) -> u64 {
-        self.sum.load(Ordering::Relaxed)
+        self.shards.iter().map(|s| s.sum.load(Ordering::Relaxed)).sum()
     }
 
     /// Mean observed value (0.0 when empty).
@@ -146,33 +189,60 @@ impl Histogram {
         }
     }
 
-    /// A consistent-enough copy of the bucket counts (per-bucket counts
-    /// including the final overflow bucket).
+    /// A consistent copy of the per-bucket counts (including the final
+    /// overflow bucket): `Σ counts == count()` as observed by one
+    /// coherent snapshot. Routed through [`Self::snapshot`].
     pub fn bucket_counts(&self) -> Vec<u64> {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+        self.snapshot().counts
     }
 
-    /// A point-in-time snapshot.
+    /// A point-in-time snapshot with `Σ counts == count` guaranteed;
+    /// see the type docs for the ordering argument.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        HistogramSnapshot {
-            bounds: self.bounds.as_slice().to_vec(),
-            counts: self.bucket_counts(),
-            sum: self.sum(),
-            count: self.count(),
+        let mut counts = vec![0u64; self.bounds.len() + 1];
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        for shard in self.shards.iter() {
+            // Count first (Acquire): every observation included in it
+            // has already published its bucket increment.
+            let c = shard.count.load(Ordering::Acquire);
+            let mut shard_counts: Vec<u64> =
+                shard.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+            // Trim in-flight observations (bucket bumped, count not
+            // yet): remove the excess from the highest buckets down so
+            // the shard's bucket total equals its count.
+            let mut excess = shard_counts.iter().sum::<u64>().saturating_sub(c);
+            for b in shard_counts.iter_mut().rev() {
+                if excess == 0 {
+                    break;
+                }
+                let trim = excess.min(*b);
+                *b -= trim;
+                excess -= trim;
+            }
+            for (m, s) in counts.iter_mut().zip(&shard_counts) {
+                *m += s;
+            }
+            sum += shard.sum.load(Ordering::Relaxed);
+            count += c;
         }
+        HistogramSnapshot { bounds: self.bounds.as_slice().to_vec(), counts, sum, count }
     }
 
-    /// Resets every cell to zero.
+    /// Resets every cell in every shard to zero.
     pub fn reset(&self) {
-        for b in self.buckets.iter() {
-            b.store(0, Ordering::Relaxed);
+        for shard in self.shards.iter() {
+            for b in shard.buckets.iter() {
+                b.store(0, Ordering::Relaxed);
+            }
+            shard.sum.store(0, Ordering::Relaxed);
+            shard.count.store(0, Ordering::Relaxed);
         }
-        self.sum.store(0, Ordering::Relaxed);
-        self.count.store(0, Ordering::Relaxed);
     }
 }
 
-/// A point-in-time copy of a [`Histogram`].
+/// A point-in-time copy of a [`Histogram`], internally consistent:
+/// `Σ counts == count` (see [`Histogram::snapshot`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistogramSnapshot {
     /// Inclusive upper bounds (without the overflow bucket).
@@ -183,6 +253,53 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Number of observations.
     pub count: u64,
+}
+
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear
+    /// interpolation inside the bucket holding the target rank — the
+    /// same estimator as Prometheus's `histogram_quantile`. Bucket `i`
+    /// spans `(bounds[i-1], bounds[i]]` (the first spans `[0,
+    /// bounds[0]]`); ranks landing in the overflow bucket report the
+    /// highest finite bound, since the overflow has no upper edge to
+    /// interpolate toward. Returns 0.0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if c > 0 && cum as f64 >= rank {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: no finite upper edge.
+                    return self.bounds.last().copied().unwrap_or(0) as f64;
+                }
+                let upper = self.bounds[i] as f64;
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] as f64 };
+                let frac = ((rank - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+        }
+        self.bounds.last().copied().unwrap_or(0) as f64
+    }
+
+    /// The median estimate; see [`Self::quantile`].
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile estimate; see [`Self::quantile`].
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile estimate; see [`Self::quantile`].
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
 }
 
 /// One registered metric (as stored and snapshotted).
@@ -471,5 +588,110 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(c.get(), 4000);
+    }
+
+    #[test]
+    fn sharded_histogram_merges_across_threads() {
+        let h = Histogram::new(&[1, 2, 4]);
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.observe((t + i) % 6);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 4000);
+        assert_eq!(snap.counts.iter().sum::<u64>(), 4000);
+    }
+
+    /// The satellite regression: a scrape racing live `observe` calls
+    /// must never see `count != Σ buckets`. Writers hammer one shared
+    /// histogram while a reader snapshots continuously; every snapshot
+    /// must be internally consistent, and the final state exact.
+    #[test]
+    fn snapshots_are_internally_consistent_under_concurrent_observes() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let h = Histogram::new(&[1, 2, 4, 8]);
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50_000u64 {
+                        h.observe((t * 3 + i) % 10);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let h = h.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut snaps = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = h.snapshot();
+                    assert_eq!(
+                        s.counts.iter().sum::<u64>(),
+                        s.count,
+                        "scrape skew: buckets disagree with count in {s:?}"
+                    );
+                    snaps += 1;
+                }
+                snaps
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        let snaps = reader.join().unwrap();
+        assert!(snaps > 0, "the reader must have raced at least one snapshot");
+        let s = h.snapshot();
+        assert_eq!(s.count, 200_000);
+        assert_eq!(s.counts.iter().sum::<u64>(), 200_000);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new(&[10, 20, 40]);
+        // 10 observations uniformly in (0, 10]: p50 interpolates to 5.
+        for _ in 0..10 {
+            h.observe(5);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 5.0);
+        assert_eq!(s.quantile(1.0), 10.0);
+
+        // Split 5 / 5 across the first two buckets: the median sits at
+        // the first bucket's upper edge.
+        let h = Histogram::new(&[10, 20]);
+        for _ in 0..5 {
+            h.observe(1);
+        }
+        for _ in 0..5 {
+            h.observe(15);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 10.0);
+        assert_eq!(s.p99(), 19.8, "0.99 * 10 = rank 9.9 → 80% into (10, 20]");
+    }
+
+    #[test]
+    fn quantiles_handle_overflow_and_empty() {
+        let h = Histogram::new(&[1, 2]);
+        assert_eq!(h.snapshot().quantile(0.5), 0.0, "empty histogram");
+        for _ in 0..10 {
+            h.observe(100); // everything in the overflow bucket
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p50(), 2.0, "overflow reports the highest finite bound");
+        assert_eq!(s.p99(), 2.0);
     }
 }

@@ -132,6 +132,14 @@ impl<A: Address, T> BinaryTrie<A, T> {
         self.nodes.iter().filter(|n| n.alive).count()
     }
 
+    /// Arena slots allocated (alive or dead), in O(1) — the
+    /// denominator for mean-bytes-per-vertex accounting on hot paths,
+    /// where [`Self::node_count`]'s full arena walk would dominate the
+    /// very lookups being measured.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
     fn node(&self, id: NodeId) -> &Node<A> {
         let n = &self.nodes[id.0 as usize];
         debug_assert!(n.alive, "dangling NodeId {id:?}");
