@@ -1,0 +1,662 @@
+//! Lock-free bounded packet channels — the inter-core fabric of the
+//! shared-nothing serving runtime.
+//!
+//! The multi-core runtime (ROADMAP item 1, after flashroute's "mutex or
+//! rwlock free; all inter-task communications through message channels
+//! or atomic operations" idiom) needs exactly two communication shapes:
+//!
+//! * a **dispatcher → worker** feed, one producer and one consumer per
+//!   link: [`spsc`], a bounded single-producer single-consumer ring;
+//! * a **workers → collector** drain, many producers and one consumer:
+//!   [`mpsc`], a bounded Vyukov-style multi-producer ring.
+//!
+//! Both are fixed-capacity rings over power-of-two buffers, with the
+//! head and tail counters on their own cache lines so the producer and
+//! consumer never write the same line in steady state. Neither ever
+//! blocks, allocates after construction, or takes a lock: full and
+//! empty are ordinary `Err`/`None` returns the caller retries (the
+//! runtime's workers yield between polls, so an idle link costs a
+//! scheduler hint, not a spin).
+//!
+//! # Memory-ordering protocol
+//!
+//! The rings are pure Release/Acquire; no fence in this module is (or
+//! needs to be) `SeqCst`:
+//!
+//! * The SPSC producer writes the slot, then publishes it with a
+//!   `Release` store of `tail`; the consumer observes `tail` with an
+//!   `Acquire` load before reading the slot, so the slot write
+//!   *happens-before* the read. Frees travel the other way through the
+//!   same pattern on `head`.
+//! * The MPSC ring tags every slot with a sequence counter: a producer
+//!   claims a slot with a `Relaxed` CAS on the enqueue counter (the
+//!   claim needs atomicity, not ordering — the slot's own sequence
+//!   carries the ordering), writes the value, then publishes with a
+//!   `Release` store of the sequence; the consumer's `Acquire` load of
+//!   the sequence is what synchronises with it.
+//! * Close/disconnect is a `Release` store (or drop-count decrement)
+//!   observed by an `Acquire` load, and the consumer re-polls the data
+//!   path *after* observing it; since the producer closed *after* its
+//!   last publish, that final poll must observe every published slot.
+//!
+//! Release/Acquire suffices throughout because every decision a thread
+//! makes here is justified by a value some *other specific* thread
+//! published — pairwise edges, never a global order over independent
+//! writes. The one store-load pattern in the workspace that does need
+//! sequential consistency is the epoch pin in [`crate::epoch`] (a
+//! reader announces its pin, *then* loads the snapshot pointer, racing
+//! a writer that swaps the pointer and *then* scans the pins); that is
+//! where the workspace's single `SeqCst` protocol lives, and the
+//! runtime inherits it only on the cold re-pin path, never per packet.
+//!
+//! Counters are monotonically increasing `usize`s (slot = counter mod
+//! capacity); at any realistic rate a 64-bit counter cannot wrap within
+//! the lifetime of a process, which the implementation relies on.
+//!
+//! This is, next to `epoch.rs`, the second module in `clue-core` that
+//! opts back into `unsafe` (slot storage is `MaybeUninit` published by
+//! the protocol above); everything else in the crate stays safe-only.
+
+#![allow(unsafe_code)]
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::atomic::{AtomicBool, AtomicUsize};
+use std::sync::Arc;
+
+/// A value alone on its cache line, so two hot counters never share one.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CachePadded<T>(T);
+
+/// Rounds a requested capacity to the ring size actually allocated:
+/// the next power of two, at least 2.
+fn ring_capacity(capacity: usize) -> usize {
+    capacity.max(2).next_power_of_two()
+}
+
+// ---------------------------------------------------------------------
+// SPSC
+// ---------------------------------------------------------------------
+
+/// Shared state of one SPSC ring.
+struct SpscShared<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot the consumer will read. Written by the consumer only.
+    head: CachePadded<AtomicUsize>,
+    /// Next slot the producer will write. Written by the producer only.
+    tail: CachePadded<AtomicUsize>,
+    closed: AtomicBool,
+}
+
+// SAFETY: the ring hands each `T` from exactly one thread to exactly
+// one other thread under the Release/Acquire protocol in the module
+// docs; sharing the ring structure itself only exposes atomics.
+unsafe impl<T: Send> Send for SpscShared<T> {}
+unsafe impl<T: Send> Sync for SpscShared<T> {}
+
+impl<T> Drop for SpscShared<T> {
+    fn drop(&mut self) {
+        // `&mut self`: both endpoints are gone, so the in-flight range
+        // [head, tail) is exclusively ours to drop.
+        let head = self.head.0.load(Relaxed);
+        let tail = self.tail.0.load(Relaxed);
+        for i in head..tail {
+            // SAFETY: every slot in [head, tail) was written by
+            // `try_send` and never read back.
+            unsafe { (*self.buf[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// Creates a bounded single-producer single-consumer ring holding at
+/// least `capacity` items (rounded up to a power of two, minimum 2).
+///
+/// The sender and receiver are independent `Send` handles: move one
+/// into the producing thread and one into the consuming thread.
+pub fn spsc<T: Send>(capacity: usize) -> (SpscSender<T>, SpscReceiver<T>) {
+    let cap = ring_capacity(capacity);
+    let buf = (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+    let shared = Arc::new(SpscShared {
+        buf,
+        mask: cap - 1,
+        head: CachePadded(AtomicUsize::new(0)),
+        tail: CachePadded(AtomicUsize::new(0)),
+        closed: AtomicBool::new(false),
+    });
+    (
+        SpscSender { shared: Arc::clone(&shared), cached_head: 0 },
+        SpscReceiver { shared, cached_tail: 0 },
+    )
+}
+
+/// Why a receive attempt returned nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The ring is momentarily empty; the producer is still attached.
+    Empty,
+    /// The producer closed (or dropped) and every item has been drained.
+    Disconnected,
+}
+
+/// The producing endpoint of an [`spsc`] ring.
+pub struct SpscSender<T> {
+    shared: Arc<SpscShared<T>>,
+    /// Local copy of the consumer's head — refreshed only when the ring
+    /// looks full, so the steady-state push never loads a line the
+    /// consumer writes.
+    cached_head: usize,
+}
+
+impl<T> SpscSender<T> {
+    /// The allocated ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Pushes one item, or hands it back if the ring is full.
+    #[inline]
+    pub fn try_send(&mut self, item: T) -> Result<(), T> {
+        let tail = self.shared.tail.0.load(Relaxed); // own counter
+        if tail.wrapping_sub(self.cached_head) > self.shared.mask {
+            self.cached_head = self.shared.head.0.load(Acquire);
+            if tail.wrapping_sub(self.cached_head) > self.shared.mask {
+                return Err(item);
+            }
+        }
+        // SAFETY: [cached_head, tail] spans less than the capacity, so
+        // slot `tail` is free: the consumer will not read it until the
+        // Release store below, and we are the only producer.
+        unsafe { (*self.shared.buf[tail & self.shared.mask].get()).write(item) };
+        self.shared.tail.0.store(tail.wrapping_add(1), Release);
+        Ok(())
+    }
+
+    /// Pushes items from `items` until the ring is full or the iterator
+    /// ends, publishing them all with **one** `Release` store — the
+    /// batch amortisation of the protocol. Returns how many were sent.
+    pub fn send_batch(&mut self, items: &mut impl Iterator<Item = T>) -> usize {
+        let tail = self.shared.tail.0.load(Relaxed);
+        self.cached_head = self.shared.head.0.load(Acquire);
+        let free = self.capacity() - tail.wrapping_sub(self.cached_head);
+        let mut sent = 0;
+        while sent < free {
+            let Some(item) = items.next() else { break };
+            let slot = tail.wrapping_add(sent);
+            // SAFETY: `slot` lies in the free region computed above.
+            unsafe { (*self.shared.buf[slot & self.shared.mask].get()).write(item) };
+            sent += 1;
+        }
+        if sent > 0 {
+            self.shared.tail.0.store(tail.wrapping_add(sent), Release);
+        }
+        sent
+    }
+
+    /// Marks the stream finished. The consumer drains the remaining
+    /// items, then observes [`TryRecvError::Disconnected`]. Dropping
+    /// the sender closes implicitly.
+    pub fn close(&mut self) {
+        self.shared.closed.store(true, Release);
+    }
+}
+
+impl<T> Drop for SpscSender<T> {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+impl<T> std::fmt::Debug for SpscSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscSender").field("capacity", &self.capacity()).finish()
+    }
+}
+
+/// The consuming endpoint of an [`spsc`] ring.
+pub struct SpscReceiver<T> {
+    shared: Arc<SpscShared<T>>,
+    /// Local copy of the producer's tail — refreshed only when the ring
+    /// looks empty (mirror of the sender's cached head).
+    cached_tail: usize,
+}
+
+impl<T> SpscReceiver<T> {
+    /// The allocated ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<T> {
+        let head = self.shared.head.0.load(Relaxed); // own counter
+        if head == self.cached_tail {
+            self.cached_tail = self.shared.tail.0.load(Acquire);
+            if head == self.cached_tail {
+                return None;
+            }
+        }
+        // SAFETY: head < cached_tail, so slot `head` was published by
+        // the producer's Release store and is ours to take.
+        let item = unsafe { (*self.shared.buf[head & self.shared.mask].get()).assume_init_read() };
+        self.shared.head.0.store(head.wrapping_add(1), Release);
+        Some(item)
+    }
+
+    /// Pops one item; distinguishes a momentarily-empty ring from a
+    /// closed-and-drained one (the close/re-poll protocol from the
+    /// module docs).
+    #[inline]
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        if let Some(item) = self.pop() {
+            return Ok(item);
+        }
+        if !self.shared.closed.load(Acquire) {
+            return Err(TryRecvError::Empty);
+        }
+        // The producer closed *after* its last publish: one more poll
+        // (which re-reads `tail` with Acquire) sees anything we raced.
+        self.pop().ok_or(TryRecvError::Disconnected)
+    }
+
+    /// Pops up to `max` items into `out`, consuming them all under
+    /// **one** `Release` store of the head. Returns how many arrived.
+    pub fn recv_batch(&mut self, out: &mut Vec<T>, max: usize) -> usize {
+        let head = self.shared.head.0.load(Relaxed);
+        self.cached_tail = self.shared.tail.0.load(Acquire);
+        let available = self.cached_tail.wrapping_sub(head).min(max);
+        for i in 0..available {
+            // SAFETY: the whole range [head, head+available) is below
+            // the Acquire-loaded tail.
+            let item = unsafe {
+                (*self.shared.buf[head.wrapping_add(i) & self.shared.mask].get())
+                    .assume_init_read()
+            };
+            out.push(item);
+        }
+        if available > 0 {
+            self.shared.head.0.store(head.wrapping_add(available), Release);
+        }
+        available
+    }
+}
+
+impl<T> std::fmt::Debug for SpscReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscReceiver").field("capacity", &self.capacity()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// MPSC
+// ---------------------------------------------------------------------
+
+/// One slot of the MPSC ring: the sequence counter is the per-slot
+/// publication protocol (see the module docs).
+struct MpscSlot<T> {
+    seq: AtomicUsize,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+/// Shared state of one MPSC ring.
+struct MpscShared<T> {
+    buf: Box<[MpscSlot<T>]>,
+    mask: usize,
+    /// Next enqueue position; producers claim slots by CAS here.
+    enqueue: CachePadded<AtomicUsize>,
+    /// Next dequeue position; written by the single consumer only.
+    dequeue: CachePadded<AtomicUsize>,
+    /// Live sender handles; 0 = disconnected.
+    senders: AtomicUsize,
+}
+
+// SAFETY: as for SPSC — values cross threads only through the slot
+// sequence protocol, which orders the value write before the read.
+unsafe impl<T: Send> Send for MpscShared<T> {}
+unsafe impl<T: Send> Sync for MpscShared<T> {}
+
+impl<T> Drop for MpscShared<T> {
+    fn drop(&mut self) {
+        let mut pos = self.dequeue.0.load(Relaxed);
+        // Drain every published-but-unconsumed slot. Claimed-but-never-
+        // published slots cannot exist here: a producer publishes before
+        // releasing its sender handle.
+        while self.buf[pos & self.mask].seq.load(Relaxed) == pos.wrapping_add(1) {
+            // SAFETY: sequence pos+1 marks a published, unread value.
+            unsafe { (*self.buf[pos & self.mask].value.get()).assume_init_drop() };
+            pos = pos.wrapping_add(1);
+        }
+    }
+}
+
+/// Creates a bounded multi-producer single-consumer ring holding at
+/// least `capacity` items (rounded up to a power of two, minimum 2).
+///
+/// Clone the sender once per producing thread; the single receiver
+/// observes [`TryRecvError::Disconnected`] once every sender has been
+/// dropped and the ring is drained.
+pub fn mpsc<T: Send>(capacity: usize) -> (MpscSender<T>, MpscReceiver<T>) {
+    let cap = ring_capacity(capacity);
+    let buf = (0..cap)
+        .map(|i| MpscSlot { seq: AtomicUsize::new(i), value: UnsafeCell::new(MaybeUninit::uninit()) })
+        .collect();
+    let shared = Arc::new(MpscShared {
+        buf,
+        mask: cap - 1,
+        enqueue: CachePadded(AtomicUsize::new(0)),
+        dequeue: CachePadded(AtomicUsize::new(0)),
+        senders: AtomicUsize::new(1),
+    });
+    (MpscSender { shared: Arc::clone(&shared) }, MpscReceiver { shared })
+}
+
+/// A producing endpoint of an [`mpsc`] ring; clone one per producer.
+pub struct MpscSender<T> {
+    shared: Arc<MpscShared<T>>,
+}
+
+impl<T> MpscSender<T> {
+    /// The allocated ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    /// Pushes one item, or hands it back if the ring is full.
+    pub fn try_send(&self, item: T) -> Result<(), T> {
+        loop {
+            let pos = self.shared.enqueue.0.load(Relaxed);
+            let slot = &self.shared.buf[pos & self.shared.mask];
+            let seq = slot.seq.load(Acquire);
+            if seq == pos {
+                // Free slot: claim it. The CAS needs atomicity only —
+                // the ordering that matters is the sequence publish.
+                if self
+                    .shared
+                    .enqueue
+                    .0
+                    .compare_exchange_weak(pos, pos.wrapping_add(1), Relaxed, Relaxed)
+                    .is_ok()
+                {
+                    // SAFETY: the successful CAS makes this thread the
+                    // unique claimant of slot `pos`.
+                    unsafe { (*slot.value.get()).write(item) };
+                    slot.seq.store(pos.wrapping_add(1), Release);
+                    return Ok(());
+                }
+                // Lost the claim race; retry at the new position.
+            } else if seq < pos {
+                // The slot still holds an element a full lap behind:
+                // the ring is full.
+                return Err(item);
+            }
+            // seq > pos: another producer advanced past us between the
+            // two loads; retry.
+        }
+    }
+}
+
+impl<T> Clone for MpscSender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Relaxed);
+        MpscSender { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> Drop for MpscSender<T> {
+    fn drop(&mut self) {
+        self.shared.senders.fetch_sub(1, Release);
+    }
+}
+
+impl<T> std::fmt::Debug for MpscSender<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscSender").field("capacity", &self.capacity()).finish()
+    }
+}
+
+/// The consuming endpoint of an [`mpsc`] ring.
+pub struct MpscReceiver<T> {
+    shared: Arc<MpscShared<T>>,
+}
+
+// SAFETY: the receiver is a handle to the shared ring; moving it moves
+// only the consumer role.
+unsafe impl<T: Send> Send for MpscReceiver<T> {}
+
+impl<T> MpscReceiver<T> {
+    /// The allocated ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.shared.mask + 1
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<T> {
+        let pos = self.shared.dequeue.0.load(Relaxed); // own counter
+        let slot = &self.shared.buf[pos & self.shared.mask];
+        if slot.seq.load(Acquire) != pos.wrapping_add(1) {
+            return None; // empty, or a producer is mid-publish
+        }
+        // SAFETY: sequence pos+1 marks slot `pos` published and unread,
+        // and we are the only consumer.
+        let item = unsafe { (*slot.value.get()).assume_init_read() };
+        // Hand the slot back one lap ahead.
+        slot.seq.store(pos.wrapping_add(self.shared.mask + 1), Release);
+        self.shared.dequeue.0.store(pos.wrapping_add(1), Relaxed);
+        Some(item)
+    }
+
+    /// Pops one item; distinguishes a momentarily-empty ring from one
+    /// whose every sender has disconnected after draining.
+    pub fn try_recv(&mut self) -> Result<T, TryRecvError> {
+        if let Some(item) = self.pop() {
+            return Ok(item);
+        }
+        if self.shared.senders.load(Acquire) > 0 {
+            return Err(TryRecvError::Empty);
+        }
+        // Senders all released *after* their last publish: one more
+        // poll observes anything we raced (same argument as SPSC).
+        self.pop().ok_or(TryRecvError::Disconnected)
+    }
+}
+
+impl<T> std::fmt::Debug for MpscReceiver<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MpscReceiver").field("capacity", &self.capacity()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_round_up_to_powers_of_two() {
+        let (tx, rx) = spsc::<u8>(3);
+        assert_eq!(tx.capacity(), 4);
+        assert_eq!(rx.capacity(), 4);
+        let (tx, rx) = mpsc::<u8>(0);
+        assert_eq!(tx.capacity(), 2);
+        assert_eq!(rx.capacity(), 2);
+    }
+
+    #[test]
+    fn spsc_single_thread_order_and_backpressure() {
+        let (mut tx, mut rx) = spsc::<u32>(4);
+        for i in 0..4 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(tx.try_send(99), Err(99), "full ring refuses");
+        assert_eq!(rx.try_recv(), Ok(0));
+        tx.try_send(4).unwrap(); // freed slot is reusable
+        for want in 1..=4 {
+            assert_eq!(rx.try_recv(), Ok(want));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.close();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn spsc_batch_operations_move_everything() {
+        let (mut tx, mut rx) = spsc::<usize>(8);
+        let mut items = 0..20usize;
+        assert_eq!(tx.send_batch(&mut items), 8, "fills to capacity");
+        let mut out = Vec::new();
+        assert_eq!(rx.recv_batch(&mut out, 3), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(tx.send_batch(&mut items), 3, "refills the freed slots");
+        assert_eq!(rx.recv_batch(&mut out, usize::MAX), 8);
+        assert_eq!(out, (0..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spsc_drop_releases_undrained_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Noisy;
+        impl Drop for Noisy {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (mut tx, mut rx) = spsc::<Noisy>(4);
+        for _ in 0..3 {
+            tx.try_send(Noisy).unwrap();
+        }
+        drop(rx.try_recv().unwrap()); // one consumed
+        drop((tx, rx));
+        assert_eq!(DROPS.load(Ordering::Relaxed), 3, "2 in-flight + 1 consumed");
+    }
+
+    #[test]
+    fn spsc_cross_thread_stress_preserves_every_item() {
+        // A producer pushes 10^6 sequenced items through a small ring;
+        // the consumer verifies order, count and checksum — any lost,
+        // duplicated or torn item breaks one of the three.
+        const ITEMS: u64 = 1_000_000;
+        let (mut tx, mut rx) = spsc::<u64>(256);
+        let producer = std::thread::spawn(move || {
+            let mut next = 0u64;
+            while next < ITEMS {
+                match tx.try_send(next) {
+                    Ok(()) => next += 1,
+                    Err(_) => std::thread::yield_now(),
+                }
+            }
+        });
+        let (mut count, mut sum, mut expect) = (0u64, 0u64, 0u64);
+        let mut buf = Vec::with_capacity(64);
+        loop {
+            buf.clear();
+            if rx.recv_batch(&mut buf, 64) == 0 {
+                match rx.try_recv() {
+                    Ok(v) => buf.push(v),
+                    Err(TryRecvError::Empty) => {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            for &v in &buf {
+                assert_eq!(v, expect, "reordered or duplicated item");
+                expect += 1;
+                count += 1;
+                sum = sum.wrapping_add(v);
+            }
+        }
+        producer.join().unwrap();
+        assert_eq!(count, ITEMS);
+        assert_eq!(sum, (0..ITEMS).fold(0u64, u64::wrapping_add));
+    }
+
+    #[test]
+    fn mpsc_single_thread_fills_and_disconnects() {
+        let (tx, mut rx) = mpsc::<u32>(4);
+        let tx2 = tx.clone();
+        for i in 0..4 {
+            tx.try_send(i).unwrap();
+        }
+        assert_eq!(tx2.try_send(9), Err(9), "full ring refuses");
+        assert_eq!(rx.try_recv(), Ok(0));
+        tx2.try_send(4).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(1));
+        drop(tx2);
+        for want in 2..=4 {
+            assert_eq!(rx.try_recv(), Ok(want));
+        }
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn mpsc_multi_producer_stress_preserves_every_item() {
+        // 4 producers × 250k items through a small ring: per-producer
+        // streams must stay ordered, and the union must be exact.
+        const PER: u64 = 250_000;
+        const PRODUCERS: u64 = 4;
+        let (tx, mut rx) = mpsc::<(u64, u64)>(128);
+        let handles: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER {
+                        let mut item = (p, i);
+                        while let Err(back) = tx.try_send(item) {
+                            item = back;
+                            std::thread::yield_now();
+                        }
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let mut next = [0u64; PRODUCERS as usize];
+        let mut total = 0u64;
+        loop {
+            match rx.try_recv() {
+                Ok((p, i)) => {
+                    assert_eq!(i, next[p as usize], "producer {p} stream reordered");
+                    next[p as usize] += 1;
+                    total += 1;
+                }
+                Err(TryRecvError::Empty) => std::thread::yield_now(),
+                Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(total, PER * PRODUCERS);
+        assert!(next.iter().all(|&n| n == PER));
+    }
+
+    #[test]
+    fn mpsc_drop_releases_undrained_items() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        #[derive(Debug)]
+        struct Noisy;
+        impl Drop for Noisy {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let (tx, rx) = mpsc::<Noisy>(8);
+        for _ in 0..5 {
+            tx.try_send(Noisy).unwrap();
+        }
+        drop((tx, rx));
+        assert_eq!(DROPS.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn hot_counters_sit_on_their_own_cache_lines() {
+        assert_eq!(core::mem::align_of::<CachePadded<AtomicUsize>>(), 64);
+        assert_eq!(core::mem::size_of::<CachePadded<AtomicUsize>>(), 64);
+    }
+}

@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod channel;
 mod classify;
 mod clue;
 mod engine;
@@ -80,6 +81,9 @@ mod stride;
 mod table;
 
 pub use cache::{CacheStats, ClueCache, LruCache, PresenceCache};
+pub use channel::{
+    mpsc, spsc, MpscReceiver, MpscSender, SpscReceiver, SpscSender, TryRecvError,
+};
 pub use classify::{classify, classify_all, problematic_fraction, Classification};
 pub use clue::{ClueHeader, EncodedClue};
 pub use engine::{ClueEngine, EngineConfig, EngineStats, Method};
@@ -89,7 +93,7 @@ pub use profile::{Stage, StageAccum, StageProfiler};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use soundness::{check_soundness, Divergence, SoundnessReport};
 pub use stride::{
-    StrideConfig, StrideEngine, StrideError, DEFAULT_INITIAL_BITS, DEFAULT_INNER_BITS,
-    DEFAULT_INTERLEAVE,
+    PreparedLookup, StrideConfig, StrideEngine, StrideError, DEFAULT_INITIAL_BITS,
+    DEFAULT_INNER_BITS, DEFAULT_INTERLEAVE, NO_TAG,
 };
 pub use table::{CandidateRange, ClueEntry, ClueIndexer, ClueTable, Continuation, TableKind};

@@ -266,6 +266,17 @@ enum PacketOp {
     Probe { k: u32, len: u8 },
 }
 
+/// An opaque decoded lookup with its first probe line already
+/// requested from memory — the caller-driven form of the interleaved
+/// batch loop's two passes, for callers that interleave *walks* rather
+/// than flat batches (see [`StrideEngine::lookup_prepare`]).
+#[derive(Clone, Copy)]
+pub struct PreparedLookup(PacketOp);
+
+/// “No match” sentinel returned by
+/// [`StrideEngine::lookup_finish_tag`]; every real tag is below it.
+pub const NO_TAG: u32 = NO_ROUTE;
+
 /// Fibonacci multiply-shift over the (masked) clue bits; the high bits
 /// of the product index the bucket window.
 #[inline]
@@ -291,7 +302,11 @@ pub struct StrideEngine<A: Address> {
     /// honor the Claim-1 bit at single-bit granularity from arbitrary
     /// clue depths, which a fixed-stride layout cannot express.
     bin_nodes: Vec<FrozenNode>,
-    /// Route prefixes referenced by every route word.
+    /// Tag → prefix table: the route prefixes referenced by every
+    /// route word first (a route word's index *is* its tag), then any
+    /// FD prefixes that are not themselves routes, so every payload
+    /// the engine can resolve to has exactly one tag. See
+    /// [`Self::tag_prefixes`].
     routes: Vec<Prefix<A>>,
     /// Per-length probe windows into `bucket_slots`, indexed by clue
     /// length (`A::BITS + 1` descriptors — ≤33 for IPv4).
@@ -299,6 +314,10 @@ pub struct StrideEngine<A: Address> {
     /// All length windows back to back; slot 0 is the shared empty
     /// sentinel that zero-clue lengths point at.
     bucket_slots: Vec<BucketSlot<A>>,
+    /// Per-bucket-slot FD tag into `routes` ([`NO_TAG`] when the slot
+    /// has none) — the tagged twin of the inlined `fd_bits`/`fd_len`
+    /// payload, kept parallel rather than widening the probed slot.
+    bucket_fd_tags: Vec<u32>,
     telemetry: Option<LookupTelemetry>,
     stride_telemetry: Option<StrideTelemetry>,
 }
@@ -430,6 +449,12 @@ impl<A: Address> FrozenEngine<A> {
         let entries = self.raw_entries();
         let mut bucket_desc = Vec::with_capacity(by_len.len());
         let mut bucket_slots = vec![vacant];
+        let mut bucket_fd_tags = vec![NO_TAG];
+        // Tag assignment: route prefixes keep their route-word index;
+        // FD prefixes that are not routes get fresh tags appended.
+        let mut routes = self.raw_routes().to_vec();
+        let mut tag_of: HashMap<Prefix<A>, u32> =
+            routes.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
         for keys in by_len {
             if keys.is_empty() {
                 bucket_desc.push(EMPTY_DESC);
@@ -442,6 +467,7 @@ impl<A: Address> FrozenEngine<A> {
                 shift: 64 - cap.trailing_zeros(),
             };
             bucket_slots.resize(bucket_slots.len() + cap, vacant);
+            bucket_fd_tags.resize(bucket_slots.len(), NO_TAG);
             for (bits, entry) in keys {
                 let e = &entries[entry as usize];
                 let cont = if e.cont == NONE_NODE { FINAL_SLOT } else { e.cont };
@@ -449,11 +475,21 @@ impl<A: Address> FrozenEngine<A> {
                     Some(p) => (p.bits(), p.len()),
                     None => (A::ZERO, NO_FD),
                 };
+                let fd_tag = match e.fd {
+                    Some(p) => *tag_of.entry(p).or_insert_with(|| {
+                        let t = u32::try_from(routes.len()).expect("tag count fits u32");
+                        assert!(t < NO_TAG, "tag count fits 31 bits");
+                        routes.push(p);
+                        t
+                    }),
+                    None => NO_TAG,
+                };
                 let mut k = (fold_hash(bits) >> desc.shift) as u32;
                 loop {
                     let i = (desc.offset + (k & desc.mask)) as usize;
                     if bucket_slots[i].cont == EMPTY_SLOT {
                         bucket_slots[i] = BucketSlot { key: bits, fd_bits, cont, fd_len };
+                        bucket_fd_tags[i] = fd_tag;
                         break;
                     }
                     debug_assert!(bucket_slots[i].key != bits, "duplicate clue in bucket");
@@ -470,9 +506,10 @@ impl<A: Address> FrozenEngine<A> {
             inner,
             slots,
             bin_nodes: nodes.to_vec(),
-            routes: self.raw_routes().to_vec(),
+            routes,
             bucket_desc,
             bucket_slots,
+            bucket_fd_tags,
             telemetry: self.telemetry().cloned(),
             stride_telemetry: None,
         })
@@ -511,6 +548,7 @@ impl<A: Address> StrideEngine<A> {
             + self.routes.len() * core::mem::size_of::<Prefix<A>>()
             + self.bucket_desc.len() * core::mem::size_of::<BucketDesc>()
             + self.bucket_slots.len() * core::mem::size_of::<BucketSlot<A>>()
+            + self.bucket_fd_tags.len() * core::mem::size_of::<u32>()
     }
 
     /// Replaces the inherited per-lookup telemetry bundle.
@@ -521,6 +559,19 @@ impl<A: Address> StrideEngine<A> {
     /// Attaches the stride-path bundle (batch/group/prefetch counters).
     pub fn attach_stride_telemetry(&mut self, telemetry: StrideTelemetry) {
         self.stride_telemetry = Some(telemetry);
+    }
+
+    /// A private per-core replica of this engine: the full compiled
+    /// tables, with both telemetry bundles detached so a worker owns no
+    /// handle into shared registries — the serving runtime attributes
+    /// its own counts through sharded cells instead. The compiled
+    /// arrays are plain `Vec`s, so the clone shares nothing with the
+    /// original.
+    pub fn replicate(&self) -> StrideEngine<A> {
+        let mut replica = self.clone();
+        replica.telemetry = None;
+        replica.stride_telemetry = None;
+        replica
     }
 
     /// The attached per-lookup telemetry, if any.
@@ -851,6 +902,147 @@ impl<A: Address> StrideEngine<A> {
                 }
             }
         }
+    }
+
+    /// Decodes one packet and prefetches the cache line its lookup
+    /// will start from, without resolving it — the caller-driven form
+    /// of the interleaved batch loop, for callers whose packets are
+    /// not adjacent in a flat batch (e.g. interleaved trie *walks*
+    /// where each packet is at a different router). Resolve with
+    /// [`Self::lookup_finish`], passing the same `dest` and `clue`;
+    /// the longer the caller waits between the two, the more of the
+    /// fetch latency is hidden.
+    #[inline]
+    pub fn lookup_prepare(&self, dest: A, clue: Option<Prefix<A>>) -> PreparedLookup {
+        PreparedLookup(self.decode_packet(dest, clue))
+    }
+
+    /// Resolves a lookup decoded by [`Self::lookup_prepare`]: same
+    /// `(bmp, class)` and same [`Cost`] charges as [`Self::lookup`]
+    /// on the same `(dest, clue)`.
+    #[inline]
+    pub fn lookup_finish(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        self.finish_packet(op.0, dest, clue, cost)
+    }
+
+    /// [`Self::common_walk`], resolving to the deepest route *word*
+    /// ([`NO_TAG`] when nothing matched) instead of loading the route
+    /// prefix at every deepening step.
+    #[inline(never)]
+    fn common_walk_tag(&self, dest: A, cost: &mut Cost) -> u32 {
+        let slot = &self.root[self.root_index(dest)];
+        cost.trie_nodes += u64::from(slot.consumed);
+        let mut best = slot.route_word & NO_ROUTE;
+        let mut node = slot.next;
+        while node != NONE_NODE {
+            let n = &self.inner[node as usize];
+            let i = n.first_slot as usize + Self::chunk(dest, n.base, n.width);
+            let slot = &self.slots[i];
+            cost.trie_nodes += u64::from(slot.consumed);
+            let r = slot.route_word & NO_ROUTE;
+            if r != NO_ROUTE {
+                best = r;
+            }
+            node = slot.child;
+        }
+        best
+    }
+
+    /// [`Self::walk_from`], resolving to the deepest route word
+    /// ([`NO_TAG`] when nothing matched). Identical charges.
+    #[inline(never)]
+    fn walk_from_tag(&self, start: u32, mut depth: u8, dest: A, cost: &mut Cost) -> u32 {
+        let mut cur = &self.bin_nodes[start as usize];
+        cost.trie_node();
+        let mut best = cur.route_word & NO_ROUTE;
+        loop {
+            if !cur.may_continue() || depth >= A::BITS {
+                break;
+            }
+            let c = cur.children[dest.bit(depth) as usize];
+            if c == NONE_NODE {
+                break;
+            }
+            cur = &self.bin_nodes[c as usize];
+            depth += 1;
+            cost.trie_node();
+            let r = cur.route_word & NO_ROUTE;
+            if r != NO_ROUTE {
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// [`Self::bucket_get_from`], returning the absolute slot index so
+    /// the caller can also read the parallel `bucket_fd_tags` entry.
+    #[inline]
+    fn bucket_probe_from(&self, len: u8, bits: A, mut k: u32) -> Option<usize> {
+        let d = self.bucket_desc[len as usize];
+        loop {
+            let i = (d.offset + (k & d.mask)) as usize;
+            let slot = &self.bucket_slots[i];
+            if slot.cont == EMPTY_SLOT {
+                return None;
+            }
+            if slot.key == bits {
+                return Some(i);
+            }
+            k = k.wrapping_add(1);
+        }
+    }
+
+    /// As [`Self::lookup_finish`], resolving to a *tag* instead of a
+    /// prefix: the winning payload's index in [`Self::tag_prefixes`],
+    /// or [`NO_TAG`] for no match. `tag_prefixes()[tag]` is exactly
+    /// the prefix `lookup_finish` would have returned, the class and
+    /// [`Cost`] charges are identical, and tags are stable for the
+    /// engine's lifetime — so a caller that post-processes every
+    /// result through a per-prefix side table (say prefix → next hop)
+    /// can index a tag-addressed array and skip the hash a prefix key
+    /// would cost on every lookup.
+    #[inline]
+    pub fn lookup_finish_tag(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (u32, LookupClass) {
+        match op.0 {
+            PacketOp::Walk(class) => (self.common_walk_tag(dest, cost), class),
+            PacketOp::Probe { k, len } => {
+                cost.hash_probe();
+                let s = clue.expect("a probe op is only decoded from a present clue");
+                match self.bucket_probe_from(len, s.bits(), k) {
+                    Some(i) => {
+                        let slot = &self.bucket_slots[i];
+                        if slot.cont == FINAL_SLOT {
+                            (self.bucket_fd_tags[i], LookupClass::Final)
+                        } else {
+                            let found = self.walk_from_tag(slot.cont, len, dest, cost);
+                            let tag =
+                                if found != NO_TAG { found } else { self.bucket_fd_tags[i] };
+                            (tag, LookupClass::Continued)
+                        }
+                    }
+                    None => (self.common_walk_tag(dest, cost), LookupClass::Miss),
+                }
+            }
+        }
+    }
+
+    /// The tag → prefix table behind [`Self::lookup_finish_tag`]: the
+    /// compiled route prefixes first (a route word's index is its
+    /// tag), then any FD prefixes that are not themselves routes.
+    pub fn tag_prefixes(&self) -> &[Prefix<A>] {
+        &self.routes
     }
 
     /// Batched lookup at the default interleave

@@ -151,6 +151,10 @@ impl<A: Address> LookupScheme<A> for LogWScheme<A> {
     fn memory_bytes(&self) -> usize {
         self.search.memory_bytes()
     }
+
+    fn clone_box(&self) -> Box<dyn LookupScheme<A> + Send + Sync> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]

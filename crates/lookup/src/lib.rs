@@ -74,4 +74,23 @@ mod tests {
             assert!(s.memory_bytes() > 0);
         }
     }
+
+    #[test]
+    fn boxed_schemes_clone_into_independent_replicas() {
+        let ps: Vec<Prefix<Ip4>> =
+            ["10.0.0.0/8", "10.1.0.0/16"].iter().map(|s| s.parse().unwrap()).collect();
+        let addr: Ip4 = "10.1.2.3".parse().unwrap();
+        for fam in Family::all_extended() {
+            let original = build_scheme(fam, &ps);
+            let replica = original.clone();
+            let (mut c1, mut c2) = (Cost::new(), Cost::new());
+            assert_eq!(
+                original.lookup(addr, &mut c1),
+                replica.lookup(addr, &mut c2),
+                "family {fam}"
+            );
+            assert_eq!(c1, c2, "replica charges identical accesses for {fam}");
+            assert_eq!(original.family(), replica.family());
+        }
+    }
 }

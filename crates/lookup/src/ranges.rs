@@ -185,6 +185,10 @@ impl<A: Address> LookupScheme<A> for BinaryScheme<A> {
     fn memory_bytes(&self) -> usize {
         self.index.memory_bytes()
     }
+
+    fn clone_box(&self) -> Box<dyn LookupScheme<A> + Send + Sync> {
+        Box::new(self.clone())
+    }
 }
 
 /// Baseline (4): B-way search over range endpoints (default B = 6).
@@ -213,6 +217,10 @@ impl<A: Address> LookupScheme<A> for BWayScheme<A> {
 
     fn memory_bytes(&self) -> usize {
         self.index.memory_bytes()
+    }
+
+    fn clone_box(&self) -> Box<dyn LookupScheme<A> + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 

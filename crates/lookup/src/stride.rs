@@ -286,6 +286,10 @@ impl<A: Address> LookupScheme<A> for StrideScheme<A> {
     fn memory_bytes(&self) -> usize {
         self.trie.memory_bytes()
     }
+
+    fn clone_box(&self) -> Box<dyn LookupScheme<A> + Send + Sync> {
+        Box::new(self.clone())
+    }
 }
 
 /// Reference check helper used by the tests: compares against the

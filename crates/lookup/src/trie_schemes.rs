@@ -38,6 +38,10 @@ impl<A: Address> LookupScheme<A> for RegularScheme<A> {
     fn memory_bytes(&self) -> usize {
         self.trie.memory_bytes()
     }
+
+    fn clone_box(&self) -> Box<dyn LookupScheme<A> + Send + Sync> {
+        Box::new(self.clone())
+    }
 }
 
 /// Baseline (2): the Patricia walk — one access per path-compressed vertex
@@ -70,6 +74,10 @@ impl<A: Address> LookupScheme<A> for PatriciaScheme<A> {
 
     fn memory_bytes(&self) -> usize {
         self.trie.memory_bytes()
+    }
+
+    fn clone_box(&self) -> Box<dyn LookupScheme<A> + Send + Sync> {
+        Box::new(self.clone())
     }
 }
 

@@ -18,6 +18,10 @@
 //! * [`run_workload_parallel`] — the same workload sharded over OS
 //!   threads against a [`FrozenNetwork`], bit-identical for a given
 //!   seed regardless of thread count;
+//! * [`StrideNetwork`] / [`serve_lookups`] — the shared-nothing
+//!   multi-core serving runtime: per-core stride-engine replicas fed
+//!   over lock-free channels, bit-identical to the scalar reference at
+//!   any core count, with barrier-free epoch-churn propagation;
 //! * [`LabelSwitchedPath`] — the Figure 8 MPLS aggregation-point
 //!   scenario, plain vs label-as-clue-index hybrid;
 //! * [`PathVector`] — a BGP-like path-vector protocol run to
@@ -39,6 +43,7 @@ mod mpls_path;
 mod network;
 mod parallel;
 mod pathvector;
+mod runtime;
 mod sim;
 mod topology;
 
@@ -53,5 +58,9 @@ pub use network::{
     DetailBands, Hop, HopRecord, Network, NetworkConfig, PathTrace, RouterNode,
 };
 pub use parallel::{run_workload_parallel, run_workload_per_packet, FrozenNetwork};
+pub use runtime::{
+    available_workers, serve_lookups, CoreStats, RuntimeConfig, RuntimeReport, ServeReport,
+    StrideNetwork,
+};
 pub use sim::{export_cost_stats, run_workload, run_workload_instrumented, RunStats};
 pub use topology::{RouteTree, RouterId, Topology};

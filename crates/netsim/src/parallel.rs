@@ -372,7 +372,7 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
 /// SplitMix64 finalizer over a (seed, packet index) pair: the root of
 /// packet `i`'s private RNG stream. Cheap, and two distinct indices
 /// never collide for a fixed seed (the finalizer is a bijection).
-fn packet_seed(seed: u64, index: u64) -> u64 {
+pub(crate) fn packet_seed(seed: u64, index: u64) -> u64 {
     let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -382,7 +382,7 @@ fn packet_seed(seed: u64, index: u64) -> u64 {
 /// Draws packet `i`'s (source, destination) pair from its private
 /// stream — the shared half of the scalar/parallel determinism
 /// contract.
-fn draw_packet<A: Address>(
+pub(crate) fn draw_packet<A: Address>(
     net: &Network<A>,
     sources: &[RouterId],
     origins: &[RouterId],
@@ -401,8 +401,11 @@ fn draw_packet<A: Address>(
 }
 
 /// Order-merged shard accumulator; integer-only so merge grouping
-/// cannot change the result.
-struct Accum {
+/// cannot change the result — every field is a sum or a maximum, so
+/// the merge is commutative and associative, and *any* exactly-once
+/// partition of the packet stream (contiguous shards here, channel-fed
+/// batches in [`crate::runtime`]) folds to the same [`RunStats`].
+pub(crate) struct Accum {
     per_router: Vec<CostStats>,
     per_hop_position: Vec<CostStats>,
     bmp_len_sum: Vec<(u64, u64)>,
@@ -413,7 +416,7 @@ struct Accum {
 }
 
 impl Accum {
-    fn new(routers: usize) -> Self {
+    pub(crate) fn new(routers: usize) -> Self {
         Accum {
             per_router: vec![CostStats::new(); routers],
             per_hop_position: Vec::new(),
@@ -425,31 +428,52 @@ impl Accum {
         }
     }
 
-    fn record<A: Address>(&mut self, trace: &PathTrace<A>) {
+    pub(crate) fn record<A: Address>(&mut self, trace: &PathTrace<A>) {
         if trace.delivered {
-            self.delivered += 1;
+            self.record_delivered();
         }
         for (pos, hop) in trace.hops.iter().enumerate() {
             let mut full = hop.cost;
             full += hop.shift_cost;
-            self.per_router[hop.router].record(full);
-            if self.per_hop_position.len() <= pos {
-                self.per_hop_position.resize(pos + 1, CostStats::new());
-                self.bmp_len_sum.resize(pos + 1, (0, 0));
-            }
-            self.per_hop_position[pos].record(full);
-            let (s, c) = &mut self.bmp_len_sum[pos];
-            *s += hop.bmp.map_or(0, |p| p.len()) as u64;
-            *c += 1;
-            self.total += full.total();
-            self.total_hops += 1;
-            if hop.used_clue {
-                self.clue_hops += 1;
-            }
+            self.record_hop(pos, hop.router, hop.bmp.map_or(0, |p| p.len()), full, hop.used_clue);
         }
     }
 
-    fn merge(&mut self, other: &Accum) {
+    /// One hop, recorded without materialising a [`PathTrace`] — the
+    /// allocation-free twin of [`Self::record`] used by the serving
+    /// runtime's inline walk. `full` is the hop's own cost plus its
+    /// Section 5.4 shifted work, exactly as `record` folds them.
+    #[inline]
+    pub(crate) fn record_hop(
+        &mut self,
+        pos: usize,
+        router: RouterId,
+        bmp_len: u8,
+        full: Cost,
+        used_clue: bool,
+    ) {
+        let t = full.total();
+        self.per_router[router].record_with_total(full, t);
+        if self.per_hop_position.len() <= pos {
+            self.per_hop_position.resize(pos + 1, CostStats::new());
+            self.bmp_len_sum.resize(pos + 1, (0, 0));
+        }
+        self.per_hop_position[pos].record_with_total(full, t);
+        let (s, c) = &mut self.bmp_len_sum[pos];
+        *s += bmp_len as u64;
+        *c += 1;
+        self.total += t;
+        self.total_hops += 1;
+        if used_clue {
+            self.clue_hops += 1;
+        }
+    }
+
+    pub(crate) fn record_delivered(&mut self) {
+        self.delivered += 1;
+    }
+
+    pub(crate) fn merge(&mut self, other: &Accum) {
         for (a, b) in self.per_router.iter_mut().zip(&other.per_router) {
             a.merge(b);
         }
@@ -470,7 +494,7 @@ impl Accum {
         self.total_hops += other.total_hops;
     }
 
-    fn finish(self, packets: usize) -> RunStats {
+    pub(crate) fn finish(self, packets: usize) -> RunStats {
         RunStats {
             per_router: self.per_router,
             bmp_len_by_position: self

@@ -1,0 +1,1219 @@
+//! Shared-nothing multi-core serving runtime.
+//!
+//! [`FrozenNetwork::run_workload`](crate::FrozenNetwork::run_workload)
+//! shards one workload across scoped threads, but every shard still
+//! routes through the *shared* frozen engines and materialises a
+//! [`PathTrace`](crate::PathTrace) per packet. This module is the
+//! run-to-completion replacement (ROADMAP item 1, after flashroute's
+//! "mutex or rwlock free; all inter-task communications through
+//! message channels or atomic operations"):
+//!
+//! * **Per-core replicas.** Each worker owns a private clone of every
+//!   compiled [`StrideEngine`] it serves from ([`StrideEngine::replicate`]
+//!   detaches telemetry handles, so a replica shares not even an `Arc`
+//!   with its siblings). Replica priming happens before the timed
+//!   region and is reported separately ([`CoreStats::replica_clone_ns`]).
+//! * **Lock-free channels.** The dispatcher feeds each worker over its
+//!   own bounded SPSC ring ([`clue_core::channel::spsc`]); results
+//!   drain through one MPSC ring ([`clue_core::channel::mpsc`]). Full
+//!   and empty are yield-and-retry, never a lock.
+//! * **Deterministic partitioning.** Jobs are contiguous packet-index
+//!   ranges and every packet derives its own SplitMix64 RNG stream
+//!   from its index, so what a worker computes is independent of which
+//!   worker computes it; the per-worker accumulators fold with
+//!   commutative integer merges. [`StrideNetwork::run_workload`] is
+//!   therefore **bit-identical to
+//!   [`run_workload_per_packet`](crate::run_workload_per_packet) at
+//!   any worker count** — the property `tests/runtime_equivalence.rs`
+//!   pins down.
+//! * **Barrier-free churn propagation.** [`serve_lookups`] serves from
+//!   an [`EpochCell`]: each worker holds a pinned [`EpochReader`] and
+//!   re-clones its replica at the first batch boundary after a
+//!   publish — no barrier, no coordination with other cores, and the
+//!   epochs-behind lag is attributed per core
+//!   ([`CoreStats::max_staleness`]).
+//!
+//! Three details make the network driver fast enough to beat the
+//! scalar reference by the gated 3x even before true parallelism:
+//! router lookups run on stride-compiled engines (a direct-indexed
+//! root plus multibit nodes instead of a bit-by-bit trie walk);
+//! next-hop resolution — `fib.get(&bmp)`, an *uncharged* binary-trie
+//! descent on the frozen path — is tag-indexed, the compiled lookup
+//! returning a dense payload index ([`StrideEngine::lookup_finish_tag`])
+//! into a per-engine [`TagHop`] table precomputed at freeze time from
+//! the flat open-addressed prefix→hop map ([`PrefixHopMap`]); and
+//! each worker walks [`WALK_LANES`] packets in lockstep,
+//! decoding-and-prefetching every packet's next lookup
+//! ([`StrideEngine::lookup_prepare`]) a full lane rotation before
+//! resolving it, so the dependent loads of one walk hide behind the
+//! other lanes' work. None of the three changes any recorded
+//! statistic: the stride engines are tick-parity with the scalar
+//! engines (the `stride_prop` suite), the tag tables resolve exactly
+//! what the FIB walk resolves while both charge nothing, and lane
+//! order only permutes commutative accumulator merges.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use clue_core::channel::{mpsc, spsc, MpscSender, SpscReceiver, TryRecvError};
+use clue_core::{
+    ClueHeader, Decision, EngineStats, EpochCell, PreparedLookup, StrideConfig, StrideEngine,
+    StrideError, DEFAULT_INTERLEAVE, NO_TAG,
+};
+use clue_telemetry::RuntimeTelemetry;
+use clue_trie::{Address, Cost, Prefix};
+
+use crate::network::{Hop, Network};
+use crate::parallel::{draw_packet, Accum};
+use crate::sim::RunStats;
+use crate::topology::RouterId;
+
+/// The number of worker cores [`RuntimeConfig::default`] uses: every
+/// core the OS reports, falling back to one.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Tuning knobs of the serving runtime.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker cores (default: [`available_workers`]).
+    pub workers: usize,
+    /// Packets per job — the unit of channel traffic and of replica
+    /// refresh (churn is observed at job boundaries).
+    pub batch: usize,
+    /// SPSC feed depth in jobs.
+    pub depth: usize,
+    /// Interleave group for the workers' prefetched batch loops
+    /// (engine serving only; `<= 1` disables prefetch).
+    pub prefetch: usize,
+    /// Stride shape for [`StrideNetwork::freeze`].
+    pub stride: StrideConfig,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            workers: available_workers(),
+            batch: 512,
+            depth: 64,
+            prefetch: DEFAULT_INTERLEAVE,
+            stride: StrideConfig::default(),
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A config with the given worker count and every other knob at
+    /// its default.
+    pub fn with_workers(workers: usize) -> Self {
+        RuntimeConfig { workers, ..Default::default() }
+    }
+}
+
+/// One worker core's attribution for a run.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Packets this core served.
+    pub packets: u64,
+    /// Jobs this core pulled off its feed.
+    pub batches: u64,
+    /// Nanoseconds spent inside lookups (excludes channel polling).
+    pub busy_ns: u64,
+    /// Replica clones: the priming clone plus one per observed epoch
+    /// publish.
+    pub replica_clones: u64,
+    /// Nanoseconds spent cloning replicas (priming + refreshes).
+    pub replica_clone_ns: u64,
+    /// Worst epochs-behind-the-writer this core served a batch at.
+    pub max_staleness: u64,
+    /// Channel polls that found the feed empty (or the drain full) and
+    /// yielded.
+    pub backpressure: u64,
+}
+
+/// What a runtime run did, beyond its workload result: wall-clock of
+/// the timed region, setup cost kept out of it, and per-core
+/// attribution.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Nanoseconds from "every replica primed" to "every result
+    /// drained" — the steady-state serving time.
+    pub elapsed_ns: u64,
+    /// Total nanoseconds workers spent priming their replicas, all of
+    /// it **outside** the timed region.
+    pub replica_clone_ns: u64,
+    /// Per-core attribution, indexed by worker.
+    pub cores: Vec<CoreStats>,
+}
+
+impl RuntimeReport {
+    /// Packets per second over the timed region.
+    pub fn pps(&self) -> f64 {
+        let packets: u64 = self.cores.iter().map(|c| c.packets).sum();
+        packets as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Each core's packets per second over the (shared) timed region.
+    pub fn per_core_pps(&self) -> Vec<f64> {
+        let secs = self.elapsed_ns.max(1) as f64 / 1e9;
+        self.cores.iter().map(|c| c.packets as f64 / secs).collect()
+    }
+
+    /// Flushes this report into a telemetry bundle.
+    pub fn record(&self, t: &RuntimeTelemetry) {
+        t.workers.set(self.cores.len() as f64);
+        for c in &self.cores {
+            t.record_core(c.packets, c.batches, c.replica_clones, c.backpressure);
+            t.replica_clone_us.observe(c.replica_clone_ns / 1_000);
+        }
+    }
+}
+
+/// A contiguous range of packet (or slice) indices — the unit of work
+/// on the SPSC feeds.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    lo: u64,
+    hi: u64,
+}
+
+/// Idle backoff for the *coordinator* (dispatcher/collector) thread
+/// only: a couple of yields for low latency, then short sleeps so an
+/// oversubscribed core (more workers than hardware threads) is not
+/// robbed of scheduler quanta by a spinning coordinator. Workers keep
+/// plain `yield_now` — their feeds are primed deep, so they rarely
+/// poll empty, and job latency matters there.
+struct Backoff {
+    idle: u32,
+}
+
+impl Backoff {
+    fn new() -> Self {
+        Backoff { idle: 0 }
+    }
+
+    /// Called when a poll made progress.
+    fn reset(&mut self) {
+        self.idle = 0;
+    }
+
+    /// Called when a poll found nothing to do.
+    fn wait(&mut self) {
+        self.idle += 1;
+        if self.idle <= 3 {
+            std::thread::yield_now();
+        } else {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Prefix → hop resolution
+// ---------------------------------------------------------------------
+
+/// Next-hop sentinel codes in [`PrefixHopMap`] slots.
+const EMPTY_HOP: u32 = u32::MAX;
+const LOCAL_HOP: u32 = u32::MAX - 1;
+
+/// A flat open-addressed map from FIB prefix to forwarding decision.
+///
+/// The live and frozen drivers resolve a found BMP to its hop with
+/// `fib.get(&bmp)` — a bit-by-bit binary-trie descent that charges no
+/// [`Cost`] (next-hop resolution is not part of the paper's lookup
+/// accounting) but burns real cycles on every hop. This map holds the
+/// identical prefix→hop relation in one power-of-two slot array:
+/// Fibonacci multiply-shift hash, linear probing, payload inlined.
+/// Same answers, no tree walk.
+#[derive(Debug, Clone)]
+struct PrefixHopMap<A: Address> {
+    slots: Vec<HopSlot<A>>,
+    mask: usize,
+    shift: u32,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct HopSlot<A: Address> {
+    bits: A,
+    len: u8,
+    code: u32,
+}
+
+impl<A: Address> PrefixHopMap<A> {
+    fn build(entries: impl Iterator<Item = (Prefix<A>, Hop)>) -> Self {
+        let entries: Vec<_> = entries.collect();
+        let cap = (entries.len() * 2).next_power_of_two().max(4);
+        let mut map = PrefixHopMap {
+            slots: vec![HopSlot { bits: A::ZERO, len: 0, code: EMPTY_HOP }; cap],
+            mask: cap - 1,
+            shift: 64 - cap.trailing_zeros(),
+        };
+        for (p, hop) in entries {
+            let code = match hop {
+                Hop::Local => LOCAL_HOP,
+                Hop::Via(nh) => {
+                    let nh = nh as u32;
+                    assert!(nh < LOCAL_HOP, "router id collides with hop sentinel");
+                    nh
+                }
+            };
+            let mut i = map.index(p.bits(), p.len());
+            while map.slots[i].code != EMPTY_HOP {
+                debug_assert!(
+                    !(map.slots[i].bits == p.bits() && map.slots[i].len == p.len()),
+                    "duplicate prefix in FIB"
+                );
+                i = (i + 1) & map.mask;
+            }
+            map.slots[i] = HopSlot { bits: p.bits(), len: p.len(), code };
+        }
+        map
+    }
+
+    #[inline]
+    fn index(&self, bits: A, len: u8) -> usize {
+        let v = bits.to_u128();
+        let h = (v as u64) ^ ((v >> 64) as u64) ^ ((len as u64) << 57);
+        (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.shift) as usize & self.mask
+    }
+
+    /// The forwarding decision for an exact FIB prefix, if installed —
+    /// the drop-in replacement for `fib.get(&p).map(|r| *fib.value(r))`.
+    #[inline]
+    fn get(&self, p: &Prefix<A>) -> Option<Hop> {
+        let (bits, len) = (p.bits(), p.len());
+        let mut i = self.index(bits, len);
+        loop {
+            let s = &self.slots[i];
+            if s.code == EMPTY_HOP {
+                return None;
+            }
+            if s.len == len && s.bits == bits {
+                return Some(if s.code == LOCAL_HOP {
+                    Hop::Local
+                } else {
+                    Hop::Via(s.code as RouterId)
+                });
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+}
+
+/// One lookup tag's precomputed forwarding state: the prefix the tag
+/// names and its [`PrefixHopMap`] decision. Built once per engine at
+/// freeze time, so the hot walk turns “hash the found prefix into the
+/// FIB map” into a single tag-addressed array read.
+#[derive(Debug, Clone, Copy)]
+struct TagHop<A: Address> {
+    prefix: Prefix<A>,
+    /// [`EMPTY_HOP`] (prefix not in this FIB), [`LOCAL_HOP`], or the
+    /// next-hop router id.
+    code: u32,
+}
+
+/// Resolves every tag of `engine` through the router's hop map.
+fn tag_hops<A: Address>(engine: &StrideEngine<A>, hops: &PrefixHopMap<A>) -> Vec<TagHop<A>> {
+    engine
+        .tag_prefixes()
+        .iter()
+        .map(|&p| TagHop {
+            prefix: p,
+            code: match hops.get(&p) {
+                None => EMPTY_HOP,
+                Some(Hop::Local) => LOCAL_HOP,
+                Some(Hop::Via(nh)) => nh as u32,
+            },
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Stride-compiled network
+// ---------------------------------------------------------------------
+
+/// One router's serving state: stride-compiled engines plus the
+/// precompiled hop map.
+#[derive(Debug, Clone)]
+struct StrideRouter<A: Address> {
+    base: StrideEngine<A>,
+    /// Neighbor id → index into `engines`, [`EMPTY_HOP`]-style dense
+    /// sentinel ([`NO_ENGINE`]).
+    by_neighbor: Vec<u32>,
+    engines: Vec<StrideEngine<A>>,
+    hops: PrefixHopMap<A>,
+    /// `base`'s tag → forwarding-decision table.
+    base_hops: Vec<TagHop<A>>,
+    /// Per-neighbor-engine tag tables, parallel to `engines`.
+    engine_hops: Vec<Vec<TagHop<A>>>,
+    participates: bool,
+}
+
+/// “No per-neighbor engine” sentinel in [`StrideRouter::by_neighbor`].
+const NO_ENGINE: u32 = u32::MAX;
+
+impl<A: Address> StrideRouter<A> {
+    /// A worker-private replica: every engine re-cloned with telemetry
+    /// detached (see [`StrideEngine::replicate`]).
+    fn replicate(&self) -> StrideRouter<A> {
+        StrideRouter {
+            base: self.base.replicate(),
+            by_neighbor: self.by_neighbor.clone(),
+            engines: self.engines.iter().map(StrideEngine::replicate).collect(),
+            hops: self.hops.clone(),
+            base_hops: self.base_hops.clone(),
+            engine_hops: self.engine_hops.clone(),
+            participates: self.participates,
+        }
+    }
+}
+
+/// A read-only view of a [`Network`] with every clue engine compiled
+/// to a [`StrideEngine`] and every FIB's prefix→hop relation
+/// flattened into a [`PrefixHopMap`] — the serving-runtime analogue of
+/// [`FrozenNetwork`](crate::FrozenNetwork).
+#[derive(Debug)]
+pub struct StrideNetwork<'n, A: Address> {
+    net: &'n Network<A>,
+    routers: Vec<StrideRouter<A>>,
+}
+
+impl<'n, A: Address> StrideNetwork<'n, A> {
+    /// Stride-compiles every engine in `net`. Fails like a freeze
+    /// fails (non-Regular family, indexed table, cache) or if the
+    /// stride shape is invalid.
+    pub fn freeze(net: &'n Network<A>, stride: StrideConfig) -> Result<Self, StrideError> {
+        let n = net.topology().len();
+        let routers = net
+            .routers()
+            .iter()
+            .map(|r| {
+                let mut by_neighbor = vec![NO_ENGINE; n];
+                let mut engines = Vec::with_capacity(r.engines.len());
+                for (&nb, e) in &r.engines {
+                    by_neighbor[nb] = engines.len() as u32;
+                    engines.push(e.freeze_stride(stride)?);
+                }
+                let base = r.base.freeze_stride(stride)?;
+                let hops = PrefixHopMap::build(r.fib.iter().map(|(_, p, &h)| (p, h)));
+                let base_hops = tag_hops(&base, &hops);
+                let engine_hops = engines.iter().map(|e| tag_hops(e, &hops)).collect();
+                Ok(StrideRouter {
+                    base,
+                    by_neighbor,
+                    engines,
+                    hops,
+                    base_hops,
+                    engine_hops,
+                    participates: r.participates,
+                })
+            })
+            .collect::<Result<Vec<_>, StrideError>>()?;
+        Ok(StrideNetwork { net, routers })
+    }
+
+    /// The live network this view was compiled from.
+    pub fn network(&self) -> &'n Network<A> {
+        self.net
+    }
+
+    /// Routes `packets` random packets through the channel-fed
+    /// multi-core runtime. Bit-identical to
+    /// [`run_workload_per_packet`](crate::run_workload_per_packet) for
+    /// the same seed at any worker count.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty or the network has no origins.
+    pub fn run_workload(
+        &self,
+        sources: &[RouterId],
+        packets: usize,
+        seed: u64,
+        workers: usize,
+    ) -> RunStats {
+        self.run_workload_timed(sources, packets, seed, &RuntimeConfig::with_workers(workers), None)
+            .0
+    }
+
+    /// As [`Self::run_workload`], returning the runtime report
+    /// (steady-state wall clock with replica priming hoisted out of
+    /// it, per-core attribution) and optionally flushing it into a
+    /// telemetry bundle.
+    ///
+    /// # Panics
+    /// Panics if `sources` is empty or the network has no origins.
+    pub fn run_workload_timed(
+        &self,
+        sources: &[RouterId],
+        packets: usize,
+        seed: u64,
+        config: &RuntimeConfig,
+        telemetry: Option<&RuntimeTelemetry>,
+    ) -> (RunStats, RuntimeReport) {
+        assert!(!sources.is_empty(), "need at least one source");
+        let origins = self.net.config().origins.clone();
+        assert!(!origins.is_empty(), "need at least one origin");
+        let workers = config.workers.max(1);
+        let batch = config.batch.max(1);
+        let n = self.net.topology().len();
+
+        let mut feeds = Vec::with_capacity(workers);
+        let mut worker_rx: Vec<Option<SpscReceiver<Job>>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = spsc::<Job>(config.depth.max(1));
+            feeds.push(tx);
+            worker_rx.push(Some(rx));
+        }
+        let (res_tx, mut res_rx) = mpsc::<(usize, Accum, CoreStats)>(workers);
+        let priming = AtomicUsize::new(workers);
+
+        let mut shards: Vec<Option<(Accum, CoreStats)>> = (0..workers).map(|_| None).collect();
+        let mut elapsed_ns = 0u64;
+
+        std::thread::scope(|scope| {
+            for (w, slot) in worker_rx.iter_mut().enumerate() {
+                let mut rx = slot.take().expect("receiver consumed once");
+                let res_tx = res_tx.clone();
+                let priming = &priming;
+                let (this, origins, sources) = (&*self, &origins, sources);
+                scope.spawn(move || {
+                    let t0 = Instant::now();
+                    let replicas: Vec<StrideRouter<A>> =
+                        this.routers.iter().map(StrideRouter::replicate).collect();
+                    let mut stats = CoreStats {
+                        worker: w,
+                        replica_clones: 1,
+                        replica_clone_ns: t0.elapsed().as_nanos() as u64,
+                        ..CoreStats::default()
+                    };
+                    priming.fetch_sub(1, Ordering::Release);
+                    let mut acc = Accum::new(n);
+                    loop {
+                        match rx.try_recv() {
+                            Ok(job) => {
+                                let t = Instant::now();
+                                route_job_into(
+                                    this.net, &replicas, sources, origins, seed, job.lo, job.hi,
+                                    &mut acc,
+                                );
+                                stats.busy_ns += t.elapsed().as_nanos() as u64;
+                                stats.packets += job.hi - job.lo;
+                                stats.batches += 1;
+                            }
+                            Err(TryRecvError::Empty) => {
+                                stats.backpressure += 1;
+                                std::thread::yield_now();
+                            }
+                            Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    let mut msg = (w, acc, stats);
+                    while let Err(back) = res_tx.try_send(msg) {
+                        msg = back;
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            drop(res_tx);
+
+            // Replica priming is setup, not serving: wait it out, then
+            // start the clock.
+            let mut backoff = Backoff::new();
+            while priming.load(Ordering::Acquire) != 0 {
+                backoff.wait();
+            }
+            let t0 = Instant::now();
+            let mut lo = 0u64;
+            let mut w = 0usize;
+            while lo < packets as u64 {
+                let hi = (lo + batch as u64).min(packets as u64);
+                let mut job = Job { lo, hi };
+                while let Err(back) = feeds[w].try_send(job) {
+                    job = back;
+                    std::thread::yield_now();
+                }
+                lo = hi;
+                w = (w + 1) % workers;
+            }
+            for tx in &mut feeds {
+                tx.close();
+            }
+            let mut done = 0;
+            backoff.reset();
+            while done < workers {
+                match res_rx.try_recv() {
+                    Ok((w, acc, stats)) => {
+                        shards[w] = Some((acc, stats));
+                        done += 1;
+                        backoff.reset();
+                    }
+                    Err(TryRecvError::Empty) => backoff.wait(),
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            elapsed_ns = t0.elapsed().as_nanos() as u64;
+        });
+
+        let mut acc = Accum::new(n);
+        let mut cores = Vec::with_capacity(workers);
+        let mut clone_ns = 0u64;
+        for shard in shards {
+            let (a, c) = shard.expect("every worker reports exactly once");
+            acc.merge(&a);
+            clone_ns += c.replica_clone_ns;
+            cores.push(c);
+        }
+        let report = RuntimeReport { elapsed_ns, replica_clone_ns: clone_ns, cores };
+        if let Some(t) = telemetry {
+            report.record(t);
+        }
+        (acc.finish(packets), report)
+    }
+}
+
+/// In-flight packet walks interleaved per worker. Each lane's next
+/// lookup is decoded — and its first probe line prefetched — when the
+/// packet *advances*, a full lane rotation before it resolves, so the
+/// other lanes' work hides the fetch latency. Sized to keep the lane
+/// state (a few hundred bytes) comfortably in L1 while still covering
+/// an LLC miss with ~7 lanes' worth of work.
+const WALK_LANES: usize = 8;
+
+/// One in-flight packet walk: where the packet is, what its header
+/// carries, and the decoded (already-prefetched) op for the lookup it
+/// will run next.
+#[derive(Clone, Copy)]
+struct Flight<A: Address> {
+    dest: A,
+    header: ClueHeader,
+    prev: Option<RouterId>,
+    cur: RouterId,
+    pos: usize,
+    engine_slot: u32,
+    used_clue: bool,
+    clue: Option<Prefix<A>>,
+    op: PreparedLookup,
+}
+
+/// Decodes the lookup a packet will run at its current router — engine
+/// choice, decoded clue, start line prefetched — without resolving it.
+#[inline]
+fn prepare<A: Address>(
+    routers: &[StrideRouter<A>],
+    dest: A,
+    header: &ClueHeader,
+    prev: Option<RouterId>,
+    cur: RouterId,
+) -> (u32, bool, Option<Prefix<A>>, PreparedLookup) {
+    let node = &routers[cur];
+    let engine_slot =
+        prev.map_or(NO_ENGINE, |p| node.by_neighbor.get(p).copied().unwrap_or(NO_ENGINE));
+    let used_clue = node.participates && engine_slot != NO_ENGINE && header.clue.is_some();
+    if used_clue {
+        let clue = header.decode(dest);
+        let op = node.engines[engine_slot as usize].lookup_prepare(dest, clue);
+        (engine_slot, true, clue, op)
+    } else {
+        (engine_slot, false, None, node.base.lookup_prepare(dest, None))
+    }
+}
+
+/// Routes packets `lo..hi` of the seeded workload, walking up to
+/// [`WALK_LANES`] packets in lockstep. Every hop matches
+/// [`FrozenNetwork::route_packet`](crate::FrozenNetwork::route_packet)
+/// — same hops, same per-hop [`Cost`], same Section 5.4 shifted work —
+/// recorded straight into the accumulator instead of materialising a
+/// `PathTrace`. Lanes only change the order packets' hops execute in,
+/// and [`Accum`]'s merges are commutative, so the folded [`RunStats`]
+/// is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn route_job_into<A: Address>(
+    net: &Network<A>,
+    routers: &[StrideRouter<A>],
+    sources: &[RouterId],
+    origins: &[RouterId],
+    seed: u64,
+    lo: u64,
+    hi: u64,
+    acc: &mut Accum,
+) {
+    let config = net.config();
+    let live = net.routers();
+    let max_hops = net.topology().len() * 2 + 4;
+
+    let launch = |i: u64| -> Flight<A> {
+        let (src, dest) = draw_packet(net, sources, origins, seed, i);
+        let header = ClueHeader::none();
+        let (engine_slot, used_clue, clue, op) = prepare(routers, dest, &header, None, src);
+        Flight { dest, header, prev: None, cur: src, pos: 0, engine_slot, used_clue, clue, op }
+    };
+
+    let mut lanes: [Option<Flight<A>>; WALK_LANES] = [None; WALK_LANES];
+    let mut next_packet = lo;
+    let mut in_flight = 0usize;
+    for lane in lanes.iter_mut() {
+        if next_packet >= hi {
+            break;
+        }
+        *lane = Some(launch(next_packet));
+        next_packet += 1;
+        in_flight += 1;
+    }
+
+    while in_flight > 0 {
+        for lane in lanes.iter_mut() {
+            // The flight mutates in place — no per-hop move of the
+            // lane state in and out of the `Option`.
+            let Some(f) = lane.as_mut() else { continue };
+            let node = &routers[f.cur];
+            let mut cost = Cost::new();
+            let (tag, table) = if f.used_clue {
+                let e = f.engine_slot as usize;
+                let (tag, _) = node.engines[e].lookup_finish_tag(f.op, f.dest, f.clue, &mut cost);
+                (tag, &node.engine_hops[e])
+            } else {
+                let (tag, _) = node.base.lookup_finish_tag(f.op, f.dest, None, &mut cost);
+                (tag, &node.base_hops)
+            };
+
+            // Tag → (prefix, decision): one array read where the
+            // reference path hashes the found prefix into the FIB map.
+            let (bmp, next) = if tag == NO_TAG {
+                (None, None)
+            } else {
+                let th = &table[tag as usize];
+                let next = match th.code {
+                    EMPTY_HOP => None,
+                    LOCAL_HOP => Some(Hop::Local),
+                    nh => Some(Hop::Via(nh as RouterId)),
+                };
+                (Some(th.prefix), next)
+            };
+
+            if node.participates {
+                if let Some(p) = bmp {
+                    f.header = ClueHeader::with_clue(&p);
+                }
+                if config.shift_work_to_edges {
+                    if let Some(Hop::Via(nh)) = next {
+                        if config.core.contains(&nh) {
+                            // Shifted-work charges tick straight into
+                            // `cost`: the reference folds them in with
+                            // a category-wise `+=` before recording,
+                            // so charging in place sums identically.
+                            let nb_fib = &live[nh].fib;
+                            let nb_bmp = match bmp.and_then(|p| nb_fib.node_of_prefix(&p)) {
+                                Some(start) => nb_fib
+                                    .lookup_from(start, f.dest, &mut cost)
+                                    .map(|r| nb_fib.prefix(r)),
+                                None => nb_fib
+                                    .lookup_counted(f.dest, &mut cost)
+                                    .map(|r| nb_fib.prefix(r)),
+                            };
+                            if let Some(p) = nb_bmp {
+                                f.header = ClueHeader::with_clue(&p);
+                            }
+                        }
+                    }
+                }
+            }
+
+            acc.record_hop(f.pos, f.cur, bmp.map_or(0, |p| p.len()), cost, f.used_clue);
+
+            let retired = match next {
+                Some(Hop::Local) => {
+                    acc.record_delivered();
+                    true
+                }
+                Some(Hop::Via(nh)) => {
+                    f.prev = Some(f.cur);
+                    f.cur = nh;
+                    f.pos += 1;
+                    if f.pos >= max_hops {
+                        true
+                    } else {
+                        let (engine_slot, used_clue, clue, op) =
+                            prepare(routers, f.dest, &f.header, f.prev, f.cur);
+                        f.engine_slot = engine_slot;
+                        f.used_clue = used_clue;
+                        f.clue = clue;
+                        f.op = op;
+                        false
+                    }
+                }
+                None => true,
+            };
+            if retired {
+                if next_packet < hi {
+                    *lane = Some(launch(next_packet));
+                    next_packet += 1;
+                } else {
+                    *lane = None;
+                    in_flight -= 1;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Engine-level serving over an EpochCell
+// ---------------------------------------------------------------------
+
+/// What one [`serve_lookups`] run did.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Packets served.
+    pub packets: u64,
+    /// Nanoseconds from "every replica primed" to "every result
+    /// reassembled".
+    pub elapsed_ns: u64,
+    /// Total priming-clone nanoseconds, outside the timed region
+    /// (mid-run refresh clones are inside it, attributed per core).
+    pub replica_clone_ns: u64,
+    /// Merged resolution-class counts.
+    pub stats: EngineStats,
+    /// Per-core attribution, indexed by worker.
+    pub cores: Vec<CoreStats>,
+}
+
+impl ServeReport {
+    /// Packets per second over the timed region.
+    pub fn pps(&self) -> f64 {
+        self.packets as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+
+    /// Each core's packets per second over the (shared) timed region.
+    pub fn per_core_pps(&self) -> Vec<f64> {
+        let secs = self.elapsed_ns.max(1) as f64 / 1e9;
+        self.cores.iter().map(|c| c.packets as f64 / secs).collect()
+    }
+}
+
+/// A worker → collector message on the result drain.
+enum ServeMsg<A: Address> {
+    /// One served job: decisions for `dests[base .. base + len]`.
+    Batch { base: usize, decisions: Vec<Decision<A>> },
+    /// The worker's feed closed and it is done.
+    Done { worker: usize, stats: CoreStats, classes: EngineStats },
+}
+
+/// Serves one batch workload from an [`EpochCell`] across per-core
+/// [`StrideEngine`] replicas — the engine-level serving loop.
+///
+/// Each worker registers an [`clue_core::EpochReader`], clones a
+/// private replica from the pinned snapshot (priming, outside the
+/// timed region), then pulls jobs off its SPSC feed, runs the
+/// prefetched batch lookup on its replica and ships the decisions back
+/// over the MPSC drain, where they are reassembled by base offset into
+/// `out`. At every job boundary the worker compares its replica's
+/// epoch with the cell's: a newer publish triggers a re-pin and
+/// re-clone — churn propagates to every core without any barrier, and
+/// the observed lag lands in [`CoreStats::max_staleness`] (and the
+/// `staleness_epochs` histogram when telemetry is attached).
+///
+/// With no concurrent publish the decisions are exactly
+/// `engine.lookup_batch` of the same inputs, independent of worker
+/// count and timing.
+///
+/// # Panics
+/// Panics unless `dests` and `clues` have equal lengths.
+pub fn serve_lookups<A: Address>(
+    cell: &EpochCell<StrideEngine<A>>,
+    dests: &[A],
+    clues: &[Option<Prefix<A>>],
+    out: &mut Vec<Decision<A>>,
+    config: &RuntimeConfig,
+    telemetry: Option<&RuntimeTelemetry>,
+) -> ServeReport {
+    assert_eq!(dests.len(), clues.len(), "one clue slot per destination");
+    let workers = config.workers.max(1);
+    let batch = config.batch.max(1);
+    let prefetch = config.prefetch;
+    out.clear();
+    out.resize(dests.len(), Decision::default());
+
+    let mut feeds = Vec::with_capacity(workers);
+    let mut worker_rx: Vec<Option<SpscReceiver<Job>>> = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = spsc::<Job>(config.depth.max(1));
+        feeds.push(tx);
+        worker_rx.push(Some(rx));
+    }
+    let (res_tx, mut res_rx) = mpsc::<ServeMsg<A>>(workers * config.depth.max(1));
+    let priming = AtomicUsize::new(workers);
+
+    let mut cores: Vec<Option<CoreStats>> = (0..workers).map(|_| None).collect();
+    let mut classes = EngineStats::default();
+    let mut elapsed_ns = 0u64;
+
+    std::thread::scope(|scope| {
+        for (w, slot) in worker_rx.iter_mut().enumerate() {
+            let mut rx = slot.take().expect("receiver consumed once");
+            let res_tx = res_tx.clone();
+            let priming = &priming;
+            scope.spawn(move || {
+                serve_worker(cell, dests, clues, w, &mut rx, &res_tx, priming, batch, prefetch, telemetry);
+            });
+        }
+        drop(res_tx);
+
+        let mut backoff = Backoff::new();
+        while priming.load(Ordering::Acquire) != 0 {
+            backoff.wait();
+        }
+        let t0 = Instant::now();
+
+        // Dispatch and drain from the same thread: push jobs while the
+        // feeds take them, reassemble whatever has already drained in
+        // between — the collector never sleeps on a full feed.
+        if dests.is_empty() {
+            for tx in &mut feeds {
+                tx.close();
+            }
+        }
+        let mut lo = 0u64;
+        let mut w = 0usize;
+        let mut done = 0usize;
+        backoff.reset();
+        while done < workers {
+            let mut progressed = false;
+            if lo < dests.len() as u64 {
+                let hi = (lo + batch as u64).min(dests.len() as u64);
+                if feeds[w].try_send(Job { lo, hi }).is_ok() {
+                    lo = hi;
+                    w = (w + 1) % workers;
+                    progressed = true;
+                    if lo == dests.len() as u64 {
+                        for tx in &mut feeds {
+                            tx.close();
+                        }
+                    }
+                }
+            }
+            loop {
+                match res_rx.try_recv() {
+                    Ok(ServeMsg::Batch { base, decisions }) => {
+                        out[base..base + decisions.len()].copy_from_slice(&decisions);
+                        progressed = true;
+                    }
+                    Ok(ServeMsg::Done { worker, stats, classes: c }) => {
+                        cores[worker] = Some(stats);
+                        classes.merge(&c);
+                        done += 1;
+                        progressed = true;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => {
+                        done = workers;
+                        break;
+                    }
+                }
+            }
+            if progressed {
+                backoff.reset();
+            } else {
+                backoff.wait();
+            }
+        }
+        elapsed_ns = t0.elapsed().as_nanos() as u64;
+    });
+
+    let cores: Vec<CoreStats> =
+        cores.into_iter().map(|c| c.expect("every worker reports exactly once")).collect();
+    let replica_clone_ns = cores.iter().map(|c| c.replica_clone_ns).sum();
+    let report = ServeReport {
+        packets: dests.len() as u64,
+        elapsed_ns,
+        replica_clone_ns,
+        stats: classes,
+        cores,
+    };
+    if let Some(t) = telemetry {
+        t.workers.set(workers as f64);
+        for c in &report.cores {
+            t.record_core(c.packets, c.batches, c.replica_clones, c.backpressure);
+            t.replica_clone_us.observe(c.replica_clone_ns / 1_000);
+        }
+    }
+    report
+}
+
+/// One serving core: private replica, epoch-refresh at job boundaries,
+/// batch lookups, results shipped back over the drain.
+#[allow(clippy::too_many_arguments)]
+fn serve_worker<A: Address>(
+    cell: &EpochCell<StrideEngine<A>>,
+    dests: &[A],
+    clues: &[Option<Prefix<A>>],
+    w: usize,
+    rx: &mut SpscReceiver<Job>,
+    res_tx: &MpscSender<ServeMsg<A>>,
+    priming: &AtomicUsize,
+    batch: usize,
+    prefetch: usize,
+    telemetry: Option<&RuntimeTelemetry>,
+) {
+    let mut reader = cell.reader();
+    let t0 = Instant::now();
+    let (mut replica, mut epoch) = {
+        let guard = reader.pin();
+        (guard.replicate(), guard.epoch())
+    };
+    let mut stats = CoreStats {
+        worker: w,
+        replica_clones: 1,
+        replica_clone_ns: t0.elapsed().as_nanos() as u64,
+        ..CoreStats::default()
+    };
+    priming.fetch_sub(1, Ordering::Release);
+
+    let mut classes = EngineStats::default();
+    let mut decisions: Vec<Decision<A>> = Vec::with_capacity(batch);
+    loop {
+        match rx.try_recv() {
+            Ok(job) => {
+                // Churn propagation, no barrier: a publish since this
+                // replica was cloned is observed here, at the job
+                // boundary, by this core alone.
+                let current = reader.current_epoch();
+                if current != epoch {
+                    let staleness = current.saturating_sub(epoch);
+                    stats.max_staleness = stats.max_staleness.max(staleness);
+                    if let Some(t) = telemetry {
+                        t.staleness_epochs.observe(staleness);
+                    }
+                    let t = Instant::now();
+                    let guard = reader.pin();
+                    replica = guard.replicate();
+                    epoch = guard.epoch();
+                    let ns = t.elapsed().as_nanos() as u64;
+                    stats.replica_clones += 1;
+                    stats.replica_clone_ns += ns;
+                    if let Some(t) = telemetry {
+                        t.replica_clone_us.observe(ns / 1_000);
+                    }
+                } else if let Some(t) = telemetry {
+                    t.staleness_epochs.observe(0);
+                }
+                let (lo, hi) = (job.lo as usize, job.hi as usize);
+                let t = Instant::now();
+                decisions.clear();
+                decisions.resize(hi - lo, Decision::default());
+                let s = replica.lookup_batch_interleaved(
+                    &dests[lo..hi],
+                    &clues[lo..hi],
+                    &mut decisions,
+                    prefetch,
+                );
+                stats.busy_ns += t.elapsed().as_nanos() as u64;
+                classes.merge(&s);
+                stats.packets += (hi - lo) as u64;
+                stats.batches += 1;
+                let mut msg =
+                    ServeMsg::Batch { base: lo, decisions: std::mem::take(&mut decisions) };
+                loop {
+                    match res_tx.try_send(msg) {
+                        Ok(()) => break,
+                        Err(back) => {
+                            msg = back;
+                            stats.backpressure += 1;
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+                decisions = Vec::with_capacity(batch);
+            }
+            Err(TryRecvError::Empty) => {
+                stats.backpressure += 1;
+                std::thread::yield_now();
+            }
+            Err(TryRecvError::Disconnected) => break,
+        }
+    }
+    let mut msg = ServeMsg::Done { worker: w, stats, classes };
+    while let Err(back) = res_tx.try_send(msg) {
+        msg = back;
+        std::thread::yield_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use crate::parallel::run_workload_per_packet;
+    use crate::topology::Topology;
+    use clue_core::{ClueEngine, EngineConfig, Method};
+    use clue_lookup::Family;
+    use clue_trie::Ip4;
+
+    fn build(method: Method) -> (Network<Ip4>, Vec<RouterId>) {
+        let (topo, edges) = Topology::backbone(4, 2);
+        let mut cfg = NetworkConfig::new(edges.clone(), EngineConfig::new(Family::Regular, method));
+        cfg.specifics_per_origin = 12;
+        cfg.seed = 42;
+        (Network::build(topo, cfg), edges)
+    }
+
+    #[test]
+    fn runtime_equals_scalar_reference_at_several_worker_counts() {
+        let (mut net, edges) = build(Method::Advance);
+        let seq = run_workload_per_packet(&mut net, &edges, 150, 7);
+        let stride = StrideNetwork::freeze(&net, StrideConfig::default()).unwrap();
+        for workers in [1, 2, 4, 8] {
+            let rt = stride.run_workload(&edges, 150, 7, workers);
+            assert_eq!(rt, seq, "bit-identity at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn runtime_report_attributes_every_packet_to_a_core() {
+        let (net, edges) = build(Method::Advance);
+        let stride = StrideNetwork::freeze(&net, StrideConfig::default()).unwrap();
+        let cfg = RuntimeConfig { workers: 3, batch: 16, ..RuntimeConfig::default() };
+        let (stats, report) = stride.run_workload_timed(&edges, 200, 5, &cfg, None);
+        assert_eq!(stats.packets, 200);
+        assert_eq!(report.cores.len(), 3);
+        let attributed: u64 = report.cores.iter().map(|c| c.packets).sum();
+        assert_eq!(attributed, 200);
+        assert!(report.cores.iter().all(|c| c.replica_clones == 1));
+        assert!(report.replica_clone_ns > 0);
+        assert!(report.pps() > 0.0);
+        assert_eq!(report.per_core_pps().len(), 3);
+    }
+
+    #[test]
+    fn runtime_flushes_telemetry() {
+        let (net, edges) = build(Method::Simple);
+        let stride = StrideNetwork::freeze(&net, StrideConfig::default()).unwrap();
+        let t = RuntimeTelemetry::detached();
+        let cfg = RuntimeConfig { workers: 2, batch: 32, ..RuntimeConfig::default() };
+        stride.run_workload_timed(&edges, 100, 3, &cfg, Some(&t));
+        assert_eq!(t.workers.get(), 2.0);
+        assert_eq!(t.packets_total.get(), 100);
+        assert!(t.batches_total.get() >= 4, "100 packets / batch 32 needs >= 4 jobs");
+        assert_eq!(t.replica_clones_total.get(), 2, "one priming clone per core");
+    }
+
+    #[test]
+    fn shift_work_mode_is_preserved() {
+        let (topo, edges) = Topology::backbone(4, 1);
+        let mut cfg =
+            NetworkConfig::new(edges.clone(), EngineConfig::new(Family::Regular, Method::Advance));
+        cfg.specifics_per_origin = 8;
+        cfg.core = vec![0, 1, 2, 3];
+        cfg.shift_work_to_edges = true;
+        cfg.seed = 11;
+        let mut net: Network<Ip4> = Network::build(topo, cfg);
+        let seq = run_workload_per_packet(&mut net, &edges, 60, 2);
+        let stride = StrideNetwork::freeze(&net, StrideConfig::default()).unwrap();
+        assert_eq!(stride.run_workload(&edges, 60, 2, 4), seq);
+    }
+
+    fn engine_fixture() -> (ClueEngine<Ip4>, Vec<Ip4>, Vec<Option<Prefix<Ip4>>>) {
+        let parse = |s: &str| s.parse::<Prefix<Ip4>>().unwrap();
+        let prefixes: Vec<Prefix<Ip4>> = (0u32..64)
+            .map(|i| Prefix::new(Ip4::from((10 << 24) | (i << 16)), 16))
+            .chain((0u32..64).map(|i| Prefix::new(Ip4::from((10 << 24) | (i << 16) | (5 << 8)), 24)))
+            .collect();
+        let engine = ClueEngine::precomputed(
+            &prefixes,
+            &prefixes,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let mut dests = Vec::new();
+        let mut clues = Vec::new();
+        for i in 0..3000u32 {
+            dests.push(Ip4::from((10 << 24) | ((i % 64) << 16) | ((i % 7) * 251)));
+            clues.push(if i % 3 == 0 { Some(parse("10.0.0.0/8")) } else { Some(Prefix::new(Ip4::from((10 << 24) | ((i % 64) << 16)), 16)) });
+        }
+        (engine, dests, clues)
+    }
+
+    #[test]
+    fn serving_matches_the_plain_batch_lookup() {
+        let (engine, dests, clues) = engine_fixture();
+        let stride = engine.freeze_stride(StrideConfig::default()).unwrap();
+        let (want, want_stats) = stride.lookup_batch_vec(&dests, &clues);
+        let cell = EpochCell::new(stride);
+        for workers in [1, 2, 4] {
+            let cfg = RuntimeConfig { workers, batch: 128, ..RuntimeConfig::default() };
+            let mut got = Vec::new();
+            let report = serve_lookups(&cell, &dests, &clues, &mut got, &cfg, None);
+            assert_eq!(got, want, "decisions at {workers} workers");
+            assert_eq!(report.stats, want_stats, "class counts at {workers} workers");
+            assert_eq!(report.packets, dests.len() as u64);
+            let attributed: u64 = report.cores.iter().map(|c| c.packets).sum();
+            assert_eq!(attributed, dests.len() as u64);
+            assert_eq!(report.cores.iter().map(|c| c.max_staleness).max(), Some(0));
+        }
+    }
+
+    #[test]
+    fn publishes_propagate_to_every_core_without_a_barrier() {
+        let (engine, dests, clues) = engine_fixture();
+        let stride = engine.freeze_stride(StrideConfig::default()).unwrap();
+        let (want, _) = stride.lookup_batch_vec(&dests, &clues);
+        let cell = EpochCell::new(stride.replicate());
+        // Publish a bit-identical recompile before serving: every core
+        // primes at epoch 1... unless it pinned before the publish, in
+        // which case it must observe the publish at a job boundary and
+        // re-clone. Either way the decisions cannot change.
+        cell.publish(stride.replicate());
+        let t = RuntimeTelemetry::detached();
+        let cfg = RuntimeConfig { workers: 2, batch: 64, ..RuntimeConfig::default() };
+        let mut got = Vec::new();
+        let report = serve_lookups(&cell, &dests, &clues, &mut got, &cfg, Some(&t));
+        assert_eq!(got, want, "a bit-identical publish never changes decisions");
+        // Every core primed from the freshest snapshot (pin loads the
+        // current pointer), so no refresh was needed; the staleness
+        // histogram saw only zeros.
+        assert_eq!(report.cores.len(), 2);
+        assert!(t.staleness_epochs.snapshot().count > 0);
+    }
+
+    #[test]
+    fn mid_run_publish_refreshes_replicas_at_a_job_boundary() {
+        let (engine, dests, clues) = engine_fixture();
+        let stride = engine.freeze_stride(StrideConfig::default()).unwrap();
+        let cell = EpochCell::new(stride.replicate());
+        // A writer hammers bit-identical publishes while the runtime
+        // serves: workers must keep answering correctly and observe at
+        // least the publishes' existence (staleness/refresh counters),
+        // with zero locks anywhere on the path.
+        let (want, _) = stride.lookup_batch_vec(&dests, &clues);
+        std::thread::scope(|scope| {
+            let publisher = scope.spawn(|| {
+                for _ in 0..50 {
+                    cell.publish(stride.replicate());
+                    cell.reclaim();
+                    std::thread::yield_now();
+                }
+            });
+            let cfg = RuntimeConfig { workers: 4, batch: 16, ..RuntimeConfig::default() };
+            let mut got = Vec::new();
+            let report = serve_lookups(&cell, &dests, &clues, &mut got, &cfg, None);
+            assert_eq!(got, want, "bit-identical publishes never change decisions");
+            assert_eq!(report.packets, dests.len() as u64);
+            publisher.join().unwrap();
+        });
+        assert_eq!(cell.current_epoch(), 50);
+    }
+
+    #[test]
+    fn hop_map_answers_exactly_like_the_fib() {
+        let (net, _) = build(Method::Advance);
+        for r in net.routers() {
+            let map = PrefixHopMap::build(r.fib.iter().map(|(_, p, &h)| (p, h)));
+            for (rid, p, &hop) in r.fib.iter() {
+                let _ = rid;
+                assert_eq!(map.get(&p), Some(hop), "prefix {p}");
+            }
+            assert_eq!(map.get(&"203.0.113.0/24".parse().unwrap()), None);
+        }
+    }
+}

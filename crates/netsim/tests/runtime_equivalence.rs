@@ -1,0 +1,123 @@
+//! The serving runtime's determinism contract: for any network and
+//! seed, [`StrideNetwork::run_workload`] is **bit-identical** to the
+//! sequential live-engine reference [`run_workload_per_packet`] at
+//! every worker count, and [`serve_lookups`] returns exactly the
+//! plain batch lookup of the same inputs at every worker count.
+
+use clue_core::{
+    ClueEngine, EngineConfig, EpochCell, Method, StrideConfig,
+};
+use clue_lookup::Family;
+use clue_netsim::{
+    run_workload_per_packet, serve_lookups, Network, NetworkConfig, RuntimeConfig, StrideNetwork,
+    Topology,
+};
+use clue_trie::{Ip4, Prefix};
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn method(ix: u8) -> Method {
+    match ix % 3 {
+        0 => Method::Common,
+        1 => Method::Simple,
+        _ => Method::Advance,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Channel-fed multi-core routing folds to the same [`RunStats`]
+    /// as the scalar walk, bit for bit, regardless of worker count or
+    /// batch size.
+    #[test]
+    fn runtime_is_bit_identical_to_the_scalar_reference(
+        core in 2usize..5,
+        edges_per_core in 1usize..3,
+        specifics in 4usize..20,
+        net_seed in any::<u64>(),
+        run_seed in any::<u64>(),
+        method_ix in any::<u8>(),
+        batch in 1usize..64,
+        shift in any::<bool>(),
+    ) {
+        let (topo, edges) = Topology::backbone(core, edges_per_core);
+        let mut cfg = NetworkConfig::new(
+            edges.clone(),
+            EngineConfig::new(Family::Regular, method(method_ix)),
+        );
+        cfg.specifics_per_origin = specifics;
+        cfg.seed = net_seed;
+        if shift {
+            cfg.core = (0..core).collect();
+            cfg.shift_work_to_edges = true;
+        }
+        let mut net: Network<Ip4> = Network::build(topo, cfg);
+
+        let packets = 120;
+        let reference = run_workload_per_packet(&mut net, &edges, packets, run_seed);
+        let stride = StrideNetwork::freeze(&net, StrideConfig::default()).unwrap();
+        for workers in WORKER_COUNTS {
+            let runtime_cfg = RuntimeConfig { workers, batch, ..RuntimeConfig::default() };
+            let (stats, report) =
+                stride.run_workload_timed(&edges, packets, run_seed, &runtime_cfg, None);
+            prop_assert_eq!(
+                &stats, &reference,
+                "workers={} batch={} diverged from the scalar reference", workers, batch
+            );
+            let attributed: u64 = report.cores.iter().map(|c| c.packets).sum();
+            prop_assert_eq!(attributed, packets as u64, "every packet attributed to a core");
+        }
+    }
+
+    /// Engine-level serving returns the plain batch lookup, decision
+    /// for decision, at every worker count.
+    #[test]
+    fn serving_is_bit_identical_to_the_plain_batch_lookup(
+        prefix_blocks in 2u32..24,
+        packets in 1usize..600,
+        batch in 1usize..128,
+        seed in any::<u64>(),
+    ) {
+        let prefixes: Vec<Prefix<Ip4>> = (0..prefix_blocks)
+            .flat_map(|i| {
+                let base = (10u32 << 24) | (i << 16);
+                [Prefix::new(Ip4::from(base), 16), Prefix::new(Ip4::from(base | (1 << 8)), 24)]
+            })
+            .collect();
+        let engine = ClueEngine::precomputed(
+            &prefixes,
+            &prefixes,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let stride = engine.freeze_stride(StrideConfig::default()).unwrap();
+
+        let mut state = seed;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        let mut dests = Vec::with_capacity(packets);
+        let mut clues = Vec::with_capacity(packets);
+        for _ in 0..packets {
+            let block = next() % prefix_blocks;
+            dests.push(Ip4::from((10u32 << 24) | (block << 16) | (next() & 0xFFFF)));
+            clues.push(match next() % 3 {
+                0 => None,
+                1 => Some(Prefix::new(Ip4::from(10u32 << 24), 8)),
+                _ => Some(Prefix::new(Ip4::from((10u32 << 24) | (block << 16)), 16)),
+            });
+        }
+
+        let (want, want_stats) = stride.lookup_batch_vec(&dests, &clues);
+        let cell = EpochCell::new(stride);
+        for workers in WORKER_COUNTS {
+            let cfg = RuntimeConfig { workers, batch, ..RuntimeConfig::default() };
+            let mut got = Vec::new();
+            let report = serve_lookups(&cell, &dests, &clues, &mut got, &cfg, None);
+            prop_assert_eq!(&got, &want, "decisions diverged at {} workers", workers);
+            prop_assert_eq!(report.stats, want_stats, "class counts diverged at {} workers", workers);
+        }
+    }
+}

@@ -40,6 +40,7 @@ mod export;
 mod fault;
 mod lookup;
 mod registry;
+mod runtime;
 mod server;
 mod shard;
 mod stride;
@@ -50,6 +51,7 @@ pub use fault::DegradationTelemetry;
 pub use export::{parse_prometheus, to_json, to_prometheus, PromDocument};
 pub use lookup::{CacheTelemetry, LookupTelemetry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, Snapshot};
+pub use runtime::RuntimeTelemetry;
 pub use server::ScrapeServer;
 pub use stride::StrideTelemetry;
 pub use trace::{LookupClass, LookupEvent, RingBufferSubscriber, Subscriber};

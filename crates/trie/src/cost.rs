@@ -129,10 +129,21 @@ impl CostStats {
 
     /// Record the cost of one lookup.
     pub fn record(&mut self, cost: Cost) {
+        self.record_with_total(cost, cost.total());
+    }
+
+    /// As [`Self::record`] with the total precomputed — for hot
+    /// callers that already computed `cost.total()` for their own
+    /// accounting and record the same cost into several accumulators.
+    ///
+    /// # Panics
+    /// Debug-asserts that `total == cost.total()`.
+    #[inline]
+    pub fn record_with_total(&mut self, cost: Cost, total: u64) {
+        debug_assert_eq!(total, cost.total());
         self.samples += 1;
-        let t = cost.total();
-        self.total += t;
-        self.max = self.max.max(t);
+        self.total += total;
+        self.max = self.max.max(total);
         self.sum += cost;
     }
 
