@@ -1,0 +1,48 @@
+//! The fleet-scale topology simulator: building an internet-like
+//! fleet of stride-compiled routers, and routing a seeded flow
+//! workload through it at 1/2/4 worker cores (bit-identical shards, so
+//! the scaling curve is pure orchestration cost).
+
+use clue_netsim::{Fleet, FleetConfig, TopologyKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+const FLOWS: usize = 2_000;
+
+fn bench_fleet_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_build");
+    for routers in [128usize, 512] {
+        group.bench_function(BenchmarkId::new("transit_stub", routers), |b| {
+            b.iter(|| {
+                let fleet = Fleet::build(FleetConfig::new(routers, 1999)).expect("builds");
+                black_box(fleet.router_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fleet_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_routing");
+    group.throughput(Throughput::Elements(FLOWS as u64));
+    let fleet = Fleet::build(FleetConfig::new(256, 1999)).expect("builds");
+    group.bench_function("sequential", |b| {
+        b.iter(|| black_box(fleet.run_flows_sequential(FLOWS).hops))
+    });
+    for workers in [1usize, 2, 4] {
+        group.bench_function(BenchmarkId::new("workers", workers), |b| {
+            b.iter(|| black_box(fleet.run_flows(FLOWS, workers).stats.hops))
+        });
+    }
+
+    let mut config = FleetConfig::new(256, 1999);
+    config.topology = TopologyKind::Preferential;
+    let pref = Fleet::build(config).expect("builds");
+    group.bench_function("preferential", |b| {
+        b.iter(|| black_box(pref.run_flows(FLOWS, 2).stats.hops))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_build, bench_fleet_routing);
+criterion_main!(benches);

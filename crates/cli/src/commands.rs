@@ -85,6 +85,29 @@ usage:
                                                  --check proves the final
                                                  snapshot bit-identical to a
                                                  from-scratch rebuild
+  clue fleet [flows] [seed] [--routers N] [--topology transit-stub|preferential]
+             [--origins N] [--participation F] [--threads N] [--churn EVENTS]
+             [--json PATH] [--serve ADDR] [--check]
+                                                 fleet-scale simulator: an
+                                                 internet-like topology of N
+                                                 routers (default 1024), every
+                                                 router a stride-compiled
+                                                 engine bundle behind an epoch
+                                                 cell, ECMP flows with Zipf
+                                                 destination locality routed
+                                                 over the shared-nothing
+                                                 runtime; reports per-link
+                                                 clue hit/problematic/clueless
+                                                 rates and per-hop memory-
+                                                 reference savings vs a
+                                                 clue-less baseline; --churn
+                                                 applies EVENTS origin
+                                                 re-advertisements while
+                                                 serving workers keep routing;
+                                                 --check proves the sharded
+                                                 run bit-identical to the
+                                                 sequential reference at
+                                                 1/2/4/8 workers
   clue chaos [packets] [seed] [--faults SPEC] [--json PATH] [--serve ADDR]
              [--check]
                                                  fault-injection harness:
@@ -124,6 +147,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         Some("throughput") => throughput(&args[1..]),
         Some("churn") => churn(&args[1..]),
         Some("chaos") => chaos(&args[1..]),
+        Some("fleet") => fleet(&args[1..]),
         Some(other) => Err(format!("unknown command {other:?}")),
         None => Err("no command given".to_owned()),
     }
@@ -404,6 +428,18 @@ fn metrics(args: &[String]) -> Result<(), String> {
 
 /// Starts the zero-dependency scrape server on `addr` and announces
 /// the endpoint; the returned guard keeps it serving until dropped.
+/// Parses and validates the value of a `--threads N` flag — shared by
+/// every subcommand with a worker pool (`throughput --runtime`,
+/// `fleet`), so the validation rules can't drift apart.
+fn parse_threads(it: &mut std::slice::Iter<'_, String>) -> Result<usize, String> {
+    let threads: usize =
+        it.next().ok_or("--threads needs a value")?.parse().map_err(|_| "bad thread count")?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_owned());
+    }
+    Ok(threads)
+}
+
 fn start_scrape(addr: &str, registry: &Arc<Registry>) -> Result<ScrapeServer, String> {
     let server =
         ScrapeServer::start(addr, registry.clone()).map_err(|e| format!("--serve {addr}: {e}"))?;
@@ -1041,16 +1077,7 @@ fn throughput(args: &[String]) -> Result<(), String> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--runtime" => runtime_leg = true,
-            "--threads" => {
-                threads = it
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|_| "bad thread count")?;
-                if threads == 0 {
-                    return Err("--threads must be at least 1".to_owned());
-                }
-            }
+            "--threads" => threads = parse_threads(&mut it)?,
             "--table" => {
                 table = it
                     .next()
@@ -1583,6 +1610,278 @@ fn chaos(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Fleet-scale topology simulator with clue-coverage analytics: builds
+/// an internet-like topology with every router a stride-compiled
+/// engine bundle behind an epoch cell, routes ECMP flows with Zipf
+/// destination locality over the shared-nothing runtime, and reports
+/// per-link clue outcome rates and per-hop memory-reference savings
+/// against a clue-less baseline. `--churn` adds the live leg: origin
+/// re-advertisements republished fleet-wide while serving workers keep
+/// routing. `--check` proves the sharded run bit-identical to the
+/// sequential reference at 1/2/4/8 workers.
+fn fleet(args: &[String]) -> Result<(), String> {
+    let mut flows = 20_000usize;
+    let mut seed = 1u64;
+    let mut routers = 1_024usize;
+    let mut topology = clue_netsim::TopologyKind::TransitStub;
+    let mut origins: Option<usize> = None;
+    let mut participation = 1.0f64;
+    let mut threads = clue_netsim::available_workers();
+    let mut churn_events = 0usize;
+    let mut json_path: Option<String> = None;
+    let mut serve: Option<String> = None;
+    let mut check = false;
+    let mut positional = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--routers" => {
+                routers = it
+                    .next()
+                    .ok_or("--routers needs a count")?
+                    .parse()
+                    .map_err(|_| "bad router count")?;
+                if routers < 2 {
+                    return Err("--routers must be at least 2".to_owned());
+                }
+            }
+            "--topology" => {
+                topology = match it.next().ok_or("--topology needs a kind")?.as_str() {
+                    "transit-stub" => clue_netsim::TopologyKind::TransitStub,
+                    "preferential" => clue_netsim::TopologyKind::Preferential,
+                    other => {
+                        return Err(format!(
+                            "unknown topology {other:?} (transit-stub | preferential)"
+                        ))
+                    }
+                };
+            }
+            "--origins" => {
+                let o: usize = it
+                    .next()
+                    .ok_or("--origins needs a count")?
+                    .parse()
+                    .map_err(|_| "bad origin count")?;
+                if o == 0 {
+                    return Err("--origins must be at least 1".to_owned());
+                }
+                origins = Some(o);
+            }
+            "--participation" => {
+                participation = it
+                    .next()
+                    .ok_or("--participation needs a fraction")?
+                    .parse()
+                    .map_err(|_| "bad participation fraction")?;
+                if !(0.0..=1.0).contains(&participation) {
+                    return Err("--participation must be in 0..=1".to_owned());
+                }
+            }
+            "--threads" => threads = parse_threads(&mut it)?,
+            "--churn" => {
+                churn_events = it
+                    .next()
+                    .ok_or("--churn needs an event count")?
+                    .parse()
+                    .map_err(|_| "bad churn event count")?;
+                if churn_events == 0 {
+                    return Err("--churn needs at least 1 event".to_owned());
+                }
+            }
+            "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
+            "--serve" => serve = Some(it.next().ok_or("--serve needs an address")?.clone()),
+            "--check" => check = true,
+            other => {
+                match positional {
+                    0 => flows = other.parse().map_err(|_| "bad flow count")?,
+                    1 => seed = other.parse().map_err(|_| "bad seed")?,
+                    _ => return Err(format!("unexpected argument {other:?}")),
+                }
+                positional += 1;
+            }
+        }
+    }
+    if flows == 0 {
+        return Err("flow count must be at least 1".to_owned());
+    }
+
+    let registry = Arc::new(Registry::new());
+    let telemetry = clue_telemetry::FleetTelemetry::registered(&registry, "clue_fleet");
+    let _server = match &serve {
+        Some(addr) => Some(start_scrape(addr, &registry)?),
+        None => None,
+    };
+
+    let mut config = clue_netsim::FleetConfig::new(routers, seed);
+    config.topology = topology;
+    config.participation = participation;
+    if let Some(o) = origins {
+        config.origins = o;
+    }
+    let topo_label = match topology {
+        clue_netsim::TopologyKind::TransitStub => "transit-stub",
+        clue_netsim::TopologyKind::Preferential => "preferential",
+    };
+
+    let t0 = std::time::Instant::now();
+    let fleet = clue_netsim::Fleet::build(config).map_err(|e| format!("fleet build: {e:?}"))?;
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    telemetry.routers.set(fleet.router_count() as f64);
+    telemetry.links.set(fleet.link_count() as f64);
+    println!(
+        "fleet: {} routers, {} links ({} directed), {} origins, {topo_label} topology, \
+         built in {build_ms:.0} ms",
+        fleet.router_count(),
+        fleet.link_count(),
+        fleet.directed_link_count(),
+        fleet.origin_routers().len(),
+    );
+
+    let run = fleet.run_flows(flows, threads);
+    let stats = &run.stats;
+    let route_ms = run.elapsed_ns as f64 / 1e6;
+    let flows_pps = flows as f64 / (run.elapsed_ns.max(1) as f64 / 1e9);
+
+    if check {
+        let reference = fleet.run_flows_sequential(flows);
+        for workers in [1usize, 2, 4, 8] {
+            let sharded = fleet.run_flows(flows, workers);
+            if sharded.stats != reference {
+                return Err(format!(
+                    "fleet check failed: {workers}-worker run diverged from the \
+                     sequential reference"
+                ));
+            }
+        }
+        if *stats != reference {
+            return Err(format!(
+                "fleet check failed: {threads}-worker run diverged from the \
+                 sequential reference"
+            ));
+        }
+        println!("determinism check: sequential == 1/2/4/8 workers (bit-identical)");
+    }
+
+    let clued = stats.link_hits() + stats.link_problematic() + stats.link_misses();
+    println!(
+        "flows: {} routed x{threads} in {route_ms:.0} ms ({flows_pps:.0} flows/s), \
+         {} delivered, {} dropped, {} hops ({} clued)",
+        stats.flows, stats.delivered, stats.dropped, stats.hops, stats.clue_hops,
+    );
+    if clued > 0 {
+        println!(
+            "clue outcomes: {} hits ({:.1}%), {} problematic ({:.1}%), {} misses ({:.1}%), \
+             {} clueless link crossings",
+            stats.link_hits(),
+            stats.link_hits() as f64 * 100.0 / clued as f64,
+            stats.link_problematic(),
+            stats.link_problematic() as f64 * 100.0 / clued as f64,
+            stats.link_misses(),
+            stats.link_misses() as f64 * 100.0 / clued as f64,
+            stats.link_clueless(),
+        );
+    }
+    println!(
+        "memory references: {} with clues vs {} baseline -> {:.1}% saved end to end",
+        stats.clue_refs,
+        stats.baseline_refs,
+        stats.savings() * 100.0,
+    );
+    for (pos, h) in stats.per_hop.iter().take(8).enumerate() {
+        println!(
+            "  hop {pos}: {:>9} lookups, {:>6.2} refs/lookup vs {:>6.2} baseline \
+             ({:>5.1}% saved)",
+            h.hops,
+            h.clue_refs as f64 / h.hops.max(1) as f64,
+            h.base_refs as f64 / h.hops.max(1) as f64,
+            h.savings() * 100.0,
+        );
+    }
+
+    let churn_report = if churn_events > 0 {
+        let mut churn_config = clue_netsim::FleetChurnConfig::new(seed ^ 0xC4A1);
+        churn_config.events = churn_events;
+        churn_config.workers = threads.min(4);
+        let report = fleet.run_churn(&churn_config);
+        println!(
+            "churn: {} events, {} bundles republished ({} reclaimed) in {:.0} ms; \
+             served {} flows live, max staleness {} epochs, {} stale-snapshot hops",
+            report.events,
+            report.republished,
+            report.reclaimed,
+            report.rebuild_ns as f64 / 1e6,
+            report.stats.flows,
+            report.stats.max_staleness,
+            report.stats.lagged_hops,
+        );
+        Some(report)
+    } else {
+        None
+    };
+
+    fleet.record(stats, churn_report.as_ref(), &telemetry);
+
+    if let Some(path) = &json_path {
+        let mut per_hop = String::new();
+        for (pos, h) in stats.per_hop.iter().enumerate() {
+            let sep = if pos + 1 < stats.per_hop.len() { "," } else { "" };
+            write!(
+                per_hop,
+                "\n    {{\"hop\": {pos}, \"lookups\": {}, \"clue_refs\": {}, \
+                 \"base_refs\": {}, \"savings\": {:.4}}}{sep}",
+                h.hops, h.clue_refs, h.base_refs, h.savings(),
+            )
+            .expect("write to string");
+        }
+        let churn_json = match &churn_report {
+            Some(c) => format!(
+                ",\n  \"churn_events\": {},\n  \"churn_republished\": {},\n  \
+                 \"churn_reclaimed\": {},\n  \"churn_rebuild_ms\": {:.1},\n  \
+                 \"churn_max_staleness\": {},\n  \"churn_stale_hops\": {},\n  \
+                 \"churn_served_lookups_total\": {}",
+                c.events,
+                c.republished,
+                c.reclaimed,
+                c.rebuild_ns as f64 / 1e6,
+                c.stats.max_staleness,
+                c.stats.lagged_hops,
+                c.stats.flows,
+            ),
+            None => String::new(),
+        };
+        let json = format!(
+            "{{\n  \"routers\": {},\n  \"links\": {},\n  \"directed_links\": {},\n  \
+             \"origins\": {},\n  \"topology\": \"{topo_label}\",\n  \"flows\": {},\n  \
+             \"seed\": {seed},\n  \"participation\": {participation},\n  \
+             \"delivered\": {},\n  \"dropped\": {},\n  \"hops\": {},\n  \
+             \"clue_hops\": {},\n  \"link_hits\": {},\n  \"link_problematic\": {},\n  \
+             \"link_misses\": {},\n  \"link_clueless\": {},\n  \"clue_refs\": {},\n  \
+             \"baseline_refs\": {},\n  \"savings\": {:.4},\n  \"checked\": {check},\n  \
+             \"build_ms\": {build_ms:.1},\n  \"route_ms\": {route_ms:.1},\n  \
+             \"flows_pps\": {flows_pps:.0}{churn_json},\n  \"per_hop\": [{per_hop}\n  ]\n}}\n",
+            fleet.router_count(),
+            fleet.link_count(),
+            fleet.directed_link_count(),
+            fleet.origin_routers().len(),
+            stats.flows,
+            stats.delivered,
+            stats.dropped,
+            stats.hops,
+            stats.clue_hops,
+            stats.link_hits(),
+            stats.link_problematic(),
+            stats.link_misses(),
+            stats.link_clueless(),
+            stats.clue_refs,
+            stats.baseline_refs,
+            stats.savings(),
+        );
+        fs::write(path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1730,6 +2029,40 @@ mod tests {
         assert!(run(&s(&["chaos", "--faults", "gremlins"])).is_err());
         assert!(run(&s(&["chaos", "--faults"])).is_err());
         assert!(run(&s(&["chaos", "1", "2", "3"])).is_err());
+    }
+
+    #[test]
+    fn fleet_runs_checks_and_exports() {
+        let dir = std::env::temp_dir().join("clue-cli-test10");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("fleet.json");
+        let j = json.to_str().unwrap().to_owned();
+        run(&s(&[
+            "fleet", "400", "3", "--routers", "72", "--origins", "8", "--threads", "2",
+            "--churn", "2", "--check", "--json", &j,
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        assert!(text.contains("\"checked\": true"), "bad export: {text}");
+        assert!(text.contains("\"dropped\": 0"), "bad export: {text}");
+        assert!(text.contains("\"topology\": \"transit-stub\""));
+        assert!(text.contains("\"savings\""));
+        assert!(text.contains("\"link_hits\""));
+        assert!(text.contains("\"per_hop\""));
+        assert!(text.contains("\"flows_pps\""));
+        assert!(text.contains("\"churn_events\": 2"));
+        assert!(text.contains("\"churn_rebuild_ms\""));
+        run(&s(&["fleet", "200", "3", "--routers", "48", "--topology", "preferential"]))
+            .unwrap();
+        assert!(run(&s(&["fleet", "0"])).is_err());
+        assert!(run(&s(&["fleet", "--routers", "1"])).is_err());
+        assert!(run(&s(&["fleet", "--routers"])).is_err());
+        assert!(run(&s(&["fleet", "--topology", "torus"])).is_err());
+        assert!(run(&s(&["fleet", "--threads", "0"])).is_err());
+        assert!(run(&s(&["fleet", "--participation", "1.5"])).is_err());
+        assert!(run(&s(&["fleet", "--origins", "0"])).is_err());
+        assert!(run(&s(&["fleet", "--churn", "0"])).is_err());
+        assert!(run(&s(&["fleet", "1", "2", "3"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,1311 @@
+//! Fleet-scale topology simulator with clue-coverage analytics.
+//!
+//! Where [`Network`](crate::Network) studies one clue deployment in a
+//! handful of routers, this module asks the *deployment* question:
+//! what does "Routing with a Clue" buy across an internet-like fleet
+//! of thousands of routers?  It layers three things on the existing
+//! pieces:
+//!
+//! * **Internet-like topologies** — the hierarchical transit-stub and
+//!   preferential-attachment generators of
+//!   [`Topology`](crate::Topology), sized to a target router count;
+//! * **ECMP forwarding** — every origin gets an [`EcmpTree`] keeping
+//!   *all* shortest next hops, and each flow picks one per hop by a
+//!   hash of its flow key and hop position (never of router ids, so
+//!   choices survive renumbering — see `ecmp_renumbering` proptests);
+//! * **Stride-compiled routers behind epoch cells** — every router's
+//!   forwarding state (one clue-less base [`StrideEngine`] plus one
+//!   precomputed clue engine per incoming link) is compiled once and
+//!   published through an [`EpochCell`], so a churn builder can
+//!   republish routers barrier-free while serving workers keep
+//!   routing off pinned snapshots.
+//!
+//! The packet leg reuses the PR-7 shared-nothing recipe: contiguous
+//! flow-range jobs on lock-free SPSC feeds, per-worker integer
+//! accumulators merged after the run. Each flow's drawing RNG is a
+//! private SplitMix64-seeded stream of its *index*, and every merge is
+//! a commutative integer add, so [`Fleet::run_flows`] is bit-identical
+//! to [`Fleet::run_flows_sequential`] at any worker count — the
+//! `--check` mode of `clue fleet` asserts exactly that.
+//!
+//! What comes out is the fleet view the paper never had room for:
+//! per-link clue hit / problematic / clueless rates, per-hop-position
+//! and end-to-end memory-reference savings against a clue-less
+//! baseline run over the *same* hops, and churn-induced staleness per
+//! router.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use clue_core::channel::{mpsc, spsc, SpscReceiver, TryRecvError};
+use clue_core::{
+    ClueEngine, ClueHeader, EngineConfig, EpochCell, EpochGuard, EpochReader, Method,
+    StrideConfig, StrideEngine, StrideError, NO_TAG,
+};
+use clue_lookup::Family;
+use clue_tablegen::{rebase_into_block, synthesize_ipv4, ZipfSampler};
+use clue_telemetry::{FleetTelemetry, LookupClass};
+use clue_trie::{Address, Cost, Ip4, Prefix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::parallel::packet_seed;
+use crate::runtime::{Backoff, Job};
+use crate::topology::{EcmpTree, RouterId, Topology};
+
+/// Origin sentinel for a tag whose prefix is not in the router's FIB.
+const NO_ORIGIN: u32 = u32::MAX;
+
+/// Salt separating the flow-drawing streams from the seed's other
+/// uses (topology build, participation draw, churn).
+const FLOW_SALT: u64 = 0x5EED_F10E;
+
+/// Per-link outcome rows: hit / problematic / miss / clueless.
+const LINK_HIT: usize = 0;
+const LINK_PROBLEMATIC: usize = 1;
+const LINK_MISS: usize = 2;
+const LINK_CLUELESS: usize = 3;
+
+/// Which topology family the fleet is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// Hierarchical transit-stub (Zegura-style): transit domains in a
+    /// ring, stub domains hanging off transit routers, some stubs
+    /// multihomed.
+    TransitStub,
+    /// Preferential attachment (Barabási–Albert): heavy-tailed degree
+    /// distribution with a few hub routers.
+    Preferential,
+}
+
+/// Configuration of a [`Fleet`] build.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Target router count; the generated topology has at least this
+    /// many routers (transit-stub rounds up to whole stub domains).
+    pub routers: usize,
+    /// Topology family.
+    pub topology: TopologyKind,
+    /// Routers that originate address space (spread over the stub /
+    /// low-degree routers). Capped at `2^block_len`.
+    pub origins: usize,
+    /// Specifics advertised per origin (before rebase dedup).
+    pub specifics_per_origin: usize,
+    /// Disjointness length of origin blocks.
+    pub block_len: u8,
+    /// Distance-decaying detail bands `(max_distance, prefix_len)`,
+    /// checked in order; the last band should be the origin-block
+    /// aggregate so every router can route every flow.
+    pub bands: Vec<(usize, u8)>,
+    /// Clue-engine configuration for the per-link engines.
+    pub engine: EngineConfig,
+    /// Stride shape for the compiled engines. Keep it small: a fleet
+    /// compiles `routers + 2·links` engines.
+    pub stride: StrideConfig,
+    /// Fraction of routers that participate in the clue scheme
+    /// (Section 5.3's heterogeneous deployment).
+    pub participation: f64,
+    /// Zipf exponent of the destination-locality draw over origins.
+    pub zipf_exponent: f64,
+    /// Seed for topology, address plan, participation and flows.
+    pub seed: u64,
+}
+
+impl FleetConfig {
+    /// Defaults for a fleet of at least `routers` routers: transit-stub
+    /// topology, `routers/12` origins (8..=192), 6 specifics each in
+    /// disjoint /14 blocks, detail decaying /24 → /20 → /14, Advance
+    /// method over a small (8, 4) stride shape, full participation,
+    /// Zipf(0.9) destination locality.
+    pub fn new(routers: usize, seed: u64) -> Self {
+        FleetConfig {
+            routers,
+            topology: TopologyKind::TransitStub,
+            origins: (routers / 12).clamp(8, 192),
+            specifics_per_origin: 6,
+            block_len: 14,
+            bands: vec![(1, 24), (3, 20), (usize::MAX, 14)],
+            engine: EngineConfig::new(Family::Regular, Method::Advance),
+            stride: StrideConfig::new(8, 4),
+            participation: 1.0,
+            zipf_exponent: 0.9,
+            seed,
+        }
+    }
+}
+
+/// One synthetic flow: a source router, a destination address inside
+/// some origin's block, and the flow key hashed for ECMP choices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flow {
+    /// Router the flow enters the fleet at.
+    pub src: RouterId,
+    /// Destination address.
+    pub dest: Ip4,
+    /// Random flow key; the only flow input to ECMP tie-breaks.
+    pub key: u64,
+}
+
+/// One router's compiled forwarding state: the value type inside the
+/// per-router [`EpochCell`].
+struct FleetRouter {
+    /// Does this router use (and stamp) clues? Non-participants route
+    /// with `base` and relay the incoming header (Section 5.3).
+    participates: bool,
+    /// Clue-less engine: the baseline, and the resolver for clueless
+    /// hops. Compiled with `Method::Common`.
+    base: StrideEngine<Ip4>,
+    /// One clue engine per incoming link, indexed by the position of
+    /// the upstream router in `topology.neighbors(r)`. Empty for
+    /// non-participants.
+    engines: Vec<StrideEngine<Ip4>>,
+    /// `base.tag_prefixes()[tag]` → origin index ([`NO_ORIGIN`] when
+    /// the tag prefix left the FIB).
+    base_origins: Vec<u32>,
+    /// As `base_origins`, per clue engine.
+    engine_origins: Vec<Vec<u32>>,
+}
+
+impl FleetRouter {
+    /// Origin of the tag `engine` (`None` = base) resolved to.
+    #[inline]
+    fn origin_of(&self, engine: Option<usize>, tag: u32) -> u32 {
+        let table = match engine {
+            Some(e) => &self.engine_origins[e],
+            None => &self.base_origins,
+        };
+        table.get(tag as usize).copied().unwrap_or(NO_ORIGIN)
+    }
+}
+
+/// The built fleet: topology, address plan, ECMP trees, and one
+/// epoch-published [`FleetRouter`] per router.
+pub struct Fleet {
+    config: FleetConfig,
+    topology: Topology,
+    /// Origin index → the router originating that block.
+    origin_routers: Vec<RouterId>,
+    /// Router → origin index it originates, [`NO_ORIGIN`] otherwise.
+    origin_of_router: Vec<u32>,
+    /// Per-origin rebased specifics (sorted, disjoint across origins).
+    specifics: Vec<Vec<Prefix<Ip4>>>,
+    /// Per-origin ECMP shortest-path DAGs.
+    ecmp: Vec<EcmpTree>,
+    /// Routers flows may enter at (stub / low-degree routers).
+    sources: Vec<RouterId>,
+    /// Destination-locality sampler over origins.
+    zipf: ZipfSampler,
+    /// Per-router participation, drawn once at build.
+    participates: Vec<bool>,
+    /// Per-router compiled state behind epoch cells.
+    cells: Vec<EpochCell<FleetRouter>>,
+    /// Router → first dense directed-link slot (prefix sum of degree).
+    link_base: Vec<u32>,
+    /// Dense directed-link slot → upstream router.
+    link_from: Vec<RouterId>,
+}
+
+/// Sizes a transit-stub build so the total reaches at least `target`.
+fn transit_stub_shape(target: usize) -> (usize, usize, usize, usize) {
+    let domains = (target / 300 + 2).clamp(2, 8);
+    let transit_size = 4;
+    let stub_size = 8;
+    let transit = domains * transit_size;
+    let per_transit_capacity = transit * stub_size;
+    let stubs_per_transit =
+        target.saturating_sub(transit).div_ceil(per_transit_capacity).max(1);
+    (domains, transit_size, stubs_per_transit, stub_size)
+}
+
+impl Fleet {
+    /// Builds the fleet: topology, per-origin specifics rebased into
+    /// disjoint blocks, per-router FIBs with distance-decaying detail,
+    /// ECMP trees, and every router's engine bundle compiled and
+    /// published at epoch 0.
+    pub fn build(config: FleetConfig) -> Result<Self, StrideError> {
+        assert!(config.routers >= 2, "a fleet needs at least two routers");
+        assert!(config.specifics_per_origin > 0, "origins must advertise something");
+        assert!(
+            config.bands.last().is_some_and(|&(d, l)| d == usize::MAX && l == config.block_len),
+            "the last band must install the origin-block aggregate everywhere"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // -- Topology and roles ---------------------------------------
+        let (topology, mut sources) = match config.topology {
+            TopologyKind::TransitStub => {
+                let (d, ts, spt, ss) = transit_stub_shape(config.routers);
+                Topology::transit_stub(d, ts, spt, ss, config.seed)
+            }
+            TopologyKind::Preferential => {
+                let t = Topology::preferential_attachment(config.routers, 2, config.seed);
+                // Flows enter at the fringe: routers of minimal degree.
+                let min_deg =
+                    (0..t.len()).map(|r| t.neighbors(r).len()).min().unwrap_or(0);
+                let sources: Vec<RouterId> =
+                    (0..t.len()).filter(|&r| t.neighbors(r).len() == min_deg).collect();
+                (t, sources)
+            }
+        };
+        if sources.is_empty() {
+            sources = (0..topology.len()).collect();
+        }
+        let n = topology.len();
+
+        // Origins: an even spread over the source routers.
+        let origins = config.origins.clamp(1, 1 << config.block_len).min(sources.len());
+        let origin_routers: Vec<RouterId> =
+            (0..origins).map(|i| sources[i * sources.len() / origins]).collect();
+        let mut origin_of_router = vec![NO_ORIGIN; n];
+        for (oi, &r) in origin_routers.iter().enumerate() {
+            origin_of_router[r] = oi as u32;
+        }
+
+        // -- Address plan ---------------------------------------------
+        let min_len = config.block_len + 2;
+        let max_len = 28.max(min_len);
+        let specifics: Vec<Vec<Prefix<Ip4>>> = (0..origins)
+            .map(|oi| {
+                let raw = synthesize_ipv4(
+                    config.specifics_per_origin,
+                    config.seed ^ (oi as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                rebase_into_block(&raw, oi as u128, config.block_len, min_len, max_len)
+            })
+            .collect();
+        let ecmp: Vec<EcmpTree> =
+            origin_routers.iter().map(|&r| topology.ecmp_toward(r)).collect();
+
+        // Destination locality over origins, drawn once at build time.
+        let zipf = ZipfSampler::new(origins, config.zipf_exponent, &mut rng);
+
+        // -- Per-router FIBs ------------------------------------------
+        // Each entry is (prefix, origin); origins' blocks are disjoint,
+        // so the merged table is conflict-free and sorted.
+        let band_len = |dist: usize| -> u8 {
+            config
+                .bands
+                .iter()
+                .find(|&&(max_d, _)| dist <= max_d)
+                .map(|&(_, l)| l)
+                .unwrap_or(config.block_len)
+        };
+        let fibs: Vec<Vec<(Prefix<Ip4>, u32)>> = (0..n)
+            .map(|r| {
+                let mut fib: Vec<(Prefix<Ip4>, u32)> = Vec::new();
+                for (oi, specs) in specifics.iter().enumerate() {
+                    if origin_of_router[r] == oi as u32 {
+                        fib.extend(specs.iter().map(|&p| (p, oi as u32)));
+                        continue;
+                    }
+                    let dist = ecmp[oi].distance(r).unwrap_or(usize::MAX);
+                    let len = band_len(dist);
+                    let mut seen: Option<Prefix<Ip4>> = None;
+                    for s in specs {
+                        let t = s.truncate(len.min(s.len()));
+                        if seen != Some(t) {
+                            // Truncation collapses sorted neighbors;
+                            // a full dedup pass still runs below.
+                            fib.push((t, oi as u32));
+                            seen = Some(t);
+                        }
+                    }
+                }
+                fib.sort_unstable();
+                fib.dedup();
+                fib
+            })
+            .collect();
+
+        // -- Participation --------------------------------------------
+        let participates: Vec<bool> =
+            (0..n).map(|_| rng.random_bool(config.participation.clamp(0.0, 1.0))).collect();
+
+        // -- Dense directed-link indexing -----------------------------
+        let mut link_base = Vec::with_capacity(n + 1);
+        let mut link_from = Vec::new();
+        let mut acc = 0u32;
+        for r in 0..n {
+            link_base.push(acc);
+            for &nb in topology.neighbors(r) {
+                link_from.push(nb);
+                acc += 1;
+            }
+        }
+        link_base.push(acc);
+
+        // -- Compile and publish every router -------------------------
+        let mut cells = Vec::with_capacity(n);
+        for (r, &active) in participates.iter().enumerate() {
+            let router = compile_router(&topology, &fibs, &ecmp, r, active, &config)?;
+            cells.push(EpochCell::new(router));
+        }
+
+        Ok(Fleet {
+            config,
+            topology,
+            origin_routers,
+            origin_of_router,
+            specifics,
+            ecmp,
+            sources,
+            zipf,
+            participates,
+            cells,
+            link_base,
+            link_from,
+        })
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// The generated topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Routers in the fleet.
+    pub fn router_count(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Undirected links in the fleet.
+    pub fn link_count(&self) -> usize {
+        self.topology.link_count()
+    }
+
+    /// Directed links (potential clue attachment points).
+    pub fn directed_link_count(&self) -> usize {
+        self.link_from.len()
+    }
+
+    /// Origin routers, by origin index.
+    pub fn origin_routers(&self) -> &[RouterId] {
+        &self.origin_routers
+    }
+
+    /// One registered epoch reader per router — a worker registers its
+    /// set once and re-pins at batch boundaries.
+    fn readers(&self) -> Vec<EpochReader<'_, FleetRouter>> {
+        self.cells.iter().map(|c| c.reader()).collect()
+    }
+
+    /// Draws flow `index` of the seeded workload: a private RNG stream
+    /// per index, so any contiguous sharding of indices sees the same
+    /// flows.
+    pub fn draw_flow(&self, index: u64) -> Flow {
+        let mut rng =
+            StdRng::seed_from_u64(packet_seed(self.config.seed ^ FLOW_SALT, index));
+        let src = self.sources[rng.random_range(0..self.sources.len())];
+        let oi = self.zipf.sample(&mut rng).expect("a fleet has at least one origin");
+        let specs = &self.specifics[oi];
+        let p = specs[rng.random_range(0..specs.len())];
+        let span = (Ip4::BITS - p.len()) as u32;
+        let host = if span == 0 { 0 } else { (rng.random::<u64>() as u128) & ((1u128 << span) - 1) };
+        let dest = Ip4::from_u128(p.bits().to_u128() | host);
+        let key = rng.random::<u64>();
+        Flow { src, dest, key }
+    }
+
+    /// Routes flows `lo..hi` into `acc` against one set of pinned
+    /// router snapshots (the packet leg pins epoch-0 snapshots; the
+    /// churn leg sees whatever the builder had published at pin time).
+    fn route_range(
+        &self,
+        guards: &[EpochGuard<'_, FleetRouter>],
+        lo: u64,
+        hi: u64,
+        acc: &mut FleetAccum,
+    ) {
+        for i in lo..hi {
+            let flow = self.draw_flow(i);
+            self.route_flow(guards, &flow, acc);
+        }
+    }
+
+    /// Walks one flow hop by hop. Every hop resolves through the
+    /// pinned router's stride engines exactly like
+    /// [`StrideNetwork`](crate::StrideNetwork)'s walk; clued hops
+    /// additionally run the clue-less base lookup on the same
+    /// (router, destination) to price the baseline — soundness
+    /// guarantees both resolve the same BMP, so the baseline run
+    /// walks the *same* path and the per-hop savings are exact.
+    fn route_flow(
+        &self,
+        guards: &[EpochGuard<'_, FleetRouter>],
+        flow: &Flow,
+        acc: &mut FleetAccum,
+    ) {
+        acc.flows += 1;
+        let mut header = ClueHeader::none();
+        let mut prev: Option<RouterId> = None;
+        let mut cur = flow.src;
+        // ECMP choices strictly decrease the distance to the origin,
+        // so a walk can't loop; the cap is pure defence.
+        let max_hops = self.topology.len() + 4;
+        for pos in 0..max_hops {
+            // Guards are pinned per job batch (the runtime's epoch
+            // refresh at job boundaries): a hop served while the churn
+            // builder has moved on counts as stale.
+            let lag = guards[cur].lag();
+            acc.max_staleness = acc.max_staleness.max(lag);
+            acc.lagged_hops += u64::from(lag > 0);
+            let node: &FleetRouter = &guards[cur];
+
+            // Engine choice mirrors the serving runtime: a clue engine
+            // runs iff the router participates, the link has a slot,
+            // and the header carries a decodable clue.
+            let slot = prev.map(|p| {
+                self.topology
+                    .neighbors(cur)
+                    .iter()
+                    .position(|&x| x == p)
+                    .expect("prev is a neighbor of cur")
+            });
+            let clue = header.decode(flow.dest);
+            let engine = match slot {
+                Some(s) if node.participates && clue.is_some() && s < node.engines.len() => {
+                    Some(s)
+                }
+                _ => None,
+            };
+
+            let mut cost = Cost::new();
+            let (tag, class) = match engine {
+                Some(e) => {
+                    let eng = &node.engines[e];
+                    let op = eng.lookup_prepare(flow.dest, clue);
+                    eng.lookup_finish_tag(op, flow.dest, clue, &mut cost)
+                }
+                None => {
+                    let op = node.base.lookup_prepare(flow.dest, None);
+                    node.base.lookup_finish_tag(op, flow.dest, None, &mut cost)
+                }
+            };
+
+            // Baseline: what the same hop costs with no clue at all.
+            let base_cost = match engine {
+                Some(_) => {
+                    let mut c = Cost::new();
+                    let op = node.base.lookup_prepare(flow.dest, None);
+                    node.base.lookup_finish_tag(op, flow.dest, None, &mut c);
+                    c
+                }
+                None => cost,
+            };
+
+            // Per-link attribution (only hops that crossed a link).
+            if let (Some(p), Some(s)) = (prev, slot) {
+                debug_assert_eq!(self.link_from[self.link_base[cur] as usize + s], p);
+                let link = self.link_base[cur] as usize + s;
+                let row = match (engine, class) {
+                    (Some(_), LookupClass::Final) => LINK_HIT,
+                    (Some(_), LookupClass::Continued) => LINK_PROBLEMATIC,
+                    (Some(_), LookupClass::Miss) => LINK_MISS,
+                    _ => LINK_CLUELESS,
+                };
+                acc.per_link[link][row] += 1;
+            }
+
+            acc.record_hop(pos, engine.is_some(), &cost, &base_cost);
+
+            if tag == NO_TAG {
+                acc.dropped += 1;
+                return;
+            }
+            let origin = node.origin_of(engine, tag);
+            if origin == NO_ORIGIN {
+                acc.dropped += 1;
+                return;
+            }
+
+            // Participants stamp their BMP as the next hop's clue;
+            // non-participants relay the incoming header (Section 5.3).
+            if node.participates {
+                let bmp = match engine {
+                    Some(e) => node.engines[e].tag_prefixes()[tag as usize],
+                    None => node.base.tag_prefixes()[tag as usize],
+                };
+                header = ClueHeader::with_clue(&bmp);
+            }
+
+            if self.origin_routers[origin as usize] == cur {
+                acc.delivered += 1;
+                return;
+            }
+            let Some(next) = self.ecmp[origin as usize].next_hop(cur, flow.key, pos) else {
+                acc.dropped += 1;
+                return;
+            };
+            prev = Some(cur);
+            cur = next;
+        }
+        acc.dropped += 1;
+    }
+
+    /// Routes `flows` flows on one thread — the reference the sharded
+    /// run must match bit for bit.
+    pub fn run_flows_sequential(&self, flows: usize) -> FleetStats {
+        let mut readers = self.readers();
+        let guards: Vec<EpochGuard<'_, FleetRouter>> =
+            readers.iter_mut().map(|r| r.pin()).collect();
+        let mut acc = FleetAccum::new(self.link_from.len());
+        self.route_range(&guards, 0, flows as u64, &mut acc);
+        drop(guards);
+        self.finish(acc)
+    }
+
+    /// Routes `flows` flows over `workers` OS threads: contiguous
+    /// flow-range jobs on per-worker SPSC feeds, per-worker
+    /// accumulators merged in worker order. Bit-identical to
+    /// [`Self::run_flows_sequential`] at any worker count.
+    pub fn run_flows(&self, flows: usize, workers: usize) -> FleetRunReport {
+        let workers = workers.max(1);
+        let batch = 64u64;
+        let links = self.link_from.len();
+
+        let mut feeds = Vec::with_capacity(workers);
+        let mut worker_rx: Vec<Option<SpscReceiver<Job>>> = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = spsc::<Job>(64);
+            feeds.push(tx);
+            worker_rx.push(Some(rx));
+        }
+        let (res_tx, mut res_rx) = mpsc::<(usize, FleetAccum)>(workers);
+        let priming = AtomicUsize::new(workers);
+        let mut shards: Vec<Option<FleetAccum>> = (0..workers).map(|_| None).collect();
+        let mut elapsed_ns = 0u64;
+
+        std::thread::scope(|scope| {
+            for (w, slot) in worker_rx.iter_mut().enumerate() {
+                let mut rx = slot.take().expect("receiver consumed once");
+                let res_tx = res_tx.clone();
+                let priming = &priming;
+                let this = &*self;
+                scope.spawn(move || {
+                    // Priming = registering this worker's epoch readers
+                    // (one per router), hoisted out of the timed region
+                    // like the serving runtime's replica clones.
+                    let mut readers = this.readers();
+                    priming.fetch_sub(1, Ordering::Release);
+                    let mut acc = FleetAccum::new(links);
+                    loop {
+                        match rx.try_recv() {
+                            Ok(job) => {
+                                // Pin per job: the runtime's epoch
+                                // refresh at job boundaries.
+                                let guards: Vec<EpochGuard<'_, FleetRouter>> =
+                                    readers.iter_mut().map(|r| r.pin()).collect();
+                                this.route_range(&guards, job.lo, job.hi, &mut acc);
+                            }
+                            Err(TryRecvError::Empty) => std::thread::yield_now(),
+                            Err(TryRecvError::Disconnected) => break,
+                        }
+                    }
+                    let mut msg = (w, acc);
+                    while let Err(back) = res_tx.try_send(msg) {
+                        msg = back;
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            drop(res_tx);
+
+            let mut backoff = Backoff::new();
+            while priming.load(Ordering::Acquire) != 0 {
+                backoff.wait();
+            }
+            let t0 = Instant::now();
+            let mut lo = 0u64;
+            let mut w = 0usize;
+            while lo < flows as u64 {
+                let hi = (lo + batch).min(flows as u64);
+                let mut job = Job { lo, hi };
+                while let Err(back) = feeds[w].try_send(job) {
+                    job = back;
+                    std::thread::yield_now();
+                }
+                lo = hi;
+                w = (w + 1) % workers;
+            }
+            for tx in &mut feeds {
+                tx.close();
+            }
+            let mut done = 0;
+            backoff.reset();
+            while done < workers {
+                match res_rx.try_recv() {
+                    Ok((w, acc)) => {
+                        shards[w] = Some(acc);
+                        done += 1;
+                        backoff.reset();
+                    }
+                    Err(TryRecvError::Empty) => backoff.wait(),
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            elapsed_ns = t0.elapsed().as_nanos() as u64;
+        });
+
+        let mut acc = FleetAccum::new(links);
+        for shard in shards {
+            acc.merge(&shard.expect("every worker reports exactly once"));
+        }
+        FleetRunReport { stats: self.finish(acc), elapsed_ns, workers }
+    }
+
+    /// Folds an accumulator into the reported statistics.
+    fn finish(&self, acc: FleetAccum) -> FleetStats {
+        let per_link: Vec<LinkStats> = acc
+            .per_link
+            .iter()
+            .enumerate()
+            .filter(|(_, rows)| rows.iter().any(|&c| c > 0))
+            .map(|(slot, rows)| {
+                let router = match self.link_base.binary_search(&(slot as u32)) {
+                    Ok(mut i) => {
+                        // Zero-degree routers repeat the same offset;
+                        // take the last router starting at this slot.
+                        while i + 1 < self.link_base.len() - 1
+                            && self.link_base[i + 1] == slot as u32
+                        {
+                            i += 1;
+                        }
+                        i
+                    }
+                    Err(i) => i - 1,
+                };
+                LinkStats {
+                    router,
+                    from: self.link_from[slot],
+                    hits: rows[LINK_HIT],
+                    problematic: rows[LINK_PROBLEMATIC],
+                    misses: rows[LINK_MISS],
+                    clueless: rows[LINK_CLUELESS],
+                }
+            })
+            .collect();
+        let per_hop = acc
+            .per_hop
+            .iter()
+            .map(|&(clue_refs, base_refs, hops)| HopSavings { clue_refs, base_refs, hops })
+            .collect();
+        FleetStats {
+            flows: acc.flows,
+            delivered: acc.delivered,
+            dropped: acc.dropped,
+            hops: acc.hops,
+            clue_hops: acc.clue_hops,
+            clue_refs: acc.clue_refs,
+            baseline_refs: acc.base_refs,
+            max_staleness: acc.max_staleness,
+            lagged_hops: acc.lagged_hops,
+            per_hop,
+            per_link,
+        }
+    }
+
+    /// Runs the churn leg: a builder thread applies `config.events`
+    /// origin re-advertisements — resynthesizing the origin's
+    /// specifics, patching the FIBs of routers within
+    /// `detail_radius`, recompiling and republishing their engine
+    /// bundles through the epoch cells — while `config.workers`
+    /// serving threads keep routing flows off pinned snapshots and
+    /// record how stale the fleet got.
+    pub fn run_churn(&self, config: &FleetChurnConfig) -> FleetChurnReport {
+        let stop = AtomicBool::new(false);
+        let links = self.link_from.len();
+        let (res_tx, mut res_rx) = mpsc::<FleetAccum>(config.workers.max(1));
+
+        let mut events = 0u64;
+        let mut republished = 0u64;
+        let mut rebuild_ns = 0u64;
+        let mut reclaimed = 0u64;
+        let mut shards: Vec<FleetAccum> = Vec::new();
+
+        std::thread::scope(|scope| {
+            for w in 0..config.workers.max(1) {
+                let res_tx = res_tx.clone();
+                let stop = &stop;
+                let this = &*self;
+                let base = config.seed ^ (w as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F);
+                scope.spawn(move || {
+                    let mut readers = this.readers();
+                    let mut acc = FleetAccum::new(links);
+                    let mut i = 0u64;
+                    loop {
+                        // Worker-private flow stream: churn serving is
+                        // about liveness and staleness, not the
+                        // bit-determinism of the packet leg. A whole
+                        // batch routes off one set of pinned
+                        // snapshots, so a builder publish mid-batch
+                        // shows up as genuine staleness; the next
+                        // batch re-pins fresh. Route before polling
+                        // the stop flag so even an instant churn leg
+                        // serves at least one batch per worker.
+                        let guards: Vec<EpochGuard<'_, FleetRouter>> =
+                            readers.iter_mut().map(|r| r.pin()).collect();
+                        for _ in 0..CHURN_SERVE_BATCH {
+                            let flow = this.draw_flow(packet_seed(base, i));
+                            this.route_flow(&guards, &flow, &mut acc);
+                            i += 1;
+                        }
+                        drop(guards);
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                    }
+                    let mut msg = acc;
+                    while let Err(back) = res_tx.try_send(msg) {
+                        msg = back;
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            drop(res_tx);
+
+            // The builder runs on this thread: one mutable copy of the
+            // address plan, events applied in sequence.
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let mut specifics = self.specifics.clone();
+            let min_len = self.config.block_len + 2;
+            let max_len = 28.max(min_len);
+            for e in 0..config.events {
+                let oi = rng.random_range(0..specifics.len());
+                let raw = synthesize_ipv4(
+                    self.config.specifics_per_origin,
+                    config.seed ^ (e as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                specifics[oi] = rebase_into_block(
+                    &raw,
+                    oi as u128,
+                    self.config.block_len,
+                    min_len,
+                    max_len,
+                );
+                events += 1;
+
+                // Only routers close enough to hold the origin's
+                // specifics see a FIB change: beyond the detail bands
+                // the origin is one fixed /14 aggregate — the
+                // BGP-aggregation containment the paper leans on.
+                let t0 = Instant::now();
+                for r in 0..self.topology.len() {
+                    let dist = self.ecmp[oi].distance(r).unwrap_or(usize::MAX);
+                    if dist > config.detail_radius && self.origin_of_router[r] != oi as u32 {
+                        continue;
+                    }
+                    let fibs = self.rebuild_fibs_for(&specifics, r);
+                    let router = compile_router(
+                        &self.topology,
+                        &fibs,
+                        &self.ecmp,
+                        r,
+                        self.participates[r],
+                        &self.config,
+                    )
+                    .expect("the build already compiled this shape");
+                    let pub_ = self.cells[r].publish(router);
+                    reclaimed += pub_.reclaimed as u64;
+                    republished += 1;
+                }
+                rebuild_ns += t0.elapsed().as_nanos() as u64;
+            }
+            for cell in &self.cells {
+                reclaimed += cell.reclaim() as u64;
+            }
+            stop.store(true, Ordering::Relaxed);
+
+            let mut backoff = Backoff::new();
+            let mut done = 0;
+            while done < config.workers.max(1) {
+                match res_rx.try_recv() {
+                    Ok(acc) => {
+                        shards.push(acc);
+                        done += 1;
+                        backoff.reset();
+                    }
+                    Err(TryRecvError::Empty) => backoff.wait(),
+                    Err(TryRecvError::Disconnected) => break,
+                }
+            }
+        });
+
+        let mut acc = FleetAccum::new(links);
+        for shard in &shards {
+            acc.merge(shard);
+        }
+        let stats = self.finish(acc);
+        FleetChurnReport { events, republished, rebuild_ns, reclaimed, stats }
+    }
+
+    /// Rebuilds the FIB table slice `compile_router` needs for router
+    /// `r` under an updated address plan. Only `fibs[r]` and its
+    /// neighbors' tables are populated — the others stay empty, which
+    /// `compile_router` never reads.
+    fn rebuild_fibs_for(
+        &self,
+        specifics: &[Vec<Prefix<Ip4>>],
+        r: RouterId,
+    ) -> Vec<Vec<(Prefix<Ip4>, u32)>> {
+        let band_len = |dist: usize| -> u8 {
+            self.config
+                .bands
+                .iter()
+                .find(|&&(max_d, _)| dist <= max_d)
+                .map(|&(_, l)| l)
+                .unwrap_or(self.config.block_len)
+        };
+        let mut fibs: Vec<Vec<(Prefix<Ip4>, u32)>> =
+            (0..self.topology.len()).map(|_| Vec::new()).collect();
+        let mut wanted: Vec<RouterId> = vec![r];
+        wanted.extend_from_slice(self.topology.neighbors(r));
+        for &x in &wanted {
+            let mut fib: Vec<(Prefix<Ip4>, u32)> = Vec::new();
+            for (oi, specs) in specifics.iter().enumerate() {
+                if self.origin_of_router[x] == oi as u32 {
+                    fib.extend(specs.iter().map(|&p| (p, oi as u32)));
+                    continue;
+                }
+                let dist = self.ecmp[oi].distance(x).unwrap_or(usize::MAX);
+                let len = band_len(dist);
+                for s in specs {
+                    fib.push((s.truncate(len.min(s.len())), oi as u32));
+                }
+            }
+            fib.sort_unstable();
+            fib.dedup();
+            fibs[x] = fib;
+        }
+        fibs
+    }
+
+    /// Flushes a run's statistics (and optionally a churn report) into
+    /// a [`FleetTelemetry`] bundle.
+    pub fn record(
+        &self,
+        stats: &FleetStats,
+        churn: Option<&FleetChurnReport>,
+        t: &FleetTelemetry,
+    ) {
+        t.routers.set(self.router_count() as f64);
+        t.links.set(self.link_count() as f64);
+        t.flows_total.add(stats.flows);
+        t.packets_total.add(stats.flows);
+        t.hops_total.add(stats.hops);
+        t.clue_hops_total.add(stats.clue_hops);
+        t.delivered_total.add(stats.delivered);
+        t.link_hits_total.add(stats.link_hits());
+        t.link_problematic_total.add(stats.link_problematic());
+        t.link_misses_total.add(stats.link_misses());
+        t.link_clueless_total.add(stats.link_clueless());
+        t.clue_refs_total.add(stats.clue_refs);
+        t.baseline_refs_total.add(stats.baseline_refs);
+        t.savings_ratio.set(stats.savings());
+        for link in &stats.per_link {
+            let clued = link.hits + link.problematic + link.misses;
+            if let Some(pct) = (link.hits * 100).checked_div(clued) {
+                t.link_hit_rate_pct.observe(pct);
+            }
+        }
+        if let Some(c) = churn {
+            t.churn_events_total.add(c.events);
+            t.republished_total.add(c.republished);
+            if let Some(us) = (c.rebuild_ns / 1_000).checked_div(c.republished) {
+                t.rebuild_us.observe(us);
+            }
+            t.staleness_epochs.observe(c.stats.max_staleness);
+        }
+    }
+}
+
+/// Compiles router `r`'s engine bundle from the FIB tables: a
+/// `Method::Common` base engine, and (for participants) one
+/// precomputed clue engine per incoming link whose clue set is exactly
+/// "the upstream's FIB prefixes it ECMP-routes through me".
+fn compile_router(
+    topology: &Topology,
+    fibs: &[Vec<(Prefix<Ip4>, u32)>],
+    ecmp: &[EcmpTree],
+    r: RouterId,
+    participates: bool,
+    config: &FleetConfig,
+) -> Result<FleetRouter, StrideError> {
+    let fib = &fibs[r];
+    let own: Vec<Prefix<Ip4>> = fib.iter().map(|&(p, _)| p).collect();
+    let origin_of = |prefix: &Prefix<Ip4>| -> u32 {
+        match fib.binary_search_by(|(p, _)| p.cmp(prefix)) {
+            Ok(i) => fib[i].1,
+            Err(_) => NO_ORIGIN,
+        }
+    };
+
+    let base_config = EngineConfig::new(config.engine.family, Method::Common);
+    let base = ClueEngine::precomputed(&[], &own, base_config).freeze_stride(config.stride)?;
+    let base_origins: Vec<u32> = base.tag_prefixes().iter().map(&origin_of).collect();
+
+    let mut engines = Vec::new();
+    let mut engine_origins = Vec::new();
+    if participates {
+        for &nb in topology.neighbors(r) {
+            let clues: Vec<Prefix<Ip4>> = fibs[nb]
+                .iter()
+                .filter(|&&(_, oi)| ecmp[oi as usize].next_hops[nb].contains(&r))
+                .map(|&(p, _)| p)
+                .collect();
+            let engine = ClueEngine::precomputed(&clues, &own, config.engine)
+                .freeze_stride(config.stride)?;
+            engine_origins.push(engine.tag_prefixes().iter().map(&origin_of).collect());
+            engines.push(engine);
+        }
+    }
+    Ok(FleetRouter { participates, base, engines, base_origins, engine_origins })
+}
+
+/// Flows each churn-serving worker routes between epoch re-pins.
+const CHURN_SERVE_BATCH: usize = 16;
+
+/// Shard-local integer accumulator; every field merges with a
+/// commutative add, which is what makes the sharded run's fold
+/// order-independent and therefore bit-identical to the sequential
+/// reference.
+struct FleetAccum {
+    flows: u64,
+    delivered: u64,
+    dropped: u64,
+    hops: u64,
+    clue_hops: u64,
+    clue_refs: u64,
+    base_refs: u64,
+    max_staleness: u64,
+    lagged_hops: u64,
+    /// Per directed link: [hit, problematic, miss, clueless].
+    per_link: Vec<[u64; 4]>,
+    /// Per hop position: (clue refs, baseline refs, hops recorded).
+    per_hop: Vec<(u64, u64, u64)>,
+}
+
+impl FleetAccum {
+    fn new(links: usize) -> Self {
+        FleetAccum {
+            flows: 0,
+            delivered: 0,
+            dropped: 0,
+            hops: 0,
+            clue_hops: 0,
+            clue_refs: 0,
+            base_refs: 0,
+            max_staleness: 0,
+            lagged_hops: 0,
+            per_link: vec![[0; 4]; links],
+            per_hop: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn record_hop(&mut self, pos: usize, clued: bool, cost: &Cost, base: &Cost) {
+        self.hops += 1;
+        self.clue_hops += u64::from(clued);
+        let refs = cost.total();
+        let base_refs = base.total();
+        self.clue_refs += refs;
+        self.base_refs += base_refs;
+        if pos >= self.per_hop.len() {
+            self.per_hop.resize(pos + 1, (0, 0, 0));
+        }
+        let h = &mut self.per_hop[pos];
+        h.0 += refs;
+        h.1 += base_refs;
+        h.2 += 1;
+    }
+
+    fn merge(&mut self, other: &FleetAccum) {
+        self.flows += other.flows;
+        self.delivered += other.delivered;
+        self.dropped += other.dropped;
+        self.hops += other.hops;
+        self.clue_hops += other.clue_hops;
+        self.clue_refs += other.clue_refs;
+        self.base_refs += other.base_refs;
+        self.max_staleness = self.max_staleness.max(other.max_staleness);
+        self.lagged_hops += other.lagged_hops;
+        for (a, b) in self.per_link.iter_mut().zip(&other.per_link) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+        if other.per_hop.len() > self.per_hop.len() {
+            self.per_hop.resize(other.per_hop.len(), (0, 0, 0));
+        }
+        for (a, b) in self.per_hop.iter_mut().zip(&other.per_hop) {
+            a.0 += b.0;
+            a.1 += b.1;
+            a.2 += b.2;
+        }
+    }
+}
+
+/// Clue outcomes on one directed link (traffic entering `router` from
+/// `from`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStats {
+    /// The receiving router.
+    pub router: RouterId,
+    /// The upstream router.
+    pub from: RouterId,
+    /// Clued lookups the clue table answered final (Case 2).
+    pub hits: u64,
+    /// Clued lookups that ran a problematic-clue continuation (Case 3).
+    pub problematic: u64,
+    /// Clued lookups whose clue was absent from the table (Case 1).
+    pub misses: u64,
+    /// Hops that crossed this link without a usable clue.
+    pub clueless: u64,
+}
+
+impl LinkStats {
+    /// Hit rate over the link's clued lookups, `None` if it saw none.
+    pub fn hit_rate(&self) -> Option<f64> {
+        let clued = self.hits + self.problematic + self.misses;
+        (clued > 0).then(|| self.hits as f64 / clued as f64)
+    }
+}
+
+/// Memory-reference accounting at one hop position (0 = ingress).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HopSavings {
+    /// References the clue deployment spent at this position.
+    pub clue_refs: u64,
+    /// References the clue-less baseline spent on the same lookups.
+    pub base_refs: u64,
+    /// Lookups recorded at this position.
+    pub hops: u64,
+}
+
+impl HopSavings {
+    /// Savings at this position: `1 - clue/baseline`.
+    pub fn savings(&self) -> f64 {
+        if self.base_refs == 0 {
+            0.0
+        } else {
+            1.0 - self.clue_refs as f64 / self.base_refs as f64
+        }
+    }
+}
+
+/// What a fleet run measured. `PartialEq` so the `--check` mode can
+/// assert bit-identity across worker counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStats {
+    /// Flows routed.
+    pub flows: u64,
+    /// Flows delivered at their destination's origin router.
+    pub delivered: u64,
+    /// Flows dropped (no route / ECMP dead end / hop cap).
+    pub dropped: u64,
+    /// Router-hops walked.
+    pub hops: u64,
+    /// Hops resolved through a clue engine.
+    pub clue_hops: u64,
+    /// Memory references the clue deployment spent.
+    pub clue_refs: u64,
+    /// References the clue-less baseline spent on the same hops.
+    pub baseline_refs: u64,
+    /// Worst epoch lag any pinned snapshot had (0 outside churn).
+    pub max_staleness: u64,
+    /// Hops routed off a stale (lagging) snapshot.
+    pub lagged_hops: u64,
+    /// Reference accounting by hop position.
+    pub per_hop: Vec<HopSavings>,
+    /// Clue outcomes per directed link with traffic.
+    pub per_link: Vec<LinkStats>,
+}
+
+impl FleetStats {
+    /// Fleet-wide clue hits (Case 2 finals).
+    pub fn link_hits(&self) -> u64 {
+        self.per_link.iter().map(|l| l.hits).sum()
+    }
+
+    /// Fleet-wide problematic-clue continuations.
+    pub fn link_problematic(&self) -> u64 {
+        self.per_link.iter().map(|l| l.problematic).sum()
+    }
+
+    /// Fleet-wide clue-table misses.
+    pub fn link_misses(&self) -> u64 {
+        self.per_link.iter().map(|l| l.misses).sum()
+    }
+
+    /// Fleet-wide clueless link crossings.
+    pub fn link_clueless(&self) -> u64 {
+        self.per_link.iter().map(|l| l.clueless).sum()
+    }
+
+    /// End-to-end memory-reference savings: `1 - clue/baseline`.
+    pub fn savings(&self) -> f64 {
+        if self.baseline_refs == 0 {
+            0.0
+        } else {
+            1.0 - self.clue_refs as f64 / self.baseline_refs as f64
+        }
+    }
+}
+
+/// A sharded packet-leg run: the (bit-deterministic) statistics plus
+/// wall-clock attribution.
+#[derive(Debug, Clone)]
+pub struct FleetRunReport {
+    /// The statistics — identical at any `workers`.
+    pub stats: FleetStats,
+    /// Steady-state nanoseconds (reader registration hoisted out).
+    pub elapsed_ns: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Configuration of the churn leg.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetChurnConfig {
+    /// Origin re-advertisement events to apply.
+    pub events: usize,
+    /// Serving worker threads routing during the churn.
+    pub workers: usize,
+    /// Routers within this ECMP distance of a churned origin get their
+    /// FIBs patched and bundles republished; beyond it the origin's
+    /// /14 aggregate is unchanged, so nothing needs rebuilding.
+    pub detail_radius: usize,
+    /// Seed for event targets and the serving flow streams.
+    pub seed: u64,
+}
+
+impl FleetChurnConfig {
+    /// Defaults: 8 events, 2 serving workers, the detail bands' reach.
+    pub fn new(seed: u64) -> Self {
+        FleetChurnConfig { events: 8, workers: 2, detail_radius: 3, seed }
+    }
+}
+
+/// What the churn leg did.
+#[derive(Debug, Clone)]
+pub struct FleetChurnReport {
+    /// Events applied.
+    pub events: u64,
+    /// Router bundles republished.
+    pub republished: u64,
+    /// Total nanoseconds spent rebuilding and publishing bundles.
+    pub rebuild_ns: u64,
+    /// Retired snapshots reclaimed after their grace period.
+    pub reclaimed: u64,
+    /// What the serving workers measured while the fleet churned.
+    pub stats: FleetStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> FleetConfig {
+        let mut c = FleetConfig::new(64, 11);
+        c.origins = 8;
+        c.specifics_per_origin = 4;
+        c
+    }
+
+    #[test]
+    fn builds_to_at_least_the_target() {
+        let fleet = Fleet::build(FleetConfig::new(300, 3)).unwrap();
+        assert!(fleet.router_count() >= 300, "got {}", fleet.router_count());
+        assert_eq!(fleet.origin_routers().len(), fleet.config().origins);
+    }
+
+    #[test]
+    fn preferential_fleet_builds() {
+        let mut c = small_config();
+        c.topology = TopologyKind::Preferential;
+        let fleet = Fleet::build(c).unwrap();
+        assert_eq!(fleet.router_count(), 64);
+        let stats = fleet.run_flows_sequential(200);
+        assert_eq!(stats.flows, 200);
+        assert!(stats.delivered + stats.dropped == 200);
+        assert!(stats.delivered > 150, "delivered {}", stats.delivered);
+    }
+
+    #[test]
+    fn flows_deliver_and_clues_save_references() {
+        let fleet = Fleet::build(small_config()).unwrap();
+        let stats = fleet.run_flows_sequential(500);
+        assert_eq!(stats.flows, 500);
+        assert_eq!(stats.dropped, 0, "no flow should drop in a full-detail fleet");
+        assert_eq!(stats.delivered, 500);
+        assert!(stats.clue_hops > 0, "multi-hop flows must cross clued links");
+        assert!(
+            stats.savings() > 0.2,
+            "clues should save references fleet-wide: {}",
+            stats.savings()
+        );
+        // Per-link outcomes account for every clued hop.
+        let clued = stats.link_hits() + stats.link_problematic() + stats.link_misses();
+        assert_eq!(clued, stats.clue_hops);
+    }
+
+    #[test]
+    fn sharded_run_matches_sequential_bit_for_bit() {
+        let fleet = Fleet::build(small_config()).unwrap();
+        let reference = fleet.run_flows_sequential(400);
+        for workers in [1, 2, 4] {
+            let run = fleet.run_flows(400, workers);
+            assert_eq!(run.stats, reference, "divergence at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn draw_flow_is_a_pure_function_of_the_index() {
+        let fleet = Fleet::build(small_config()).unwrap();
+        assert_eq!(fleet.draw_flow(7), fleet.draw_flow(7));
+        assert_ne!(fleet.draw_flow(7), fleet.draw_flow(8));
+    }
+
+    #[test]
+    fn partial_participation_still_delivers() {
+        let mut c = small_config();
+        c.participation = 0.5;
+        let fleet = Fleet::build(c).unwrap();
+        let stats = fleet.run_flows_sequential(300);
+        assert_eq!(stats.delivered + stats.dropped, 300);
+        assert_eq!(stats.dropped, 0);
+        assert!(stats.clue_hops < stats.hops);
+    }
+
+    #[test]
+    fn churn_republishes_and_keeps_serving() {
+        let fleet = Fleet::build(small_config()).unwrap();
+        let report = fleet.run_churn(&FleetChurnConfig {
+            events: 4,
+            workers: 2,
+            detail_radius: 2,
+            seed: 99,
+        });
+        assert_eq!(report.events, 4);
+        assert!(report.republished >= 4, "each event republishes at least the origin");
+        assert!(report.stats.flows > 0, "serving workers routed during churn");
+        // Liveness: serving never wedges; delivery may dip but the
+        // aggregate keeps flows routable.
+        assert!(report.stats.delivered > 0);
+    }
+
+    #[test]
+    fn telemetry_flush_covers_the_run() {
+        let fleet = Fleet::build(small_config()).unwrap();
+        let stats = fleet.run_flows_sequential(200);
+        let t = FleetTelemetry::detached();
+        fleet.record(&stats, None, &t);
+        assert_eq!(t.flows_total.get(), 200);
+        assert_eq!(t.hops_total.get(), stats.hops);
+        assert!(t.savings_ratio.get() > 0.0);
+        assert!(t.link_hit_rate_pct.snapshot().count > 0);
+    }
+}

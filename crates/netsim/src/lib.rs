@@ -39,6 +39,7 @@
 
 mod churn;
 mod faults;
+mod fleet;
 mod mpls_path;
 mod network;
 mod parallel;
@@ -52,6 +53,10 @@ pub use faults::{
     run_chaos, ChaosConfig, ChaosReport, ChurnFaultPlan, ClassOutcome, FaultClass, FaultPlan,
     RebuildWatchdog,
 };
+pub use fleet::{
+    Fleet, FleetChurnConfig, FleetChurnReport, FleetConfig, FleetRunReport, FleetStats, Flow,
+    HopSavings, LinkStats, TopologyKind,
+};
 pub use mpls_path::{LabelSwitchedPath, LspHop};
 pub use pathvector::{Aggregation, PathVector, Rib, Route};
 pub use network::{
@@ -63,4 +68,4 @@ pub use runtime::{
     StrideNetwork,
 };
 pub use sim::{export_cost_stats, run_workload, run_workload_instrumented, RunStats};
-pub use topology::{RouteTree, RouterId, Topology};
+pub use topology::{EcmpTree, RouteTree, RouterId, Topology};

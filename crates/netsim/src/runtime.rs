@@ -175,9 +175,9 @@ impl RuntimeReport {
 /// A contiguous range of packet (or slice) indices — the unit of work
 /// on the SPSC feeds.
 #[derive(Debug, Clone, Copy)]
-struct Job {
-    lo: u64,
-    hi: u64,
+pub(crate) struct Job {
+    pub(crate) lo: u64,
+    pub(crate) hi: u64,
 }
 
 /// Idle backoff for the *coordinator* (dispatcher/collector) thread
@@ -186,22 +186,22 @@ struct Job {
 /// robbed of scheduler quanta by a spinning coordinator. Workers keep
 /// plain `yield_now` — their feeds are primed deep, so they rarely
 /// poll empty, and job latency matters there.
-struct Backoff {
+pub(crate) struct Backoff {
     idle: u32,
 }
 
 impl Backoff {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         Backoff { idle: 0 }
     }
 
     /// Called when a poll made progress.
-    fn reset(&mut self) {
+    pub(crate) fn reset(&mut self) {
         self.idle = 0;
     }
 
     /// Called when a poll found nothing to do.
-    fn wait(&mut self) {
+    pub(crate) fn wait(&mut self) {
         self.idle += 1;
         if self.idle <= 3 {
             std::thread::yield_now();

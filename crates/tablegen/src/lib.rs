@@ -41,5 +41,5 @@ pub use parse::{format_prefixes, parse_prefixes, parse_table, ParseTableError, T
 pub use stats::{
     export_length_histogram, intersection_size, length_histogram, problematic_clues, PairStats,
 };
-pub use synth::{synthesize, synthesize_ipv4, synthesize_ipv6, SynthConfig};
-pub use traffic::{generate, TrafficConfig, TrafficModel};
+pub use synth::{rebase_into_block, synthesize, synthesize_ipv4, synthesize_ipv6, SynthConfig};
+pub use traffic::{generate, TrafficConfig, TrafficModel, ZipfSampler};

@@ -171,6 +171,40 @@ pub fn synthesize_ipv4(n: usize, seed: u64) -> Vec<Prefix<Ip4>> {
     synthesize(&SynthConfig::ipv4(n, seed))
 }
 
+/// Rebases a synthesized table into one origin's disjoint address
+/// block: the top `block_len` bits of every prefix are overwritten
+/// with `block` (the origin's block index) and the prefix length is
+/// clamped into `[min_len, max_len]`, preserving the generator's
+/// realistic length spread while guaranteeing the result lies wholly
+/// inside the block — which is what lets a fleet of origins advertise
+/// structurally-realistic specifics without any cross-origin overlap.
+/// Output is sorted and duplicate-free (clamping can merge prefixes,
+/// so it may be shorter than the input).
+///
+/// # Panics
+/// Panics unless `block_len < min_len <= max_len <= A::BITS` and
+/// `block < 2^block_len`.
+pub fn rebase_into_block<A: Address>(
+    table: &[Prefix<A>],
+    block: u128,
+    block_len: u8,
+    min_len: u8,
+    max_len: u8,
+) -> Vec<Prefix<A>> {
+    assert!(block_len < min_len && min_len <= max_len && max_len <= A::BITS);
+    assert!(block_len == 0 || block >> block_len.min(127) == 0, "block index out of range");
+    let hi = block << (A::BITS - block_len) as u32;
+    let keep = low_mask(A::BITS - block_len);
+    let set: BTreeSet<Prefix<A>> = table
+        .iter()
+        .map(|p| {
+            let len = p.len().clamp(min_len, max_len);
+            Prefix::new(A::from_u128(hi | (p.bits().to_u128() & keep)), len)
+        })
+        .collect();
+    set.into_iter().collect()
+}
+
 /// Shorthand: a seeded IPv6 table of `n` prefixes.
 pub fn synthesize_ipv6(n: usize, seed: u64) -> Vec<Prefix<Ip6>> {
     synthesize(&SynthConfig::ipv6(n, seed))

@@ -59,6 +59,55 @@ impl TrafficConfig {
     }
 }
 
+/// A seeded Zipf rank sampler over `n` items: popularity rank is
+/// assigned by a deterministic shuffle (so it does not correlate with
+/// item order) and draws follow `1/rank^s`. This is the locality
+/// model behind [`TrafficModel::ZipfCovered`], shared with the fleet
+/// simulator's destination-locality draw.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl ZipfSampler {
+    /// Builds the sampler, consuming `n - 1` shuffle draws from `rng`.
+    pub fn new(n: usize, exponent: f64, rng: &mut StdRng) -> Self {
+        let mut order: Vec<usize> = (0..n).collect();
+        // Deterministic shuffle: popularity should not correlate with
+        // item value.
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.random_range(0..=i));
+        }
+        let mut acc = 0.0;
+        let cdf: Vec<f64> = (1..=n)
+            .map(|rank| {
+                acc += 1.0 / (rank as f64).powf(exponent);
+                acc
+            })
+            .collect();
+        ZipfSampler { cdf, order }
+    }
+
+    /// Number of items the sampler draws over.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` iff the sampler has no items (every draw returns `None`).
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Draws one item index (one `rng` draw), `None` if empty.
+    pub fn sample(&self, rng: &mut StdRng) -> Option<usize> {
+        let &total = self.cdf.last()?;
+        let x = rng.random_range(0.0..total);
+        let i = self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1);
+        Some(self.order[i])
+    }
+}
+
 /// Generates destinations for a sender/receiver pair per `config`.
 ///
 /// Returns up to `config.count` addresses (fewer only if the acceptance
@@ -74,25 +123,10 @@ pub fn generate<A: Address>(
     let width_mask: u128 =
         if A::BITS as u32 >= 128 { u128::MAX } else { (1u128 << A::BITS) - 1 };
 
-    // For Zipf draws: a cumulative weight table over a random permutation
-    // of sender prefixes (rank 1 = most popular).
-    let zipf_cdf: Option<(Vec<f64>, Vec<usize>)> = match config.model {
-        TrafficModel::ZipfCovered(s) => {
-            let mut order: Vec<usize> = (0..sender.len()).collect();
-            // Deterministic shuffle: popularity should not correlate
-            // with prefix value.
-            for i in (1..order.len()).rev() {
-                order.swap(i, rng.random_range(0..=i));
-            }
-            let mut acc = 0.0;
-            let cdf: Vec<f64> = (1..=sender.len())
-                .map(|rank| {
-                    acc += 1.0 / (rank as f64).powf(s);
-                    acc
-                })
-                .collect();
-            Some((cdf, order))
-        }
+    // For Zipf draws: rank popularity over a random permutation of
+    // sender prefixes (rank 1 = most popular).
+    let zipf: Option<ZipfSampler> = match config.model {
+        TrafficModel::ZipfCovered(s) => Some(ZipfSampler::new(sender.len(), s, &mut rng)),
         _ => None,
     };
 
@@ -105,17 +139,15 @@ pub fn generate<A: Address>(
         let dest = match config.model {
             TrafficModel::Uniform => A::from_u128(raw & width_mask),
             TrafficModel::CoveredBySender | TrafficModel::ZipfCovered(_) => {
-                let p = match &zipf_cdf {
+                let p = match &zipf {
                     None => match sender.choose(&mut rng) {
                         Some(&p) => p,
                         None => break,
                     },
-                    Some((cdf, order)) => {
-                        let Some(&total) = cdf.last() else { break };
-                        let x = rng.random_range(0.0..total);
-                        let i = cdf.partition_point(|&c| c < x).min(cdf.len() - 1);
-                        sender[order[i]]
-                    }
+                    Some(sampler) => match sampler.sample(&mut rng) {
+                        Some(i) => sender[i],
+                        None => break,
+                    },
                 };
                 let span = (A::BITS - p.len()) as u32;
                 let host = if span == 0 {

@@ -38,6 +38,7 @@
 mod churn;
 mod export;
 mod fault;
+mod fleet;
 mod lookup;
 mod registry;
 mod runtime;
@@ -49,6 +50,7 @@ pub mod trace;
 pub use churn::ChurnTelemetry;
 pub use fault::DegradationTelemetry;
 pub use export::{parse_prometheus, to_json, to_prometheus, PromDocument};
+pub use fleet::FleetTelemetry;
 pub use lookup::{CacheTelemetry, LookupTelemetry};
 pub use registry::{Counter, Gauge, Histogram, HistogramSnapshot, Metric, Registry, Snapshot};
 pub use runtime::RuntimeTelemetry;

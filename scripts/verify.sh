@@ -77,10 +77,38 @@ mv BENCH_profile.json.new BENCH_profile.json
 # Chaos smoke: a million fault-injected packets spanning every fault
 # class must forward bit-identically to the clue-less baseline, and the
 # churn leg must survive an injected reader panic plus a watchdog
-# rebuild retry (--check aborts on any divergence or wedge).
-target/release/clue chaos 1000000 1 --check --json BENCH_chaos.json
-test -s BENCH_chaos.json
-grep -q '"divergences": 0' BENCH_chaos.json
-grep -q '"churn_survived": true' BENCH_chaos.json
+# rebuild retry (--check aborts on any divergence or wedge). The fresh
+# run is also diffed against the committed baseline: fault-class
+# outcomes are seeded and deterministic, so any drift in the
+# non-timing keys is a behaviour change, not noise.
+target/release/clue chaos 1000000 1 --check --json BENCH_chaos.json.new
+test -s BENCH_chaos.json.new
+grep -q '"divergences": 0' BENCH_chaos.json.new
+grep -q '"churn_survived": true' BENCH_chaos.json.new
+target/release/clue bench-diff BENCH_chaos.json BENCH_chaos.json.new \
+  --tolerance 0 --time-tolerance 100000
+mv BENCH_chaos.json.new BENCH_chaos.json
+
+# Fleet smoke: a 1000+-router transit-stub fleet of stride-compiled
+# clue engines. --check asserts the sharded flow leg is bit-identical
+# to the sequential reference at 1/2/4/8 workers; the churn leg
+# republishes engine bundles through per-router epoch cells while
+# serving. The scrape server runs alongside and a mid-run curl must
+# see live clue_fleet_* metrics. The fresh export is diffed against
+# the committed baseline: topology, flow outcomes, per-link clue
+# classes and per-hop savings are all seeded and deterministic.
+target/release/clue fleet 50000 1 --routers 1024 --threads 4 --check \
+  --churn 4 --json BENCH_fleet.json.new --serve 127.0.0.1:9185 &
+FLEET_PID=$!
+sleep 1
+curl -sf http://127.0.0.1:9185/metrics | grep -q '^clue_fleet_routers'
+curl -sf http://127.0.0.1:9185/metrics.json | grep -q '"clue_fleet_link_hit_rate_pct"'
+wait "$FLEET_PID"
+test -s BENCH_fleet.json.new
+grep -q '"checked": true' BENCH_fleet.json.new
+grep -q '"dropped": 0' BENCH_fleet.json.new
+target/release/clue bench-diff BENCH_fleet.json BENCH_fleet.json.new \
+  --tolerance 0 --time-tolerance 100000
+mv BENCH_fleet.json.new BENCH_fleet.json
 
 echo "verify: OK"
