@@ -87,6 +87,7 @@ usage:
                                                  from-scratch rebuild
   clue fleet [flows] [seed] [--routers N] [--topology transit-stub|preferential]
              [--origins N] [--participation F] [--threads N] [--churn EVENTS]
+             [--adversaries N] [--attack lying|flooding|oscillating]
              [--json PATH] [--serve ADDR] [--check]
                                                  fleet-scale simulator: an
                                                  internet-like topology of N
@@ -104,10 +105,22 @@ usage:
                                                  applies EVENTS origin
                                                  re-advertisements while
                                                  serving workers keep routing;
+                                                 --adversaries plants N
+                                                 attacking routers (--attack
+                                                 profile, default lying) and
+                                                 plays them against the
+                                                 reputation quarantine, plus a
+                                                 0..100% participation sweep;
                                                  --check proves the sharded
                                                  run bit-identical to the
                                                  sequential reference at
-                                                 1/2/4/8 workers
+                                                 1/2/4/8 workers, and with
+                                                 --adversaries also that the
+                                                 soundness bound held on every
+                                                 packet, quarantine engaged
+                                                 within the window and savings
+                                                 reconverged to the honest
+                                                 fleet
   clue chaos [packets] [seed] [--faults SPEC] [--json PATH] [--serve ADDR]
              [--check]
                                                  fault-injection harness:
@@ -413,6 +426,22 @@ fn metrics(args: &[String]) -> Result<(), String> {
     let labels: Vec<&str> = plan.classes().iter().map(|c| c.label()).collect();
     let _ = clue_telemetry::DegradationTelemetry::registered(&registry, "clue_fault", &labels);
     let _ = clue_telemetry::ChurnTelemetry::registered(&registry, "clue_churn");
+
+    // The adversarial layer: a short lying-neighbor scenario against
+    // the reputation quarantine drives the clue_adversary_* and
+    // clue_reputation_* series live in the same dump.
+    let adversary_telemetry =
+        clue_telemetry::AdversaryTelemetry::registered(&registry, "clue_adversary");
+    let reputation_telemetry =
+        clue_telemetry::ReputationTelemetry::registered(&registry, "clue_reputation");
+    let mut scenario =
+        clue_netsim::ScenarioConfig::new(clue_netsim::AttackProfile::Lying, seed);
+    scenario.table_size = 200;
+    scenario.batches = 8;
+    scenario.attack_batches = 3;
+    scenario.packets_per_batch = 128;
+    clue_netsim::run_scenario(&scenario, Some(&adversary_telemetry), Some(&reputation_telemetry))
+        .map_err(|e| format!("adversarial scenario: {e}"))?;
 
     if prom {
         print!("{}", registry.to_prometheus());
@@ -1628,6 +1657,8 @@ fn fleet(args: &[String]) -> Result<(), String> {
     let mut participation = 1.0f64;
     let mut threads = clue_netsim::available_workers();
     let mut churn_events = 0usize;
+    let mut adversaries = 0usize;
+    let mut attack = clue_netsim::AttackProfile::Lying;
     let mut json_path: Option<String> = None;
     let mut serve: Option<String> = None;
     let mut check = false;
@@ -1688,6 +1719,22 @@ fn fleet(args: &[String]) -> Result<(), String> {
                     return Err("--churn needs at least 1 event".to_owned());
                 }
             }
+            "--adversaries" => {
+                adversaries = it
+                    .next()
+                    .ok_or("--adversaries needs a count")?
+                    .parse()
+                    .map_err(|_| "bad adversary count")?;
+                if adversaries == 0 {
+                    return Err("--adversaries needs at least 1 router".to_owned());
+                }
+            }
+            "--attack" => {
+                let label = it.next().ok_or("--attack needs a profile")?;
+                attack = clue_netsim::AttackProfile::parse(label).ok_or_else(|| {
+                    format!("unknown attack {label:?} (lying | flooding | oscillating)")
+                })?;
+            }
             "--json" => json_path = Some(it.next().ok_or("--json needs a path")?.clone()),
             "--serve" => serve = Some(it.next().ok_or("--serve needs an address")?.clone()),
             "--check" => check = true,
@@ -1717,6 +1764,14 @@ fn fleet(args: &[String]) -> Result<(), String> {
     config.participation = participation;
     if let Some(o) = origins {
         config.origins = o;
+    }
+    if adversaries > 0 && config.engine.method != Method::Simple {
+        // The adversarial trust boundary: Method::Advance trusts the
+        // clue epoch, so it is only sound for clues drawn from the
+        // sender table it was precomputed against. An adversarial run
+        // must use the method that is sound for ANY clue.
+        config.engine.method = Method::Simple;
+        println!("adversarial run: engine method forced to simple (sound for any clue)");
     }
     let topo_label = match topology {
         clue_netsim::TopologyKind::TransitStub => "transit-stub",
@@ -1819,6 +1874,129 @@ fn fleet(args: &[String]) -> Result<(), String> {
         None
     };
 
+    let adversarial = if adversaries > 0 {
+        let adversary_telemetry =
+            clue_telemetry::AdversaryTelemetry::registered(&registry, "clue_adversary");
+        let reputation_telemetry =
+            clue_telemetry::ReputationTelemetry::registered(&registry, "clue_reputation");
+        let degradation_telemetry = clue_telemetry::DegradationTelemetry::registered(
+            &registry,
+            "clue_fault",
+            &["lying_neighbor", "adversarial_clue"],
+        );
+        let adv_config = clue_netsim::FleetAdversaryConfig::new(attack, adversaries);
+        let t0 = std::time::Instant::now();
+        let report = fleet.run_adversarial(
+            &adv_config,
+            Some(&adversary_telemetry),
+            Some(&reputation_telemetry),
+            Some(&degradation_telemetry),
+        );
+        let adversary_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "adversary: {} {} routers for {}/{} rounds in {adversary_ms:.0} ms; \
+             soundness bound held: {} (overhead max {}, {} divergences, {} violations)",
+            report.adversaries.len(),
+            report.attack.label(),
+            adv_config.attack_rounds,
+            adv_config.rounds,
+            report.sound(),
+            report.overhead_max(),
+            report.divergences,
+            report.bound_violations,
+        );
+        println!(
+            "reputation: quarantine at round {}, re-admission by round {} \
+             ({} quarantines, {} probations, {} readmissions)",
+            report.quarantine_round.map_or_else(|| "-".to_owned(), |q| q.to_string()),
+            report.readmit_round.map_or_else(|| "-".to_owned(), |r| r.to_string()),
+            report.quarantines,
+            report.probations,
+            report.readmissions,
+        );
+        println!(
+            "savings: final window {:.1}% vs honest fleet {:.1}%",
+            report.final_savings() * 100.0,
+            report.honest_final_savings() * 100.0,
+        );
+
+        // The partial-deployment sweep runs on a smaller fleet: five
+        // participation steps, each a fresh build plus a full
+        // adversarial run, is the expensive part of the leg.
+        let mut sweep_base = clue_netsim::FleetConfig::new(routers.min(256), seed);
+        sweep_base.topology = topology;
+        let mut sweep_adv = adv_config;
+        sweep_adv.rounds = 8;
+        sweep_adv.attack_rounds = 3;
+        sweep_adv.flows_per_round = 500;
+        sweep_adv.window = 3;
+        let steps = [0.0, 0.25, 0.5, 0.75, 1.0];
+        let t0 = std::time::Instant::now();
+        let sweep = clue_netsim::participation_sweep(&sweep_base, &sweep_adv, &steps)
+            .map_err(|e| format!("sweep fleet build: {e:?}"))?;
+        let sweep_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "participation sweep ({} routers, {} adversaries, {sweep_ms:.0} ms):",
+            sweep_base.routers, sweep_adv.adversaries,
+        );
+        for p in &sweep {
+            println!(
+                "  {:>3.0}% deployed: honest {:>5.1}% saved, attacked {:>5.1}%, \
+                 final {:>5.1}%, worst overhead {}, quarantine round {}",
+                p.participation * 100.0,
+                p.honest_savings * 100.0,
+                p.attacked_savings * 100.0,
+                p.final_savings * 100.0,
+                p.worst_overhead,
+                p.quarantine_round.map_or_else(|| "-".to_owned(), |q| q.to_string()),
+            );
+        }
+
+        if check {
+            if !report.sound() {
+                return Err(format!(
+                    "adversary check failed: {} divergences, {} bound violations",
+                    report.divergences, report.bound_violations,
+                ));
+            }
+            let q = report
+                .quarantine_round
+                .ok_or("adversary check failed: quarantine never engaged")?;
+            if q > 3 {
+                return Err(format!(
+                    "adversary check failed: quarantine engaged at round {q}, window is 3"
+                ));
+            }
+            if report.readmit_round.is_none() {
+                return Err(
+                    "adversary check failed: quarantined links never re-admitted".to_owned()
+                );
+            }
+            if !report.reconverged(0.05) {
+                return Err(format!(
+                    "adversary check failed: final savings {:.4} vs honest {:.4} \
+                     differ by more than 5%",
+                    report.final_savings(),
+                    report.honest_final_savings(),
+                ));
+            }
+            if let Some(bad) = sweep.iter().find(|p| !p.sound || p.worst_overhead > 1) {
+                return Err(format!(
+                    "adversary check failed: sweep point at participation {} broke the \
+                     bound (sound {}, worst overhead {})",
+                    bad.participation, bad.sound, bad.worst_overhead,
+                ));
+            }
+            println!(
+                "adversary check: bound held on every packet, quarantine within window, \
+                 savings reconverged to honest fleet"
+            );
+        }
+        Some((adv_config, report, sweep, adversary_ms, sweep_ms))
+    } else {
+        None
+    };
+
     fleet.record(stats, churn_report.as_ref(), &telemetry);
 
     if let Some(path) = &json_path {
@@ -1849,6 +2027,59 @@ fn fleet(args: &[String]) -> Result<(), String> {
             ),
             None => String::new(),
         };
+        let adversary_json = match &adversarial {
+            Some((cfg, report, sweep, adversary_ms, sweep_ms)) => {
+                let mut sweep_rows = String::new();
+                for (i, p) in sweep.iter().enumerate() {
+                    let sep = if i + 1 < sweep.len() { "," } else { "" };
+                    write!(
+                        sweep_rows,
+                        "\n    {{\"participation\": {}, \"honest_savings\": {:.4}, \
+                         \"attacked_savings\": {:.4}, \"final_savings\": {:.4}, \
+                         \"worst_overhead\": {}, \"quarantine_round\": {}, \
+                         \"sound\": {}}}{sep}",
+                        p.participation,
+                        p.honest_savings,
+                        p.attacked_savings,
+                        p.final_savings,
+                        p.worst_overhead,
+                        p.quarantine_round.map_or_else(|| "null".to_owned(), |q| q.to_string()),
+                        p.sound,
+                    )
+                    .expect("write to string");
+                }
+                format!(
+                    ",\n  \"attack\": \"{}\",\n  \"adversaries\": {},\n  \
+                     \"adversary_rounds\": {},\n  \"attack_rounds\": {},\n  \
+                     \"sound\": {},\n  \"adversary_divergences\": {},\n  \
+                     \"adversary_bound_violations\": {},\n  \
+                     \"adversary_overhead_max\": {},\n  \"quarantine_round\": {},\n  \
+                     \"readmit_round\": {},\n  \"quarantines\": {},\n  \
+                     \"probations\": {},\n  \"readmissions\": {},\n  \
+                     \"final_savings\": {:.4},\n  \"honest_final_savings\": {:.4},\n  \
+                     \"adversary_ms\": {:.1},\n  \"sweep_ms\": {:.1},\n  \
+                     \"sweep\": [{sweep_rows}\n  ]",
+                    report.attack.label(),
+                    report.adversaries.len(),
+                    cfg.rounds,
+                    cfg.attack_rounds,
+                    report.sound(),
+                    report.divergences,
+                    report.bound_violations,
+                    report.overhead_max(),
+                    report.quarantine_round.map_or_else(|| "null".to_owned(), |q| q.to_string()),
+                    report.readmit_round.map_or_else(|| "null".to_owned(), |r| r.to_string()),
+                    report.quarantines,
+                    report.probations,
+                    report.readmissions,
+                    report.final_savings(),
+                    report.honest_final_savings(),
+                    adversary_ms,
+                    sweep_ms,
+                )
+            }
+            None => String::new(),
+        };
         let json = format!(
             "{{\n  \"routers\": {},\n  \"links\": {},\n  \"directed_links\": {},\n  \
              \"origins\": {},\n  \"topology\": \"{topo_label}\",\n  \"flows\": {},\n  \
@@ -1858,7 +2089,8 @@ fn fleet(args: &[String]) -> Result<(), String> {
              \"link_misses\": {},\n  \"link_clueless\": {},\n  \"clue_refs\": {},\n  \
              \"baseline_refs\": {},\n  \"savings\": {:.4},\n  \"checked\": {check},\n  \
              \"build_ms\": {build_ms:.1},\n  \"route_ms\": {route_ms:.1},\n  \
-             \"flows_pps\": {flows_pps:.0}{churn_json},\n  \"per_hop\": [{per_hop}\n  ]\n}}\n",
+             \"flows_pps\": {flows_pps:.0}{churn_json}{adversary_json},\n  \
+             \"per_hop\": [{per_hop}\n  ]\n}}\n",
             fleet.router_count(),
             fleet.link_count(),
             fleet.directed_link_count(),

@@ -76,6 +76,7 @@ pub mod neighbors;
 pub mod prefetch;
 mod profile;
 pub mod recursive;
+pub mod reputation;
 mod soundness;
 mod stride;
 mod table;
@@ -90,6 +91,10 @@ pub use engine::{ClueEngine, EngineConfig, EngineStats, Method};
 pub use epoch::{EpochCell, EpochEngine, EpochGuard, EpochReader};
 pub use frozen::{Decision, FreezeError, FrozenEngine, NONE_NODE};
 pub use profile::{Stage, StageAccum, StageProfiler};
+pub use reputation::{
+    BatchSignals, LinkState, NeighborReputation, QuarantineGate, ReputationBook,
+    ReputationConfig, Transition,
+};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use soundness::{check_soundness, Divergence, SoundnessReport};
 pub use stride::{

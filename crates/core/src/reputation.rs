@@ -1,0 +1,500 @@
+//! Per-neighbor clue-source reputation and hysteresis quarantine.
+//!
+//! The soundness invariant (see [`crate::check_soundness`]) makes a
+//! hostile neighbor's worst case *bounded* — a bad clue costs at most
+//! one wasted probe — but bounded is not free: a neighbor that lies on
+//! every packet taxes every lookup on its link. This module closes the
+//! loop the paper leaves open: the degradation signals the chaos
+//! harness already measures (malformed decodes, degraded-cost overruns
+//! versus the clue-less baseline) feed a per-neighbor **score**, and a
+//! hysteresis state machine turns a collapsed score into a
+//! **quarantine** — the neighbor's incoming-link engine is bypassed and
+//! its packets served clue-less, which removes the probe tax entirely.
+//!
+//! The state machine is deliberately batch-grained. Serving workers
+//! only consult reputation at batch boundaries (the same boundaries
+//! where they re-pin epochs, see [`crate::EpochCell`]), so the lock-free
+//! hot path stays untouched: quarantining a link costs one relaxed
+//! atomic load per *batch*, not per packet.
+//!
+//! States and transitions:
+//!
+//! ```text
+//!            dirty batches drive score below `quarantine_below`
+//!   Healthy ───────────────────────────────────────────────▶ Quarantined
+//!      ▲                                                        │
+//!      │  `probation_batches` clean batches                     │ hold-down:
+//!      │  AND score ≥ `readmit_above`                           │ `quarantine_batches`
+//!      │                                                        ▼
+//!      └──────────────────────────────────────────────────  Probation
+//!                   (any dirty probation batch re-quarantines instantly)
+//! ```
+//!
+//! Three properties the tests pin:
+//!
+//! * **Monotone under attack** — while every clue-carrying batch is
+//!   dirty, the score never increases (quarantined batches carry no
+//!   clue evidence and *hold* the score rather than recovering it), so
+//!   a sustained liar cannot ride the recovery term back to health.
+//! * **Hysteresis** — the quarantine entry threshold
+//!   (`quarantine_below`) is far below the re-admission threshold
+//!   (`readmit_above`), so a borderline score cannot flap, and an
+//!   **oscillating** liar that alternates honest and hostile epochs
+//!   keeps losing score on hostile epochs faster than it regains it on
+//!   honest ones.
+//! * **Probation** — re-admission is probed, not granted: the link's
+//!   clues are consulted again (risk bounded by soundness), and one
+//!   dirty batch sends the neighbor straight back to quarantine.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Tuning of the reputation state machine. The defaults are sized for
+/// the fleet simulator's round-grained batches; every threshold is a
+/// fraction of a batch's clued lookups, so they transfer across batch
+/// sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct ReputationConfig {
+    /// Dirty-batch threshold: a batch whose signal fraction
+    /// (malformed + overruns per clued lookup) exceeds this is
+    /// evidence of hostility. Sits above the honest noise floor —
+    /// stale clues and genuine misses stay well under 2%.
+    pub suspicion: f64,
+    /// Multiplicative decay on a dirty batch:
+    /// `score *= 1 - attack_decay * fraction`.
+    pub attack_decay: f64,
+    /// Recovery pull toward 1.0 on a clean clue-carrying batch:
+    /// `score += recovery * (1 - score)`.
+    pub recovery: f64,
+    /// A Healthy neighbor whose score falls below this is quarantined.
+    pub quarantine_below: f64,
+    /// Probation re-admits only once the score has recovered past
+    /// this (strictly above `quarantine_below` — the hysteresis gap).
+    pub readmit_above: f64,
+    /// Hold-down: batches a quarantined link serves clue-less before
+    /// probation begins.
+    pub quarantine_batches: u64,
+    /// Consecutive clean probation batches required (in addition to
+    /// the score gate) before re-admission.
+    pub probation_batches: u64,
+}
+
+impl Default for ReputationConfig {
+    fn default() -> Self {
+        ReputationConfig {
+            suspicion: 0.02,
+            attack_decay: 0.5,
+            recovery: 0.35,
+            quarantine_below: 0.5,
+            readmit_above: 0.9,
+            quarantine_batches: 4,
+            probation_batches: 2,
+        }
+    }
+}
+
+/// Where a neighbor stands in the quarantine state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Clues are trusted and used.
+    Healthy,
+    /// Clues are bypassed; the link serves clue-less for the
+    /// remaining hold-down batches.
+    Quarantined {
+        /// Hold-down batches left before probation.
+        remaining: u64,
+    },
+    /// Clues are consulted again, under watch: `clean` consecutive
+    /// clean batches so far.
+    Probation {
+        /// Consecutive clean batches observed in this probation.
+        clean: u64,
+    },
+}
+
+/// One batch's worth of degradation evidence for a single neighbor —
+/// the aggregation the serving side already computes per batch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchSignals {
+    /// Clued lookups served over the link this batch.
+    pub lookups: u64,
+    /// Lookups whose clue was not a prefix of the destination
+    /// (the malformed-decode fallback path).
+    pub malformed: u64,
+    /// Lookups whose cost exceeded the clue-less baseline — the
+    /// degraded-cost overrun the soundness checker prices.
+    pub overruns: u64,
+}
+
+impl BatchSignals {
+    /// A clean batch of `lookups` lookups.
+    pub fn clean(lookups: u64) -> Self {
+        BatchSignals { lookups, malformed: 0, overruns: 0 }
+    }
+
+    /// The dirty fraction of the batch (0.0 for an empty batch).
+    pub fn fraction(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            (self.malformed + self.overruns) as f64 / self.lookups as f64
+        }
+    }
+}
+
+/// What one [`NeighborReputation::observe`] call did to the state
+/// machine — the edge, for telemetry and scenario assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// No state change.
+    None,
+    /// The neighbor entered quarantine (from Healthy or Probation).
+    Quarantined,
+    /// The hold-down expired; probation began.
+    Probation,
+    /// Probation succeeded; the neighbor is Healthy again.
+    Readmitted,
+}
+
+/// One neighbor's score and quarantine state.
+#[derive(Debug, Clone, Copy)]
+pub struct NeighborReputation {
+    score: f64,
+    state: LinkState,
+    batches: u64,
+}
+
+impl Default for NeighborReputation {
+    fn default() -> Self {
+        NeighborReputation { score: 1.0, state: LinkState::Healthy, batches: 0 }
+    }
+}
+
+impl NeighborReputation {
+    /// The current score in `[0, 1]`.
+    pub fn score(&self) -> f64 {
+        self.score
+    }
+
+    /// The current state.
+    pub fn state(&self) -> LinkState {
+        self.state
+    }
+
+    /// Batches observed so far.
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Whether the serving side should consult this neighbor's clues
+    /// for the *next* batch (Healthy and Probation do; Quarantined
+    /// serves clue-less).
+    pub fn uses_clues(&self) -> bool {
+        !matches!(self.state, LinkState::Quarantined { .. })
+    }
+
+    /// Folds one batch of evidence into the score and state machine.
+    ///
+    /// Quarantined batches are an evidence blackout: the link served
+    /// clue-less, so `signals` carries no clue information — the score
+    /// holds (no recovery a liar could exploit) and only the hold-down
+    /// ticks.
+    pub fn observe(&mut self, signals: &BatchSignals, config: &ReputationConfig) -> Transition {
+        self.batches += 1;
+        match self.state {
+            LinkState::Quarantined { remaining } => {
+                if remaining <= 1 {
+                    self.state = LinkState::Probation { clean: 0 };
+                    Transition::Probation
+                } else {
+                    self.state = LinkState::Quarantined { remaining: remaining - 1 };
+                    Transition::None
+                }
+            }
+            LinkState::Healthy | LinkState::Probation { .. } => {
+                let fraction = signals.fraction();
+                if fraction > config.suspicion {
+                    self.score *= 1.0 - config.attack_decay * fraction.min(1.0);
+                    let quarantine = match self.state {
+                        // One dirty probation batch re-quarantines
+                        // instantly — probation is a probe, not a pardon.
+                        LinkState::Probation { .. } => true,
+                        _ => self.score < config.quarantine_below,
+                    };
+                    if quarantine {
+                        self.state = LinkState::Quarantined {
+                            remaining: config.quarantine_batches.max(1),
+                        };
+                        Transition::Quarantined
+                    } else {
+                        Transition::None
+                    }
+                } else {
+                    self.score += config.recovery * (1.0 - self.score);
+                    if let LinkState::Probation { clean } = self.state {
+                        let clean = clean + 1;
+                        if clean >= config.probation_batches && self.score >= config.readmit_above
+                        {
+                            self.state = LinkState::Healthy;
+                            Transition::Readmitted
+                        } else {
+                            self.state = LinkState::Probation { clean };
+                            Transition::None
+                        }
+                    } else {
+                        Transition::None
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The per-neighbor reputation ledger a router (or the fleet
+/// simulator) keeps: one [`NeighborReputation`] per incoming link,
+/// plus transition counters for telemetry.
+#[derive(Debug, Clone)]
+pub struct ReputationBook {
+    config: ReputationConfig,
+    neighbors: Vec<NeighborReputation>,
+    quarantines: u64,
+    probations: u64,
+    readmissions: u64,
+}
+
+impl ReputationBook {
+    /// A book over `neighbors` links, all Healthy at score 1.0.
+    pub fn new(neighbors: usize, config: ReputationConfig) -> Self {
+        ReputationBook {
+            config,
+            neighbors: vec![NeighborReputation::default(); neighbors],
+            quarantines: 0,
+            probations: 0,
+            readmissions: 0,
+        }
+    }
+
+    /// Links tracked.
+    pub fn len(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Whether the book tracks no links.
+    pub fn is_empty(&self) -> bool {
+        self.neighbors.is_empty()
+    }
+
+    /// The configuration the book applies.
+    pub fn config(&self) -> &ReputationConfig {
+        &self.config
+    }
+
+    /// The reputation of link `i`.
+    pub fn neighbor(&self, i: usize) -> &NeighborReputation {
+        &self.neighbors[i]
+    }
+
+    /// Folds one batch of evidence for link `i`.
+    pub fn observe(&mut self, i: usize, signals: &BatchSignals) -> Transition {
+        let t = self.neighbors[i].observe(signals, &self.config);
+        match t {
+            Transition::Quarantined => self.quarantines += 1,
+            Transition::Probation => self.probations += 1,
+            Transition::Readmitted => self.readmissions += 1,
+            Transition::None => {}
+        }
+        t
+    }
+
+    /// Whether link `i`'s clues should be consulted next batch.
+    pub fn uses_clues(&self, i: usize) -> bool {
+        self.neighbors[i].uses_clues()
+    }
+
+    /// Links currently quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.neighbors.iter().filter(|n| !n.uses_clues()).count()
+    }
+
+    /// The lowest score across all links (1.0 for an empty book).
+    pub fn min_score(&self) -> f64 {
+        self.neighbors.iter().map(|n| n.score()).fold(1.0, f64::min)
+    }
+
+    /// Quarantine transitions since construction.
+    pub fn quarantines(&self) -> u64 {
+        self.quarantines
+    }
+
+    /// Probation transitions since construction.
+    pub fn probations(&self) -> u64 {
+        self.probations
+    }
+
+    /// Re-admissions since construction.
+    pub fn readmissions(&self) -> u64 {
+        self.readmissions
+    }
+}
+
+/// A one-bit quarantine switch shared between a reputation controller
+/// and a serving loop ([`serve_lookups`](../clue_netsim/fn.serve_lookups.html)-style
+/// runtimes poll it once per batch): engaged means "serve this link
+/// clue-less". The hot path never sees it — workers read it at batch
+/// boundaries only, alongside their epoch re-pin.
+#[derive(Debug, Default)]
+pub struct QuarantineGate(AtomicBool);
+
+impl QuarantineGate {
+    /// A lifted (clue-serving) gate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engage the quarantine: subsequent batches serve clue-less.
+    pub fn engage(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Lift the quarantine: subsequent batches consult clues again.
+    pub fn lift(&self) {
+        self.0.store(false, Ordering::Relaxed);
+    }
+
+    /// Set the gate from a reputation decision (`true` = quarantined).
+    pub fn set(&self, engaged: bool) {
+        self.0.store(engaged, Ordering::Relaxed);
+    }
+
+    /// Whether the quarantine is engaged (one relaxed load — the
+    /// per-batch price of the whole mechanism).
+    pub fn is_engaged(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dirty(lookups: u64) -> BatchSignals {
+        BatchSignals { lookups, malformed: lookups / 2, overruns: lookups / 2 }
+    }
+
+    #[test]
+    fn sustained_lying_quarantines_and_never_readmits() {
+        let config = ReputationConfig::default();
+        let mut n = NeighborReputation::default();
+        let mut quarantined_at = None;
+        let mut last_score = n.score();
+        for batch in 0..64u64 {
+            let t = n.observe(&dirty(100), &config);
+            assert!(n.score() <= last_score, "score recovered under sustained attack");
+            last_score = n.score();
+            if t == Transition::Quarantined && quarantined_at.is_none() {
+                quarantined_at = Some(batch);
+            }
+            assert_ne!(t, Transition::Readmitted, "a sustained liar must never be readmitted");
+            if quarantined_at.is_some() {
+                assert_ne!(n.state(), LinkState::Healthy, "no return to Healthy under attack");
+            }
+        }
+        let at = quarantined_at.expect("a fully dirty stream must trip quarantine");
+        assert!(at <= 3, "quarantine should engage within a few batches, got {at}");
+    }
+
+    #[test]
+    fn honest_neighbor_round_trips_through_probation() {
+        let config = ReputationConfig::default();
+        let mut n = NeighborReputation::default();
+        // A burst of lies drives the neighbor into quarantine...
+        while n.uses_clues() {
+            n.observe(&dirty(100), &config);
+        }
+        assert!(matches!(n.state(), LinkState::Quarantined { .. }));
+        // ...then honesty earns the way back: hold-down, probation,
+        // score recovery past the hysteresis gap, re-admission.
+        let mut saw_probation = false;
+        let mut readmitted_after = None;
+        for batch in 0..32u64 {
+            match n.observe(&BatchSignals::clean(100), &config) {
+                Transition::Probation => saw_probation = true,
+                Transition::Readmitted => {
+                    readmitted_after = Some(batch);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        assert!(saw_probation, "re-admission must pass through probation");
+        assert!(readmitted_after.is_some(), "an honest neighbor must be readmitted");
+        assert_eq!(n.state(), LinkState::Healthy);
+        assert!(n.score() >= config.readmit_above);
+    }
+
+    #[test]
+    fn dirty_probation_batch_requarantines_instantly() {
+        let config = ReputationConfig::default();
+        let mut n = NeighborReputation::default();
+        while n.uses_clues() {
+            n.observe(&dirty(100), &config);
+        }
+        // Ride out the hold-down.
+        loop {
+            if n.observe(&BatchSignals::clean(100), &config) == Transition::Probation {
+                break;
+            }
+        }
+        assert!(n.uses_clues(), "probation consults clues again");
+        let t = n.observe(&dirty(100), &config);
+        assert_eq!(t, Transition::Quarantined, "one dirty probation batch is enough");
+        assert!(!n.uses_clues());
+    }
+
+    #[test]
+    fn hysteresis_thresholds_leave_a_gap() {
+        let config = ReputationConfig::default();
+        assert!(config.readmit_above > config.quarantine_below + 0.1);
+    }
+
+    #[test]
+    fn book_counts_transitions_and_quarantined_links() {
+        let mut book = ReputationBook::new(3, ReputationConfig::default());
+        assert_eq!(book.len(), 3);
+        assert_eq!(book.quarantined(), 0);
+        for _ in 0..8 {
+            book.observe(1, &dirty(100));
+            book.observe(0, &BatchSignals::clean(100));
+        }
+        assert!(book.uses_clues(0));
+        assert!(!book.uses_clues(1), "the lying link is quarantined");
+        assert!(book.uses_clues(2), "an idle link stays healthy");
+        assert_eq!(book.quarantined(), 1);
+        // The liar is quarantined at least once; a dirty probation
+        // batch after the hold-down re-quarantines, so more is fine.
+        assert!(book.quarantines() >= 1);
+        assert!(book.min_score() < 0.5);
+        assert_eq!(book.neighbor(0).score(), 1.0);
+    }
+
+    #[test]
+    fn empty_batches_are_not_evidence() {
+        let config = ReputationConfig::default();
+        let mut n = NeighborReputation::default();
+        let score = n.score();
+        n.observe(&BatchSignals::default(), &config);
+        assert_eq!(n.state(), LinkState::Healthy);
+        assert!(n.score() >= score, "an idle batch must not punish");
+    }
+
+    #[test]
+    fn gate_toggles() {
+        let gate = QuarantineGate::new();
+        assert!(!gate.is_engaged());
+        gate.engage();
+        assert!(gate.is_engaged());
+        gate.lift();
+        assert!(!gate.is_engaged());
+        gate.set(true);
+        assert!(gate.is_engaged());
+    }
+}

@@ -30,9 +30,10 @@ use clue_tablegen::{
     NeighborConfig, TrafficConfig,
 };
 use clue_telemetry::DegradationTelemetry;
-use clue_trie::{BinaryTrie, Ip4, Prefix};
+use clue_trie::{BinaryTrie, Cost, Ip4, Prefix};
 use clue_wire::{checksum, Ipv4Packet};
 
+use crate::adversary::deepest_mismatch_clue;
 use crate::churn::{run_churn, ChurnDriverConfig, ChurnError, ChurnReport};
 
 /// One way a path can mistreat a packet or its clue. The classes cover
@@ -60,6 +61,12 @@ pub enum FaultClass {
     /// (unencodable on the wire, injected at the lookup boundary —
     /// the malformed-clue fallback path).
     AdversarialClue,
+    /// A systematically lying neighbor: the deepest-mismatch
+    /// *containing* clue for each destination, crafted against the
+    /// victim's own table to maximize continuation cost
+    /// ([`crate::deepest_mismatch_clue`]) — rides the wire like an
+    /// honest clue.
+    LyingNeighbor,
     /// The packet never arrives.
     Dropped,
     /// The packet arrives out of order (swapped with its predecessor).
@@ -67,42 +74,50 @@ pub enum FaultClass {
 }
 
 impl FaultClass {
-    /// Every class, in a stable order (the per-class report order).
-    pub const ALL: [FaultClass; 9] = [
-        FaultClass::Clean,
-        FaultClass::CorruptClue,
-        FaultClass::TruncatedOption,
-        FaultClass::OutOfRangeClue,
-        FaultClass::CluelessHop,
-        FaultClass::StaleClue,
-        FaultClass::AdversarialClue,
-        FaultClass::Dropped,
-        FaultClass::Reordered,
+    /// The canonical `(class, label)` table: the single source of
+    /// truth for ordering, labels and parsing. `ALL`, [`Self::label`],
+    /// [`Self::from_label`] and [`Self::index`] all derive from it, so
+    /// adding a class is one row here (in declaration order — a test
+    /// pins row position to the enum discriminant).
+    const TABLE: [(FaultClass, &'static str); 10] = [
+        (FaultClass::Clean, "clean"),
+        (FaultClass::CorruptClue, "corrupt_clue"),
+        (FaultClass::TruncatedOption, "truncated_option"),
+        (FaultClass::OutOfRangeClue, "out_of_range_clue"),
+        (FaultClass::CluelessHop, "clueless_hop"),
+        (FaultClass::StaleClue, "stale_clue"),
+        (FaultClass::AdversarialClue, "adversarial_clue"),
+        (FaultClass::LyingNeighbor, "lying_neighbor"),
+        (FaultClass::Dropped, "dropped"),
+        (FaultClass::Reordered, "reordered"),
     ];
+
+    /// Every class, in a stable order (the per-class report order) —
+    /// derived from the canonical table.
+    pub const ALL: [FaultClass; Self::TABLE.len()] = {
+        let mut all = [FaultClass::Clean; Self::TABLE.len()];
+        let mut i = 0;
+        while i < Self::TABLE.len() {
+            all[i] = Self::TABLE[i].0;
+            i += 1;
+        }
+        all
+    };
 
     /// The stable snake_case label (metric suffixes, CLI `--faults`).
     pub fn label(self) -> &'static str {
-        match self {
-            FaultClass::Clean => "clean",
-            FaultClass::CorruptClue => "corrupt_clue",
-            FaultClass::TruncatedOption => "truncated_option",
-            FaultClass::OutOfRangeClue => "out_of_range_clue",
-            FaultClass::CluelessHop => "clueless_hop",
-            FaultClass::StaleClue => "stale_clue",
-            FaultClass::AdversarialClue => "adversarial_clue",
-            FaultClass::Dropped => "dropped",
-            FaultClass::Reordered => "reordered",
-        }
+        Self::TABLE[self.index()].1
     }
 
     /// Parses a label back to its class.
     pub fn from_label(label: &str) -> Option<Self> {
-        Self::ALL.iter().copied().find(|c| c.label() == label)
+        Self::TABLE.iter().find(|(_, l)| *l == label).map(|(c, _)| *c)
     }
 
-    /// Position in [`Self::ALL`].
+    /// Position in [`Self::ALL`] (= the enum discriminant; the table
+    /// is declared in the same order, pinned by a test).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("ALL is exhaustive")
+        self as usize
     }
 }
 
@@ -180,7 +195,7 @@ impl FaultPlan {
 
 /// SplitMix64 finalizer over a (seed, index) pair — the same
 /// per-packet derivation [`crate::run_workload_parallel`] uses.
-fn splitmix64(seed: u64, index: u64) -> u64 {
+pub(crate) fn splitmix64(seed: u64, index: u64) -> u64 {
     let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -442,6 +457,18 @@ pub fn run_chaos(
                 Some(bmp) => ClueHeader::with_clue(bmp),
                 None => ClueHeader::with_clue(&Prefix::new(dest, 8)),
             },
+            // The systematic liar: a *containing* clue (it encodes and
+            // parses like an honest one) priced against the victim's
+            // own frozen engine to maximize continuation cost. The
+            // soundness bound caps the damage at one wasted probe.
+            FaultClass::LyingNeighbor => {
+                let crafted = deepest_mismatch_clue(dest, |clue| {
+                    let mut cost = Cost::new();
+                    frozen.lookup(dest, clue, &mut cost);
+                    cost.total()
+                });
+                ClueHeader::with_clue(&crafted)
+            }
             _ => match &honest {
                 Some(bmp) => ClueHeader::with_clue(bmp),
                 None => ClueHeader::none(),
@@ -667,6 +694,20 @@ mod tests {
     }
 
     #[test]
+    fn the_canonical_table_matches_the_enum_order() {
+        // `index()` is the discriminant cast; the table must be
+        // declared in the same order or labels would silently skew.
+        for (i, &(class, label)) in FaultClass::TABLE.iter().enumerate() {
+            assert_eq!(class as usize, i, "table row {i} out of declaration order");
+            assert_eq!(class.index(), i);
+            assert_eq!(class.label(), label);
+            assert_eq!(FaultClass::from_label(label), Some(class));
+            assert_eq!(FaultClass::ALL[i], class);
+        }
+        assert_eq!(FaultClass::ALL.len(), FaultClass::TABLE.len());
+    }
+
+    #[test]
     fn parse_accepts_labels_and_rejects_junk() {
         let plan = FaultPlan::parse("stale_clue,dropped", 1).unwrap();
         assert!(plan.classes().contains(&FaultClass::Clean), "clean is implied");
@@ -704,7 +745,10 @@ mod tests {
                 FaultClass::OutOfRangeClue | FaultClass::TruncatedOption => {
                     assert_eq!(outcome.parse_errors, outcome.delivered)
                 }
-                FaultClass::Clean | FaultClass::CluelessHop | FaultClass::StaleClue => {
+                FaultClass::Clean
+                | FaultClass::CluelessHop
+                | FaultClass::StaleClue
+                | FaultClass::LyingNeighbor => {
                     assert_eq!(outcome.parse_errors, 0)
                 }
                 _ => {}
@@ -713,6 +757,18 @@ mod tests {
                 assert_eq!(
                     outcome.stats.malformed, outcome.delivered,
                     "every adversarial clue is malformed, counted exactly once"
+                );
+            }
+            if outcome.class == FaultClass::LyingNeighbor {
+                assert!(
+                    outcome.overhead_max <= 1,
+                    "even a table-aware liar cannot beat the soundness bound"
+                );
+                assert!(
+                    outcome.overhead_mean > 0.5,
+                    "the deepest-mismatch clue should land near the bound on most packets, \
+                     got mean {}",
+                    outcome.overhead_mean
                 );
             }
         }

@@ -39,16 +39,19 @@ use std::time::Instant;
 
 use clue_core::channel::{mpsc, spsc, SpscReceiver, TryRecvError};
 use clue_core::{
-    ClueEngine, ClueHeader, EngineConfig, EpochCell, EpochGuard, EpochReader, Method,
-    StrideConfig, StrideEngine, StrideError, NO_TAG,
+    BatchSignals, ClueEngine, ClueHeader, EngineConfig, EpochCell, EpochGuard, EpochReader,
+    Method, ReputationBook, ReputationConfig, StrideConfig, StrideEngine, StrideError, NO_TAG,
 };
 use clue_lookup::Family;
 use clue_tablegen::{rebase_into_block, synthesize_ipv4, ZipfSampler};
-use clue_telemetry::{FleetTelemetry, LookupClass};
+use clue_telemetry::{
+    AdversaryTelemetry, DegradationTelemetry, FleetTelemetry, LookupClass, ReputationTelemetry,
+};
 use clue_trie::{Address, Cost, Ip4, Prefix};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use crate::adversary::{deepest_mismatch_clue, flood_clue, AttackProfile};
 use crate::parallel::packet_seed;
 use crate::runtime::{Backoff, Job};
 use crate::topology::{EcmpTree, RouterId, Topology};
@@ -920,6 +923,373 @@ impl Fleet {
             t.staleness_epochs.observe(c.stats.max_staleness);
         }
     }
+
+    /// Picks the fleet's adversaries deterministically: participating
+    /// non-origin routers of highest degree (an attacker wants to sit
+    /// on as many paths as possible), ties broken by router id.
+    pub fn adversary_routers(&self, count: usize) -> Vec<RouterId> {
+        let mut candidates: Vec<RouterId> = (0..self.topology.len())
+            .filter(|&r| self.participates[r] && self.origin_of_router[r] == NO_ORIGIN)
+            .collect();
+        candidates
+            .sort_by_key(|&r| (std::cmp::Reverse(self.topology.neighbors(r).len()), r));
+        candidates.truncate(count);
+        candidates
+    }
+
+    /// Runs the adversarial leg: `config.rounds` rounds of
+    /// `config.flows_per_round` flows, with the chosen adversaries
+    /// misbehaving ([`AttackProfile`]) for the first
+    /// `config.attack_rounds` rounds while every router scores its
+    /// incoming links in a [`ReputationBook`] and quarantines bad
+    /// clue sources. Quarantine decisions are frozen per round — the
+    /// batch-boundary semantics of the serving runtime's
+    /// [`QuarantineGate`](clue_core::QuarantineGate) — and every
+    /// clued hop is differentially checked in-walk: the clued tag must
+    /// resolve the same BMP as the clue-less base lookup, and its cost
+    /// may exceed the baseline by at most one probe.
+    ///
+    /// Each round also routes the *same* flow indices through the
+    /// honest walk, so the report can state attacked savings against
+    /// the honest-fleet baseline round by round.
+    ///
+    /// # Panics
+    /// Panics unless the fleet was built with [`Method::Simple`]: the
+    /// Advance method *trusts* the clue epoch (its Claim-1 pruning is
+    /// only sound for clues drawn from the sender table it was
+    /// precomputed against), so handing it an adversary's crafted
+    /// clues would be a genuine soundness break, not a finding.
+    pub fn run_adversarial(
+        &self,
+        config: &FleetAdversaryConfig,
+        adversary_telemetry: Option<&AdversaryTelemetry>,
+        reputation_telemetry: Option<&ReputationTelemetry>,
+        degradation_telemetry: Option<&DegradationTelemetry>,
+    ) -> FleetAdversaryReport {
+        assert_eq!(
+            self.config.engine.method,
+            Method::Simple,
+            "adversarial runs require Method::Simple — Advance trusts the clue epoch"
+        );
+        let adversaries = self.adversary_routers(config.adversaries);
+        let mut is_adversary = vec![false; self.topology.len()];
+        for &a in &adversaries {
+            is_adversary[a] = true;
+        }
+        let links = self.link_from.len();
+        let mut book = ReputationBook::new(links, config.reputation);
+        let mut readers = self.readers();
+        let guards: Vec<EpochGuard<'_, FleetRouter>> =
+            readers.iter_mut().map(|r| r.pin()).collect();
+        let fault_label = match config.attack {
+            AttackProfile::Flooding => "adversarial_clue",
+            _ => "lying_neighbor",
+        };
+
+        let mut rounds = Vec::with_capacity(config.rounds);
+        let mut divergences = 0u64;
+        let mut bound_violations = 0u64;
+        let mut quarantine_round = None;
+        let mut readmit_round = None;
+        for round in 0..config.rounds {
+            let hostile =
+                round < config.attack_rounds && config.attack.hostile(round as u64);
+            // Frozen for the whole round: the per-batch gate snapshot.
+            let use_clues: Vec<bool> = (0..links).map(|l| book.uses_clues(l)).collect();
+            let quarantined_links = use_clues.iter().filter(|&&u| !u).count();
+
+            let lo = (round * config.flows_per_round) as u64;
+            let hi = lo + config.flows_per_round as u64;
+            let mut acc = AdversaryAccum::new(links);
+            for i in lo..hi {
+                let flow = self.draw_flow(i);
+                self.route_flow_adversarial(
+                    &guards,
+                    &flow,
+                    i,
+                    &is_adversary,
+                    hostile,
+                    config.attack,
+                    &use_clues,
+                    &mut acc,
+                );
+            }
+            // The honest reference: the same flow indices, nobody lies,
+            // nothing quarantined.
+            let mut honest = FleetAccum::new(links);
+            for i in lo..hi {
+                let flow = self.draw_flow(i);
+                self.route_flow(&guards, &flow, &mut honest);
+            }
+
+            divergences += acc.divergences;
+            bound_violations += acc.bound_violations;
+            let malformed: u64 = acc.signals.iter().map(|s| s.malformed).sum();
+
+            // Fold the round's evidence. Every link is observed — an
+            // idle or quarantined batch still ticks hold-downs — so
+            // the state machine's time base is rounds, not traffic.
+            for l in 0..links {
+                book.observe(l, &acc.signals[l]);
+            }
+            if quarantined_links > 0 && quarantine_round.is_none() {
+                quarantine_round = Some(round);
+            }
+            if quarantine_round.is_some()
+                && readmit_round.is_none()
+                && book.readmissions() > 0
+                && book.quarantined() == 0
+            {
+                readmit_round = Some(round);
+            }
+
+            if let Some(t) = adversary_telemetry {
+                t.attacked_hops_total.add(acc.attacked_hops);
+                t.crafted_clues_total.add(acc.crafted);
+                t.flood_clues_total.add(acc.floods);
+                t.bound_violations_total.add(acc.bound_violations);
+                if acc.overhead_max as f64 > t.worst_overhead.get() {
+                    t.worst_overhead.set(acc.overhead_max as f64);
+                }
+            }
+            if let Some(t) = reputation_telemetry {
+                t.batches_observed_total.add(links as u64);
+                t.quarantined_links.set(book.quarantined() as f64);
+                t.min_score.set(book.min_score());
+            }
+            if let Some(t) = degradation_telemetry {
+                t.injected_total.add(acc.attacked_hops);
+                if let Some(c) = t.class(fault_label) {
+                    c.add(acc.attacked_hops);
+                }
+                t.degraded_lookups_total.add(malformed);
+                t.divergences_total.add(acc.divergences);
+            }
+
+            rounds.push(AdversaryRound {
+                round,
+                hostile,
+                quarantined_links,
+                attacked_hops: acc.attacked_hops,
+                malformed,
+                divergences: acc.divergences,
+                bound_violations: acc.bound_violations,
+                overhead_max: acc.overhead_max,
+                clue_refs: acc.base.clue_refs,
+                baseline_refs: acc.base.base_refs,
+                honest_clue_refs: honest.clue_refs,
+                honest_baseline_refs: honest.base_refs,
+                delivered: acc.base.delivered,
+                dropped: acc.base.dropped,
+            });
+        }
+        if let Some(t) = reputation_telemetry {
+            t.quarantines_total.add(book.quarantines());
+            t.probations_total.add(book.probations());
+            t.readmissions_total.add(book.readmissions());
+        }
+        drop(guards);
+
+        FleetAdversaryReport {
+            attack: config.attack,
+            adversaries,
+            window: config.window,
+            rounds,
+            divergences,
+            bound_violations,
+            quarantine_round,
+            readmit_round,
+            quarantines: book.quarantines(),
+            probations: book.probations(),
+            readmissions: book.readmissions(),
+        }
+    }
+
+    /// The adversarial variant of [`Self::route_flow`]: adversaries
+    /// override the clue they stamp (deepest-mismatch crafting against
+    /// the next router's own engine, or flooding garbage injected at
+    /// the lookup boundary), quarantined links serve clue-less, and
+    /// every clued hop is differentially checked — resolved BMP
+    /// against the clue-less base lookup, cost against the soundness
+    /// bound — while per-link [`BatchSignals`] accumulate for the
+    /// reputation fold.
+    #[allow(clippy::too_many_arguments)]
+    fn route_flow_adversarial(
+        &self,
+        guards: &[EpochGuard<'_, FleetRouter>],
+        flow: &Flow,
+        flow_index: u64,
+        is_adversary: &[bool],
+        hostile: bool,
+        attack: AttackProfile,
+        use_clues: &[bool],
+        acc: &mut AdversaryAccum,
+    ) {
+        acc.base.flows += 1;
+        let mut header = ClueHeader::none();
+        // Flood clues never contain the destination, so the wire
+        // cannot carry them: they ride this one-hop side channel, the
+        // lookup-boundary injection a compromised engine would use.
+        let mut forced: Option<Prefix<Ip4>> = None;
+        let mut prev: Option<RouterId> = None;
+        let mut cur = flow.src;
+        let max_hops = self.topology.len() + 4;
+        for pos in 0..max_hops {
+            let node: &FleetRouter = &guards[cur];
+            let slot = prev.map(|p| {
+                self.topology
+                    .neighbors(cur)
+                    .iter()
+                    .position(|&x| x == p)
+                    .expect("prev is a neighbor of cur")
+            });
+            let link = slot.map(|s| self.link_base[cur] as usize + s);
+            let clue = forced.take().or_else(|| header.decode(flow.dest));
+            // The quarantine switch: a quarantined incoming link is
+            // served by the clue-less base engine, bypassing the clue
+            // path entirely.
+            let quarantined = link.is_some_and(|l| !use_clues[l]);
+            let engine = match slot {
+                Some(s)
+                    if node.participates
+                        && clue.is_some()
+                        && s < node.engines.len()
+                        && !quarantined =>
+                {
+                    Some(s)
+                }
+                _ => None,
+            };
+
+            let mut cost = Cost::new();
+            let (tag, class) = match engine {
+                Some(e) => {
+                    let eng = &node.engines[e];
+                    let op = eng.lookup_prepare(flow.dest, clue);
+                    eng.lookup_finish_tag(op, flow.dest, clue, &mut cost)
+                }
+                None => {
+                    let op = node.base.lookup_prepare(flow.dest, None);
+                    node.base.lookup_finish_tag(op, flow.dest, None, &mut cost)
+                }
+            };
+
+            // The differential check, in-walk: the clue-less lookup on
+            // the same (router, destination) must resolve the same BMP
+            // (soundness of the *decision*) and the clued cost may
+            // exceed it by at most one probe (soundness of the
+            // *cost*).
+            let (base_tag, base_cost) = match engine {
+                Some(_) => {
+                    let mut c = Cost::new();
+                    let op = node.base.lookup_prepare(flow.dest, None);
+                    let (bt, _) = node.base.lookup_finish_tag(op, flow.dest, None, &mut c);
+                    (bt, c)
+                }
+                None => (tag, cost),
+            };
+            if let Some(e) = engine {
+                let clued_bmp = (tag != NO_TAG)
+                    .then(|| node.engines[e].tag_prefixes()[tag as usize]);
+                let base_bmp =
+                    (base_tag != NO_TAG).then(|| node.base.tag_prefixes()[base_tag as usize]);
+                if clued_bmp != base_bmp {
+                    acc.divergences += 1;
+                }
+                let overhead = cost.total().saturating_sub(base_cost.total());
+                acc.overhead_max = acc.overhead_max.max(overhead);
+                if overhead > 1 {
+                    acc.bound_violations += 1;
+                }
+                let l = link.expect("a clue engine implies an incoming link");
+                acc.signals[l].lookups += 1;
+                acc.signals[l].malformed += u64::from(class == LookupClass::Malformed);
+                acc.signals[l].overruns += u64::from(overhead >= 1);
+            }
+
+            if let (Some(p), Some(s)) = (prev, slot) {
+                debug_assert_eq!(self.link_from[self.link_base[cur] as usize + s], p);
+                let link = self.link_base[cur] as usize + s;
+                let row = match (engine, class) {
+                    (Some(_), LookupClass::Final) => LINK_HIT,
+                    (Some(_), LookupClass::Continued) => LINK_PROBLEMATIC,
+                    (Some(_), LookupClass::Miss) => LINK_MISS,
+                    _ => LINK_CLUELESS,
+                };
+                acc.base.per_link[link][row] += 1;
+            }
+
+            acc.base.record_hop(pos, engine.is_some(), &cost, &base_cost);
+
+            if tag == NO_TAG {
+                acc.base.dropped += 1;
+                return;
+            }
+            let origin = node.origin_of(engine, tag);
+            if origin == NO_ORIGIN {
+                acc.base.dropped += 1;
+                return;
+            }
+
+            if node.participates {
+                let bmp = match engine {
+                    Some(e) => node.engines[e].tag_prefixes()[tag as usize],
+                    None => node.base.tag_prefixes()[tag as usize],
+                };
+                header = ClueHeader::with_clue(&bmp);
+            }
+
+            if self.origin_routers[origin as usize] == cur {
+                acc.base.delivered += 1;
+                return;
+            }
+            let Some(next) = self.ecmp[origin as usize].next_hop(cur, flow.key, pos) else {
+                acc.base.dropped += 1;
+                return;
+            };
+
+            // The attack: an adversary overrides what it just stamped.
+            // Crafting happens *after* the next hop is known, because
+            // the deepest-mismatch clue is priced against the next
+            // router's own engine for this link — the strongest
+            // table-aware attacker.
+            if hostile && is_adversary[cur] {
+                acc.attacked_hops += 1;
+                match attack {
+                    AttackProfile::Flooding => {
+                        forced = Some(flood_clue(
+                            flow.dest,
+                            self.config.seed,
+                            flow_index * 64 + pos as u64,
+                        ));
+                        acc.floods += 1;
+                    }
+                    _ => {
+                        let nnode: &FleetRouter = &guards[next];
+                        let s = self
+                            .topology
+                            .neighbors(next)
+                            .iter()
+                            .position(|&x| x == cur)
+                            .expect("cur is a neighbor of next");
+                        if nnode.participates && s < nnode.engines.len() {
+                            let eng = &nnode.engines[s];
+                            let crafted = deepest_mismatch_clue(flow.dest, |c| {
+                                let mut cc = Cost::new();
+                                eng.lookup(flow.dest, c, &mut cc);
+                                cc.total()
+                            });
+                            header = ClueHeader::with_clue(&crafted);
+                            acc.crafted += 1;
+                        }
+                    }
+                }
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+        acc.base.dropped += 1;
+    }
 }
 
 /// Compiles router `r`'s engine bundle from the FIB tables: a
@@ -1204,6 +1574,198 @@ pub struct FleetChurnReport {
     pub stats: FleetStats,
 }
 
+/// Configuration of the adversarial leg ([`Fleet::run_adversarial`]).
+#[derive(Debug, Clone, Copy)]
+pub struct FleetAdversaryConfig {
+    /// Adversarial routers to plant (highest-degree participating
+    /// transit routers; see [`Fleet::adversary_routers`]).
+    pub adversaries: usize,
+    /// How they misbehave.
+    pub attack: AttackProfile,
+    /// Total rounds (reputation batches) to run.
+    pub rounds: usize,
+    /// Rounds at the start during which the attack profile is active;
+    /// the remainder are honest, so the report can show reconvergence.
+    pub attack_rounds: usize,
+    /// Flows routed per round.
+    pub flows_per_round: usize,
+    /// Trailing rounds over which final savings are measured.
+    pub window: usize,
+    /// Reputation state-machine thresholds.
+    pub reputation: ReputationConfig,
+}
+
+impl FleetAdversaryConfig {
+    /// Defaults sized so that with [`ReputationConfig::default`] a
+    /// sustained attacker quarantines within two rounds and an honest
+    /// link walks all the way back through probation to re-admission
+    /// well before the final measurement window.
+    pub fn new(attack: AttackProfile, adversaries: usize) -> Self {
+        FleetAdversaryConfig {
+            adversaries,
+            attack,
+            rounds: 20,
+            attack_rounds: 6,
+            flows_per_round: 1_000,
+            window: 4,
+            reputation: ReputationConfig::default(),
+        }
+    }
+}
+
+/// One round of the adversarial leg.
+#[derive(Debug, Clone, Copy)]
+pub struct AdversaryRound {
+    /// Round index (reputation batch number).
+    pub round: usize,
+    /// Whether the attack profile was active this round.
+    pub hostile: bool,
+    /// Directed links serving clue-less under quarantine this round
+    /// (the snapshot taken at the round boundary).
+    pub quarantined_links: usize,
+    /// Hops at which an adversary overrode its stamped clue.
+    pub attacked_hops: u64,
+    /// Malformed clue decodes charged to links this round.
+    pub malformed: u64,
+    /// Clued hops whose resolved BMP differed from the clue-less base
+    /// lookup (always 0 — a nonzero value is a soundness bug).
+    pub divergences: u64,
+    /// Clued hops costing more than baseline + 1 (always 0 likewise).
+    pub bound_violations: u64,
+    /// Worst per-hop overhead seen this round.
+    pub overhead_max: u64,
+    /// References the (attacked, quarantining) fleet spent.
+    pub clue_refs: u64,
+    /// References the clue-less baseline spent on the same hops.
+    pub baseline_refs: u64,
+    /// References the honest fleet spent on the same flow indices.
+    pub honest_clue_refs: u64,
+    /// The honest fleet's clue-less baseline references.
+    pub honest_baseline_refs: u64,
+    /// Flows delivered.
+    pub delivered: u64,
+    /// Flows dropped.
+    pub dropped: u64,
+}
+
+impl AdversaryRound {
+    /// Savings this round under attack/quarantine: `1 - clue/baseline`.
+    pub fn savings(&self) -> f64 {
+        if self.baseline_refs == 0 {
+            0.0
+        } else {
+            1.0 - self.clue_refs as f64 / self.baseline_refs as f64
+        }
+    }
+
+    /// Savings the honest fleet achieved on the same flows.
+    pub fn honest_savings(&self) -> f64 {
+        if self.honest_baseline_refs == 0 {
+            0.0
+        } else {
+            1.0 - self.honest_clue_refs as f64 / self.honest_baseline_refs as f64
+        }
+    }
+}
+
+/// What the adversarial leg measured.
+#[derive(Debug, Clone)]
+pub struct FleetAdversaryReport {
+    /// The attack profile that ran.
+    pub attack: AttackProfile,
+    /// Routers that were adversarial.
+    pub adversaries: Vec<RouterId>,
+    /// Trailing rounds the final-savings window covers.
+    pub window: usize,
+    /// Per-round measurements.
+    pub rounds: Vec<AdversaryRound>,
+    /// Total BMP divergences (0 on a sound build).
+    pub divergences: u64,
+    /// Total soundness-bound violations (0 on a sound build).
+    pub bound_violations: u64,
+    /// First round that began with links quarantined, if any.
+    pub quarantine_round: Option<usize>,
+    /// First round after which every quarantined link had been
+    /// re-admitted, if reconvergence completed.
+    pub readmit_round: Option<usize>,
+    /// Healthy→Quarantined transitions across all links.
+    pub quarantines: u64,
+    /// Quarantined→Probation transitions.
+    pub probations: u64,
+    /// Probation→Healthy re-admissions.
+    pub readmissions: u64,
+}
+
+impl FleetAdversaryReport {
+    /// Whether every clued hop of every round resolved the same BMP as
+    /// the clue-less baseline and stayed within the +1 cost bound.
+    pub fn sound(&self) -> bool {
+        self.divergences == 0 && self.bound_violations == 0
+    }
+
+    /// Worst per-hop overhead across the whole run.
+    pub fn overhead_max(&self) -> u64 {
+        self.rounds.iter().map(|r| r.overhead_max).max().unwrap_or(0)
+    }
+
+    fn window_rounds(&self) -> &[AdversaryRound] {
+        let n = self.rounds.len();
+        &self.rounds[n.saturating_sub(self.window)..]
+    }
+
+    /// Savings over the final measurement window (post-attack,
+    /// post-quarantine steady state).
+    pub fn final_savings(&self) -> f64 {
+        let (clue, base) = self
+            .window_rounds()
+            .iter()
+            .fold((0u64, 0u64), |(c, b), r| (c + r.clue_refs, b + r.baseline_refs));
+        if base == 0 { 0.0 } else { 1.0 - clue as f64 / base as f64 }
+    }
+
+    /// The honest fleet's savings over the same window and flows.
+    pub fn honest_final_savings(&self) -> f64 {
+        let (clue, base) = self.window_rounds().iter().fold((0u64, 0u64), |(c, b), r| {
+            (c + r.honest_clue_refs, b + r.honest_baseline_refs)
+        });
+        if base == 0 { 0.0 } else { 1.0 - clue as f64 / base as f64 }
+    }
+
+    /// Whether post-quarantine savings came back to within `tolerance`
+    /// (absolute) of the honest fleet's.
+    pub fn reconverged(&self, tolerance: f64) -> bool {
+        (self.final_savings() - self.honest_final_savings()).abs() <= tolerance
+    }
+}
+
+/// Accumulator of the adversarial walk: the ordinary fleet accounting
+/// plus the differential-check and per-link reputation evidence.
+struct AdversaryAccum {
+    base: FleetAccum,
+    signals: Vec<BatchSignals>,
+    attacked_hops: u64,
+    crafted: u64,
+    floods: u64,
+    divergences: u64,
+    bound_violations: u64,
+    overhead_max: u64,
+}
+
+impl AdversaryAccum {
+    fn new(links: usize) -> Self {
+        AdversaryAccum {
+            base: FleetAccum::new(links),
+            signals: vec![BatchSignals::default(); links],
+            attacked_hops: 0,
+            crafted: 0,
+            floods: 0,
+            divergences: 0,
+            bound_violations: 0,
+            overhead_max: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1307,5 +1869,105 @@ mod tests {
         assert_eq!(t.hops_total.get(), stats.hops);
         assert!(t.savings_ratio.get() > 0.0);
         assert!(t.link_hit_rate_pct.snapshot().count > 0);
+    }
+
+    fn simple_fleet() -> Fleet {
+        let mut c = small_config();
+        c.engine.method = Method::Simple;
+        Fleet::build(c).unwrap()
+    }
+
+    #[test]
+    fn adversary_routers_are_deterministic_transit_hubs() {
+        let fleet = simple_fleet();
+        let a = fleet.adversary_routers(4);
+        assert_eq!(a, fleet.adversary_routers(4));
+        assert_eq!(a.len(), 4);
+        for &r in &a {
+            assert!(
+                !fleet.origin_routers().contains(&r),
+                "adversaries must be transit routers, got origin {r}"
+            );
+        }
+        // Highest-degree first.
+        let degree = |r: RouterId| fleet.topology().neighbors(r).len();
+        for w in a.windows(2) {
+            assert!(degree(w[0]) >= degree(w[1]));
+        }
+    }
+
+    #[test]
+    fn lying_adversaries_stay_sound_quarantine_and_reconverge() {
+        let fleet = simple_fleet();
+        let config = FleetAdversaryConfig::new(AttackProfile::Lying, 4);
+        let report = fleet.run_adversarial(&config, None, None, None);
+        assert!(report.sound(), "divergences or bound violations under lying attack");
+        assert!(report.overhead_max() <= 1);
+        let q = report.quarantine_round.expect("lying links must quarantine");
+        assert!(q <= 3, "quarantine engaged too late: round {q}");
+        assert!(report.quarantines > 0);
+        assert!(
+            report.readmit_round.is_some(),
+            "honest behaviour after the attack must re-admit every link"
+        );
+        assert!(
+            report.reconverged(0.05),
+            "final savings {:.4} vs honest {:.4}",
+            report.final_savings(),
+            report.honest_final_savings()
+        );
+        // During the attack the attacked fleet saves less than honest.
+        let first = &report.rounds[0];
+        assert!(first.attacked_hops > 0);
+        assert!(first.savings() < first.honest_savings());
+    }
+
+    #[test]
+    fn flooding_adversaries_trip_malformed_accounting() {
+        let fleet = simple_fleet();
+        let mut config = FleetAdversaryConfig::new(AttackProfile::Flooding, 4);
+        config.rounds = 8;
+        config.attack_rounds = 3;
+        let report = fleet.run_adversarial(&config, None, None, None);
+        assert!(report.sound());
+        // Flood clues never contain the destination: every forced clue
+        // decodes Malformed, which costs zero extra references.
+        let first = &report.rounds[0];
+        assert!(first.malformed > 0, "flood clues must register as malformed");
+        assert!(first.attacked_hops > 0);
+    }
+
+    #[test]
+    fn oscillating_liar_cannot_dodge_fleet_hysteresis() {
+        let fleet = simple_fleet();
+        let config = FleetAdversaryConfig::new(AttackProfile::Oscillating, 4);
+        let report = fleet.run_adversarial(&config, None, None, None);
+        assert!(report.sound());
+        assert!(
+            report.quarantine_round.is_some(),
+            "alternating honest epochs must not evade quarantine"
+        );
+        assert!(report.reconverged(0.05));
+    }
+
+    #[test]
+    fn adversarial_run_feeds_telemetry() {
+        let fleet = simple_fleet();
+        let mut config = FleetAdversaryConfig::new(AttackProfile::Lying, 2);
+        config.rounds = 6;
+        config.attack_rounds = 2;
+        let at = AdversaryTelemetry::detached();
+        let rt = ReputationTelemetry::detached();
+        let dt = DegradationTelemetry::detached(&["lying_neighbor", "adversarial_clue"]);
+        let report = fleet.run_adversarial(&config, Some(&at), Some(&rt), Some(&dt));
+        let attacked: u64 = report.rounds.iter().map(|r| r.attacked_hops).sum();
+        assert_eq!(at.attacked_hops_total.get(), attacked);
+        assert!(at.crafted_clues_total.get() > 0);
+        assert_eq!(at.bound_violations_total.get(), 0);
+        assert!(at.worst_overhead.get() <= 1.0);
+        assert!(rt.batches_observed_total.get() > 0);
+        assert_eq!(rt.quarantines_total.get(), report.quarantines);
+        assert_eq!(dt.injected_total.get(), attacked);
+        assert_eq!(dt.class("lying_neighbor").unwrap().get(), attacked);
     }
 }

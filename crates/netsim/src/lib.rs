@@ -32,11 +32,17 @@
 //!   corrupted/truncated/stale/adversarial clues, clue-less hops,
 //!   drops, reorders, reader panics and stalled rebuilds, checked
 //!   against the soundness invariant (any fault degrades cost, never
-//!   the forwarding decision).
+//!   the forwarding decision);
+//! * [`adversary`] / [`run_scenario`] — systematic attackers beyond
+//!   random faults (a table-aware lying neighbor, clue-flooding
+//!   bursts, an oscillating liar) played against the
+//!   `clue_core::reputation` quarantine, every batch differentially
+//!   checked against the clue-less baseline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 mod churn;
 mod faults;
 mod fleet;
@@ -48,14 +54,19 @@ mod runtime;
 mod sim;
 mod topology;
 
+pub use adversary::{
+    deepest_mismatch_clue, flood_clue, participation_sweep, run_scenario, AttackProfile,
+    ScenarioBatch, ScenarioConfig, ScenarioReport, SweepPoint,
+};
 pub use churn::{run_churn, ChurnDriverConfig, ChurnError, ChurnReport};
 pub use faults::{
     run_chaos, ChaosConfig, ChaosReport, ChurnFaultPlan, ClassOutcome, FaultClass, FaultPlan,
     RebuildWatchdog,
 };
 pub use fleet::{
-    Fleet, FleetChurnConfig, FleetChurnReport, FleetConfig, FleetRunReport, FleetStats, Flow,
-    HopSavings, LinkStats, TopologyKind,
+    AdversaryRound, Fleet, FleetAdversaryConfig, FleetAdversaryReport, FleetChurnConfig,
+    FleetChurnReport, FleetConfig, FleetRunReport, FleetStats, Flow, HopSavings, LinkStats,
+    TopologyKind,
 };
 pub use mpls_path::{LabelSwitchedPath, LspHop};
 pub use pathvector::{Aggregation, PathVector, Rib, Route};

@@ -57,8 +57,8 @@ use std::time::{Duration, Instant};
 
 use clue_core::channel::{mpsc, spsc, MpscSender, SpscReceiver, TryRecvError};
 use clue_core::{
-    ClueHeader, Decision, EngineStats, EpochCell, PreparedLookup, StrideConfig, StrideEngine,
-    StrideError, DEFAULT_INTERLEAVE, NO_TAG,
+    ClueHeader, Decision, EngineStats, EpochCell, PreparedLookup, QuarantineGate, StrideConfig,
+    StrideEngine, StrideError, DEFAULT_INTERLEAVE, NO_TAG,
 };
 use clue_telemetry::RuntimeTelemetry;
 use clue_trie::{Address, Cost, Prefix};
@@ -89,6 +89,12 @@ pub struct RuntimeConfig {
     pub prefetch: usize,
     /// Stride shape for [`StrideNetwork::freeze`].
     pub stride: StrideConfig,
+    /// Reputation-layer quarantine switch for the served link. Workers
+    /// read it once per job at the epoch-refresh boundary: while
+    /// engaged, the job is served entirely clue-less — the hot path
+    /// stays branchless within a batch and never touches the flag
+    /// per packet.
+    pub gate: Option<std::sync::Arc<QuarantineGate>>,
 }
 
 impl Default for RuntimeConfig {
@@ -99,6 +105,7 @@ impl Default for RuntimeConfig {
             depth: 64,
             prefetch: DEFAULT_INTERLEAVE,
             stride: StrideConfig::default(),
+            gate: None,
         }
     }
 }
@@ -855,8 +862,12 @@ pub fn serve_lookups<A: Address>(
             let mut rx = slot.take().expect("receiver consumed once");
             let res_tx = res_tx.clone();
             let priming = &priming;
+            let gate = config.gate.as_deref();
             scope.spawn(move || {
-                serve_worker(cell, dests, clues, w, &mut rx, &res_tx, priming, batch, prefetch, telemetry);
+                serve_worker(
+                    cell, dests, clues, w, &mut rx, &res_tx, priming, batch, prefetch, gate,
+                    telemetry,
+                );
             });
         }
         drop(res_tx);
@@ -955,6 +966,7 @@ fn serve_worker<A: Address>(
     priming: &AtomicUsize,
     batch: usize,
     prefetch: usize,
+    gate: Option<&QuarantineGate>,
     telemetry: Option<&RuntimeTelemetry>,
 ) {
     let mut reader = cell.reader();
@@ -973,6 +985,9 @@ fn serve_worker<A: Address>(
 
     let mut classes = EngineStats::default();
     let mut decisions: Vec<Decision<A>> = Vec::with_capacity(batch);
+    // Quarantine substitution buffer: sized once, reused every gated
+    // job, so engaging the gate allocates nothing on the hot path.
+    let no_clues: Vec<Option<Prefix<A>>> = vec![None; batch];
     loop {
         match rx.try_recv() {
             Ok(job) => {
@@ -1000,12 +1015,20 @@ fn serve_worker<A: Address>(
                     t.staleness_epochs.observe(0);
                 }
                 let (lo, hi) = (job.lo as usize, job.hi as usize);
+                // The quarantine switch, observed per job like churn:
+                // while the reputation layer holds the gate engaged,
+                // this batch serves clue-less — same engine, same
+                // decisions (soundness), no clue-table probes.
+                let job_clues = match gate {
+                    Some(g) if g.is_engaged() => &no_clues[..hi - lo],
+                    _ => &clues[lo..hi],
+                };
                 let t = Instant::now();
                 decisions.clear();
                 decisions.resize(hi - lo, Decision::default());
                 let s = replica.lookup_batch_interleaved(
                     &dests[lo..hi],
-                    &clues[lo..hi],
+                    job_clues,
                     &mut decisions,
                     prefetch,
                 );
@@ -1151,6 +1174,36 @@ mod tests {
             assert_eq!(attributed, dests.len() as u64);
             assert_eq!(report.cores.iter().map(|c| c.max_staleness).max(), Some(0));
         }
+    }
+
+    #[test]
+    fn engaged_gate_serves_exactly_like_an_all_none_clue_run() {
+        let (engine, dests, clues) = engine_fixture();
+        let stride = engine.freeze_stride(StrideConfig::default()).unwrap();
+        let none_clues: Vec<Option<Prefix<Ip4>>> = vec![None; dests.len()];
+        let (want_quarantined, want_quarantined_stats) =
+            stride.lookup_batch_vec(&dests, &none_clues);
+        let (want_clued, _) = stride.lookup_batch_vec(&dests, &clues);
+        let cell = EpochCell::new(stride);
+        let gate = std::sync::Arc::new(QuarantineGate::default());
+        gate.engage();
+        let cfg = RuntimeConfig {
+            workers: 2,
+            batch: 128,
+            gate: Some(gate.clone()),
+            ..RuntimeConfig::default()
+        };
+        let mut got = Vec::new();
+        let report = serve_lookups(&cell, &dests, &clues, &mut got, &cfg, None);
+        assert_eq!(got, want_quarantined, "an engaged gate must serve clue-less");
+        assert_eq!(report.stats, want_quarantined_stats);
+        let clued = |s: &EngineStats| s.finals + s.continued + s.misses;
+        assert_eq!(clued(&report.stats), 0, "no clue may cross an engaged gate");
+        // Lifting the gate restores clued serving with the same config.
+        gate.lift();
+        let report = serve_lookups(&cell, &dests, &clues, &mut got, &cfg, None);
+        assert_eq!(got, want_clued, "a lifted gate must serve clues again");
+        assert!(clued(&report.stats) > 0);
     }
 
     #[test]

@@ -1,0 +1,83 @@
+//! `FaultPlan::parse` properties: any subset of the canonical class
+//! labels, in any order, with any duplication and spacing, must parse
+//! back to exactly those classes (plus the implied `clean`), and the
+//! spec language must round-trip through [`FaultClass::label`] /
+//! [`FaultClass::from_label`] for every class in the table. The CLI's
+//! `--faults` flag and verify.sh's chaos legs lean on this.
+
+use clue_netsim::{FaultClass, FaultPlan};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Parsing a spec built from arbitrary class picks yields exactly
+    /// the picked classes plus `clean`, deduplicated, and the result
+    /// re-parses to the same plan (full round trip).
+    #[test]
+    fn parse_round_trips_over_all_class_labels(
+        picks in proptest::collection::vec(0usize..FaultClass::ALL.len(), 1..16),
+        seed in 0u64..1_000,
+        spaced in any::<bool>(),
+    ) {
+        let classes: Vec<FaultClass> =
+            picks.iter().map(|&i| FaultClass::ALL[i]).collect();
+        let sep = if spaced { " , " } else { "," };
+        let spec: String = classes
+            .iter()
+            .map(|c| c.label())
+            .collect::<Vec<_>>()
+            .join(sep);
+
+        let plan = FaultPlan::parse(&spec, seed).expect("every canonical label parses");
+        prop_assert_eq!(plan.seed(), seed);
+        // Exactly the picked set plus the implied `clean`, no dupes.
+        prop_assert_eq!(plan.classes()[0], FaultClass::Clean);
+        for &c in &classes {
+            prop_assert!(plan.classes().contains(&c), "missing {}", c.label());
+        }
+        for (i, &c) in plan.classes().iter().enumerate() {
+            prop_assert!(
+                c == FaultClass::Clean || classes.contains(&c),
+                "unexpected class {}",
+                c.label(),
+            );
+            prop_assert!(
+                !plan.classes()[..i].contains(&c),
+                "duplicate class {}",
+                c.label(),
+            );
+        }
+
+        // Round trip: re-rendering the parsed plan's classes as a spec
+        // parses back to the identical plan.
+        let respec: String = plan
+            .classes()
+            .iter()
+            .map(|c| c.label())
+            .collect::<Vec<_>>()
+            .join(",");
+        let replan = FaultPlan::parse(&respec, seed).expect("rendered spec parses");
+        prop_assert_eq!(replan.classes(), plan.classes());
+
+        // The per-packet class stream only draws from the plan.
+        for index in 0..64u64 {
+            prop_assert!(plan.classes().contains(&plan.class_for(index)));
+        }
+    }
+
+    /// Label bijection: every class round-trips through its label, and
+    /// labels are pairwise distinct (the canonical-table invariant the
+    /// spec language is built on).
+    #[test]
+    fn labels_are_a_bijection(_nothing in any::<bool>()) {
+        for (i, &c) in FaultClass::ALL.iter().enumerate() {
+            prop_assert_eq!(FaultClass::from_label(c.label()), Some(c));
+            prop_assert_eq!(c.index(), i);
+            for &other in &FaultClass::ALL[..i] {
+                prop_assert!(other.label() != c.label());
+            }
+        }
+        prop_assert_eq!(FaultClass::from_label("not-a-class"), None);
+    }
+}

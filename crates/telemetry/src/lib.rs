@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod churn;
 mod export;
 mod fault;
@@ -47,6 +48,7 @@ mod shard;
 mod stride;
 pub mod trace;
 
+pub use adversary::{AdversaryTelemetry, ReputationTelemetry};
 pub use churn::ChurnTelemetry;
 pub use fault::DegradationTelemetry;
 pub use export::{parse_prometheus, to_json, to_prometheus, PromDocument};

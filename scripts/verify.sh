@@ -89,6 +89,18 @@ target/release/clue bench-diff BENCH_chaos.json BENCH_chaos.json.new \
   --tolerance 0 --time-tolerance 100000
 mv BENCH_chaos.json.new BENCH_chaos.json
 
+# Adversarial chaos smoke: a pure lying-neighbor stream — every clue
+# crafted to maximize degraded cost — must still forward bit-identically
+# to the clue-less baseline (--check), and the per-class degradation
+# counter must be live on the scrape endpoint mid-run.
+target/release/clue chaos 2000000 1 --faults lying_neighbor --check \
+  --serve 127.0.0.1:9186 &
+CHAOS_PID=$!
+sleep 1
+curl -sf http://127.0.0.1:9186/metrics \
+  | grep -q '^clue_fault_lying_neighbor_injected_total'
+wait "$CHAOS_PID"
+
 # Fleet smoke: a 1000+-router transit-stub fleet of stride-compiled
 # clue engines. --check asserts the sharded flow leg is bit-identical
 # to the sequential reference at 1/2/4/8 workers; the churn leg
@@ -110,5 +122,24 @@ grep -q '"dropped": 0' BENCH_fleet.json.new
 target/release/clue bench-diff BENCH_fleet.json BENCH_fleet.json.new \
   --tolerance 0 --time-tolerance 100000
 mv BENCH_fleet.json.new BENCH_fleet.json
+
+# Adversarial fleet smoke: 8 lying routers at the best-connected
+# non-origin positions, each crafting the deepest-mismatch clue per
+# packet. --check asserts the whole robustness contract: the +1-probe
+# soundness bound on every packet (zero divergences, overhead max 1),
+# quarantine within the detection window, re-admission after the
+# attack, final-window savings reconverged to the honest fleet, and a
+# sound 0..100% participation sweep. Everything but the timing keys is
+# seeded and deterministic, so the sweep curve itself is diffed against
+# the committed baseline.
+target/release/clue fleet 20000 1 --routers 256 --adversaries 8 \
+  --attack lying --check --json BENCH_adversarial.json.new
+test -s BENCH_adversarial.json.new
+grep -q '"sound": true' BENCH_adversarial.json.new
+grep -q '"adversary_divergences": 0' BENCH_adversarial.json.new
+grep -q '"adversary_bound_violations": 0' BENCH_adversarial.json.new
+target/release/clue bench-diff BENCH_adversarial.json BENCH_adversarial.json.new \
+  --tolerance 0 --time-tolerance 100000
+mv BENCH_adversarial.json.new BENCH_adversarial.json
 
 echo "verify: OK"
