@@ -5,7 +5,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::sync::Arc;
 
-use clue_core::{ClueEngine, EngineConfig, Method, Stage, StageProfiler};
+use clue_core::{ClueEngine, CompiledBackend, CramReport, EngineConfig, Method, Stage, StageProfiler};
 use clue_lookup::{reference_bmp, Family};
 use clue_tablegen::{
     derive_neighbor, export_length_histogram, format_prefixes, generate, length_histogram,
@@ -22,7 +22,10 @@ usage:
   clue pair   <sender.txt> <receiver.txt> [n]    pair stats + method matrix
                                                  (n packets, default 10000)
   clue lookup <table.txt> <addr> [clue-prefix]   one lookup, per-family costs
-  clue synth  <count> [seed]                     emit a synthetic table
+  clue synth  <count> [seed] [--modern]          emit a synthetic table
+                                                 (--modern: contemporary
+                                                 DFZ length mix, capacity-
+                                                 aware at 1M-10M prefixes)
   clue minimize <table.txt>                      ORTC-minimize (next hops
                                                  read from the 2nd column)
   clue metrics [packets] [seed] [--prom|--json]  run an instrumented workload
@@ -45,7 +48,7 @@ usage:
                                                  profiling is semantically
                                                  inert
   clue bench-diff <baseline.json> <fresh.json> [--tolerance PCT]
-                  [--time-tolerance PCT] [--min KEY=FLOOR]
+                  [--time-tolerance PCT] [--min KEY=FLOOR] [--max KEY=CEIL]
                                                  compare two BENCH_*.json
                                                  exports key by key: booleans
                                                  and strings exactly, numbers
@@ -55,23 +58,38 @@ usage:
                                                  --time-tolerance; defaults
                                                  10 / 100); --min (repeatable)
                                                  also requires the fresh
-                                                 run's KEY to be >= FLOOR
+                                                 run's KEY to be >= FLOOR,
+                                                 --max (repeatable) to be
+                                                 <= CEIL
   clue throughput [packets] [seed] [--threads N] [--table P] [--stride BITS]
-                  [--prefetch G] [--runtime] [--json PATH] [--serve ADDR]
-                  [--check]                      packets/sec for the scalar,
+                  [--prefetch G] [--backend B] [--runtime] [--json PATH]
+                  [--serve ADDR] [--check]       packets/sec for the scalar,
                                                  batched-frozen, stride-
                                                  compiled (initial stride BITS,
                                                  prefetch interleave G; G<=1
-                                                 disables prefetch) pipelines
+                                                 disables prefetch) and
+                                                 entropy-compressed pipelines
                                                  and the multi-core network
                                                  runtime over a P-prefix
                                                  table (N worker cores,
-                                                 default: all); --runtime adds
-                                                 the engine-level serving leg
-                                                 over an epoch cell; --check
-                                                 verifies result equivalence;
-                                                 --serve ADDR exposes /metrics
-                                                 and /metrics.json live during
+                                                 default: all; tables of
+                                                 >= 200000 prefixes use the
+                                                 modern DFZ generator), each
+                                                 backend with a CRAM-style
+                                                 bytes-per-prefix and
+                                                 expected-cache-miss block;
+                                                 --backend frozen|stride|
+                                                 compressed benchmarks one
+                                                 compiled backend against the
+                                                 scalar reference (skipping
+                                                 the network legs — the
+                                                 1M-10M single-engine matrix);
+                                                 --runtime adds the engine-
+                                                 level serving leg over an
+                                                 epoch cell; --check verifies
+                                                 result equivalence; --serve
+                                                 ADDR exposes /metrics and
+                                                 /metrics.json live during
                                                  the run (also on churn,
                                                  chaos and profile)
   clue churn [updates] [seed] [--readers N] [--json PATH] [--serve ADDR]
@@ -149,10 +167,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             args.get(2).ok_or("lookup needs an address")?,
             args.get(3).map(String::as_str),
         ),
-        Some("synth") => synth(
-            args.get(1).ok_or("synth needs a prefix count")?,
-            args.get(2).map(String::as_str),
-        ),
+        Some("synth") => synth(&args[1..]),
         Some("minimize") => minimize_cmd(args.get(1).ok_or("minimize needs a table file")?),
         Some("metrics") => metrics(&args[1..]),
         Some("profile") => profile(&args[1..]),
@@ -192,6 +207,17 @@ fn stats(path: &str) -> Result<(), String> {
         .filter(|p| table.iter().any(|q| q.is_strict_prefix_of(p)))
         .count();
     println!("nested prefixes (have a shorter covering prefix): {nested}");
+    // How close the length mix sits to each generator preset (L1
+    // distance over the capacity-clamped configured distribution,
+    // 0 = exact match, 2 = disjoint) — the knob for checking that a
+    // synthesized table kept its configured shape.
+    let d1999 =
+        clue_tablegen::length_l1_distance(&table, &clue_tablegen::SynthConfig::ipv4(table.len(), 0));
+    let dmodern = clue_tablegen::length_l1_distance(
+        &table,
+        &clue_tablegen::SynthConfig::ipv4_modern(table.len(), 0),
+    );
+    println!("length-histogram L1 distance: {d1999:.4} vs 1999 preset, {dmodern:.4} vs modern");
     Ok(())
 }
 
@@ -288,10 +314,27 @@ fn lookup(path: &str, addr: &str, clue: Option<&str>) -> Result<(), String> {
     Ok(())
 }
 
-fn synth(count: &str, seed: Option<&str>) -> Result<(), String> {
+fn synth(args: &[String]) -> Result<(), String> {
+    let mut modern = false;
+    let mut positional: Vec<&str> = Vec::new();
+    for a in args {
+        match a.as_str() {
+            "--modern" => modern = true,
+            other => positional.push(other),
+        }
+    }
+    let count = positional.first().ok_or("synth needs a prefix count")?;
     let n: usize = count.parse().map_err(|_| "bad prefix count")?;
-    let seed: u64 = seed.unwrap_or("0").parse().map_err(|_| "bad seed")?;
-    print!("{}", format_prefixes(&synthesize_ipv4(n, seed)));
+    let seed: u64 = positional.get(1).unwrap_or(&"0").parse().map_err(|_| "bad seed")?;
+    if positional.len() > 2 {
+        return Err(format!("unexpected argument {:?}", positional[2]));
+    }
+    let table = if modern {
+        clue_tablegen::synthesize_ipv4_modern(n, seed)
+    } else {
+        synthesize_ipv4(n, seed)
+    };
+    print!("{}", format_prefixes(&table));
     Ok(())
 }
 
@@ -477,6 +520,51 @@ fn start_scrape(addr: &str, registry: &Arc<Registry>) -> Result<ScrapeServer, St
 }
 
 /// `{:.2}`-formats an optional statistic, `-` when undefined.
+/// One backend's row of the human-readable CRAM table: arena bytes per
+/// receiver prefix, the byte split, and the model's expected per-lookup
+/// references and cache misses.
+fn print_cram(name: &str, prefixes: usize, r: &CramReport) {
+    println!(
+        "  {name:<11} {:>8.2} B/pfx  arena {:>12}  buckets {:>12}  dict {:>10}  \
+         refs {:>6.2}  miss L1 {:.3} L2 {:.3} L3 {:.3}",
+        r.arena_bytes as f64 / prefixes.max(1) as f64,
+        r.arena_bytes,
+        r.bucket_bytes,
+        r.dict_bytes,
+        r.expected_refs,
+        r.expected_l1_misses,
+        r.expected_l2_misses,
+        r.expected_l3_misses
+    );
+}
+
+/// The same CRAM block as flat `BENCH_*.json` keys (appended to an
+/// open JSON object). Everything here is a pure function of the seeded
+/// layout, so bench-diff compares these keys at the strict tolerance.
+fn cram_json(json: &mut String, name: &str, prefixes: usize, r: &CramReport) {
+    let _ = write!(
+        json,
+        ",\n  \"{name}_bytes_per_prefix\": {:.3},\n  \
+         \"cram_{name}_arena_bytes\": {},\n  \
+         \"cram_{name}_bucket_bytes\": {},\n  \
+         \"cram_{name}_dict_bytes\": {},\n  \
+         \"cram_{name}_levels\": {},\n  \
+         \"cram_{name}_expected_refs\": {:.4},\n  \
+         \"cram_{name}_l1_miss\": {:.4},\n  \
+         \"cram_{name}_l2_miss\": {:.4},\n  \
+         \"cram_{name}_l3_miss\": {:.4}",
+        r.arena_bytes as f64 / prefixes.max(1) as f64,
+        r.arena_bytes,
+        r.bucket_bytes,
+        r.dict_bytes,
+        r.levels.len(),
+        r.expected_refs,
+        r.expected_l1_misses,
+        r.expected_l2_misses,
+        r.expected_l3_misses
+    );
+}
+
 fn fmt_opt(v: Option<f64>) -> String {
     v.map_or_else(|| "-".to_owned(), |x| format!("{x:.2}"))
 }
@@ -953,15 +1041,17 @@ fn is_noisy_key(key: &str) -> bool {
 /// under `--tolerance`, timing-derived/run-variable keys (pps,
 /// latencies, correlations) under the wider `--time-tolerance`. `null`
 /// on either side is a wildcard (an undefined statistic such as a
-/// constant-series correlation). `--min KEY=FLOOR` (repeatable)
-/// additionally requires the fresh run's `KEY` to be a number
-/// `>= FLOOR` — an absolute quality floor on top of the relative
-/// drift check. The perf-regression gate in `scripts/verify.sh` is
-/// built on this.
+/// constant-series correlation). `--min KEY=FLOOR` / `--max KEY=CEIL`
+/// (both repeatable) additionally require the fresh run's `KEY` to be
+/// a number `>= FLOOR` / `<= CEIL` — absolute quality bounds on top of
+/// the relative drift check (a ceiling is how the compressed backend's
+/// bytes-per-prefix budget is enforced). The perf-regression gate in
+/// `scripts/verify.sh` is built on this.
 fn bench_diff(args: &[String]) -> Result<(), String> {
     let mut tolerance = 10.0f64;
     let mut time_tolerance = 100.0f64;
     let mut floors: Vec<(String, f64)> = Vec::new();
+    let mut ceilings: Vec<(String, f64)> = Vec::new();
     let mut paths: Vec<&String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -986,6 +1076,13 @@ fn bench_diff(args: &[String]) -> Result<(), String> {
                 let floor: f64 =
                     floor.parse().map_err(|_| format!("bad --min floor in {spec:?}"))?;
                 floors.push((key.to_owned(), floor));
+            }
+            "--max" => {
+                let spec = it.next().ok_or("--max needs KEY=CEIL")?;
+                let (key, ceil) = spec.split_once('=').ok_or("--max needs KEY=CEIL")?;
+                let ceil: f64 =
+                    ceil.parse().map_err(|_| format!("bad --max ceiling in {spec:?}"))?;
+                ceilings.push((key.to_owned(), ceil));
             }
             _ => paths.push(a),
         }
@@ -1048,12 +1145,25 @@ fn bench_diff(args: &[String]) -> Result<(), String> {
             None => failures.push(format!("{key}: --min floor set but key missing in fresh run")),
         }
     }
+    for (key, ceil) in &ceilings {
+        match fresh.get(key) {
+            Some(JsonVal::Num(v)) if v <= ceil => {
+                println!("  ceiling ok: {key} = {v} (<= {ceil})");
+            }
+            Some(JsonVal::Num(v)) => {
+                failures.push(format!("{key}: {v} above the --max ceiling {ceil}"));
+            }
+            Some(_) => failures.push(format!("{key}: --max ceiling needs a numeric value")),
+            None => failures.push(format!("{key}: --max ceiling set but key missing in fresh run")),
+        }
+    }
     let extra = fresh.keys().filter(|k| !baseline.contains_key(k.as_str())).count();
     println!(
         "bench-diff: {compared} keys compared ({} baseline, {extra} new in fresh), \
-         tolerance {tolerance}% / {time_tolerance}% (timing), {} floor(s)",
+         tolerance {tolerance}% / {time_tolerance}% (timing), {} floor(s), {} ceiling(s)",
         baseline.len(),
-        floors.len()
+        floors.len(),
+        ceilings.len()
     );
     if let Some((drift, key)) = &worst {
         println!("  worst numeric drift: {key} ({drift:.1}%)");
@@ -1101,11 +1211,15 @@ fn throughput(args: &[String]) -> Result<(), String> {
     let mut serve: Option<String> = None;
     let mut check = false;
     let mut runtime_leg = false;
+    let mut backend: Option<clue_core::BackendKind> = None;
     let mut positional = 0;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--runtime" => runtime_leg = true,
+            "--backend" => {
+                backend = Some(it.next().ok_or("--backend needs a name")?.parse()?);
+            }
             "--threads" => threads = parse_threads(&mut it)?,
             "--table" => {
                 table = it
@@ -1147,14 +1261,25 @@ fn throughput(args: &[String]) -> Result<(), String> {
     if packets == 0 {
         return Err("packet count must be at least 1".to_owned());
     }
+    if backend.is_some() && runtime_leg {
+        return Err("--backend benchmarks one engine; it has no --runtime leg".to_owned());
+    }
 
     // Stage 1 — single receiver, paper-style traffic with honest clues:
     // the scalar engine vs its frozen batch compilation vs the
-    // stride-compiled prefetched batch. The default table is
-    // paper-scale (the Mae-East snapshot the paper measures is ~40k
-    // prefixes) — at toy sizes every structure is cache-resident and
-    // the layouts can't be told apart.
-    let sender = synthesize_ipv4(table, seed);
+    // stride-compiled prefetched batch vs the entropy-compressed
+    // arena. The default table is paper-scale (the Mae-East snapshot
+    // the paper measures is ~40k prefixes) — at toy sizes every
+    // structure is cache-resident and the layouts can't be told apart.
+    // From 200k prefixes up the 1999 histogram is no longer a
+    // plausible table shape (and its short lengths saturate), so big
+    // tables switch to the modern default-free-zone generator.
+    const MODERN_TABLE_FLOOR: usize = 200_000;
+    let sender = if table >= MODERN_TABLE_FLOOR {
+        clue_tablegen::synthesize_ipv4_modern(table, seed)
+    } else {
+        synthesize_ipv4(table, seed)
+    };
     let receiver = derive_neighbor(&sender, &NeighborConfig::same_isp(seed.wrapping_add(1)));
     let mut scalar = ClueEngine::precomputed(
         &sender,
@@ -1165,18 +1290,34 @@ fn throughput(args: &[String]) -> Result<(), String> {
         .freeze()
         .map_err(|e| format!("cannot freeze the engine ({} blocks it): {e}", e.feature()))?;
     let stride_cfg = clue_core::StrideConfig::new(stride_bits, clue_core::DEFAULT_INNER_BITS);
-    let mut stride = frozen.compile_stride(stride_cfg).map_err(|e| format!("--stride: {e}"))?;
-    // With a live scrape endpoint the scalar engine and the stride
-    // batch are instrumented — the counters cost a few sharded
+    // In the single-backend matrix mode only the requested backend is
+    // compiled (plus frozen, which every compiled layout derives
+    // from); the full run compiles all three.
+    let need_stride = backend.is_none_or(|k| k == clue_core::BackendKind::Stride);
+    let need_compressed = backend.is_none_or(|k| k == clue_core::BackendKind::Compressed);
+    let mut stride = need_stride
+        .then(|| frozen.compile_stride(stride_cfg).map_err(|e| format!("--stride: {e}")))
+        .transpose()?;
+    let mut compressed =
+        need_compressed.then(|| frozen.compile_compressed(clue_core::CompressedConfig));
+    // With a live scrape endpoint the scalar engine and the compiled
+    // batches are instrumented — the counters cost a few sharded
     // fetch_adds per packet, paid only when someone asked to watch.
     let registry = Arc::new(Registry::new());
     let _server = match &serve {
         Some(addr) => {
             scalar.instrument(&registry);
-            stride.attach_stride_telemetry(clue_telemetry::StrideTelemetry::registered(
-                &registry,
-                "clue_stride",
-            ));
+            if let Some(stride) = &mut stride {
+                stride.attach_stride_telemetry(clue_telemetry::StrideTelemetry::registered(
+                    &registry,
+                    "clue_stride",
+                ));
+            }
+            if let Some(compressed) = &mut compressed {
+                compressed.attach_compressed_telemetry(
+                    clue_telemetry::CompressedTelemetry::registered(&registry, "clue_compressed"),
+                );
+            }
             Some(start_scrape(addr, &registry)?)
         }
         None => None,
@@ -1203,6 +1344,83 @@ fn throughput(args: &[String]) -> Result<(), String> {
     }
     let scalar_pps = packets as f64 / t0.elapsed().as_secs_f64().max(1e-9);
 
+    // Single-backend matrix mode: one compiled backend timed against
+    // the scalar reference, CRAM layout analysis, no network legs (the
+    // 1M–10M tables this mode exists for would dwarf the network-stage
+    // setup many times over).
+    if let Some(kind) = backend {
+        let receiver_len = receiver.len();
+        let mut out = vec![clue_core::Decision::default(); dests.len()];
+        let (pps, cram) = match kind {
+            clue_core::BackendKind::Frozen => {
+                let pps = packets as f64
+                    / best_secs(3, || {
+                        let _ = frozen.lookup_batch(&dests, &clues, &mut out);
+                    });
+                (pps, frozen.cram())
+            }
+            clue_core::BackendKind::Stride => {
+                let stride = stride.as_ref().expect("compiled for this mode");
+                let pps = packets as f64
+                    / best_secs(3, || {
+                        let _ =
+                            stride.lookup_batch_interleaved(&dests, &clues, &mut out, prefetch);
+                    });
+                (pps, stride.cram())
+            }
+            clue_core::BackendKind::Compressed => {
+                let compressed = compressed.as_ref().expect("compiled for this mode");
+                let pps = packets as f64
+                    / best_secs(3, || {
+                        let _ = compressed
+                            .lookup_batch_interleaved(&dests, &clues, &mut out, prefetch);
+                    });
+                (pps, compressed.cram())
+            }
+        };
+        let mut equivalent = true;
+        if check {
+            for (d, &(bmp, cost)) in out.iter().zip(&scalar_results) {
+                if d.bmp != bmp || d.cost != cost {
+                    equivalent = false;
+                }
+            }
+            if !equivalent {
+                return Err(format!(
+                    "equivalence check failed: the {} backend disagrees with the scalar engine",
+                    kind.name()
+                ));
+            }
+        }
+        let name = kind.name();
+        let speedup = pps / scalar_pps.max(1e-9);
+        println!("engine workload: {packets} packets (sender {table} prefixes, seed {seed})");
+        println!("  scalar engine:  {scalar_pps:>12.0} pkts/s");
+        println!(
+            "  {name:<15} {pps:>12.0} pkts/s  ({speedup:.2}x scalar; prefetch group {prefetch})"
+        );
+        println!("memory layout (CRAM cache model, receiver {receiver_len} prefixes):");
+        print_cram(name, receiver_len, &cram);
+        if check {
+            println!("equivalence: OK ({name} == scalar)");
+        }
+        if let Some(path) = json_path {
+            let mut json = format!(
+                "{{\n  \"packets\": {packets},\n  \"seed\": {seed},\n  \"table\": {table},\n  \
+                 \"backend\": \"{name}\",\n  \"prefetch_group\": {prefetch},\n  \
+                 \"scalar_pps\": {scalar_pps:.1},\n  \"{name}_pps\": {pps:.1},\n  \
+                 \"{name}_speedup_vs_scalar\": {speedup:.3}"
+            );
+            cram_json(&mut json, name, receiver_len, &cram);
+            let _ = write!(json, ",\n  \"checked\": {check},\n  \"equivalent\": {equivalent}\n}}\n");
+            fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        return Ok(());
+    }
+    let stride = stride.as_ref().expect("compiled in full-matrix mode");
+    let compressed = compressed.as_ref().expect("compiled in full-matrix mode");
+
     let mut out = vec![clue_core::Decision::default(); dests.len()];
     let batch_pps = packets as f64
         / best_secs(3, || {
@@ -1215,10 +1433,23 @@ fn throughput(args: &[String]) -> Result<(), String> {
             let _ = stride.lookup_batch_interleaved(&dests, &clues, &mut stride_out, prefetch);
         });
 
+    let mut compressed_out = vec![clue_core::Decision::default(); dests.len()];
+    let compressed_pps = packets as f64
+        / best_secs(3, || {
+            let _ = compressed.lookup_batch_interleaved(
+                &dests,
+                &clues,
+                &mut compressed_out,
+                prefetch,
+            );
+        });
+
     let mut equivalent = true;
     if check {
-        for ((d, s), &(bmp, cost)) in out.iter().zip(&stride_out).zip(&scalar_results) {
-            if d.bmp != bmp || d.cost != cost || s != d {
+        for (((d, s), c), &(bmp, cost)) in
+            out.iter().zip(&stride_out).zip(&compressed_out).zip(&scalar_results)
+        {
+            if d.bmp != bmp || d.cost != cost || s != d || c != d {
                 equivalent = false;
             }
         }
@@ -1303,9 +1534,14 @@ fn throughput(args: &[String]) -> Result<(), String> {
 
     let batch_speedup = batch_pps / scalar_pps.max(1e-9);
     let stride_speedup = stride_pps / batch_pps.max(1e-9);
+    let compressed_speedup = compressed_pps / batch_pps.max(1e-9);
     let par_speedup = par_pps / seq_pps.max(1e-9);
     let stride_beats_batch = stride_pps > batch_pps;
     let parallel_scales = par_speedup > 1.0;
+    let receiver_len = receiver.len();
+    let cram_frozen = frozen.cram();
+    let cram_stride = stride.cram();
+    let cram_compressed = compressed.cram();
     println!("engine workload: {packets} packets (sender {table} prefixes, seed {seed})");
     println!("  scalar engine:  {scalar_pps:>12.0} pkts/s");
     println!("  frozen batch:   {batch_pps:>12.0} pkts/s  ({batch_speedup:.2}x scalar)");
@@ -1313,6 +1549,14 @@ fn throughput(args: &[String]) -> Result<(), String> {
         "  stride batch:   {stride_pps:>12.0} pkts/s  ({stride_speedup:.2}x batch; \
          initial stride {stride_bits}, prefetch group {prefetch})"
     );
+    println!(
+        "  compressed:     {compressed_pps:>12.0} pkts/s  ({compressed_speedup:.2}x batch; \
+         prefetch group {prefetch})"
+    );
+    println!("memory layout (CRAM cache model, receiver {receiver_len} prefixes):");
+    print_cram("frozen", receiver_len, &cram_frozen);
+    print_cram("stride", receiver_len, &cram_stride);
+    print_cram("compressed", receiver_len, &cram_compressed);
     println!("network workload: {net_packets} packets over a 4x2 backbone");
     println!("  per-packet seq: {seq_pps:>12.0} pkts/s");
     println!("  freeze (setup): {freeze_ms:>12.2} ms (outside the timed runs)");
@@ -1328,7 +1572,9 @@ fn throughput(args: &[String]) -> Result<(), String> {
         );
     }
     if check {
-        println!("equivalence: OK (batch == stride == scalar, runtime == sequential)");
+        println!(
+            "equivalence: OK (batch == stride == compressed == scalar, runtime == sequential)"
+        );
     }
 
     if let Some(path) = json_path {
@@ -1345,6 +1591,8 @@ fn throughput(args: &[String]) -> Result<(), String> {
              \"batch_speedup\": {batch_speedup:.3},\n  \
              \"stride_pps\": {stride_pps:.1},\n  \"stride_speedup\": {stride_speedup:.3},\n  \
              \"stride_beats_batch\": {stride_beats_batch},\n  \
+             \"compressed_pps\": {compressed_pps:.1},\n  \
+             \"compressed_speedup\": {compressed_speedup:.3},\n  \
              \"seq_pps\": {seq_pps:.1},\n  \"freeze_ms\": {freeze_ms:.2},\n  \
              \"replica_clone_ms\": {replica_clone_ms:.3},\n  \
              \"per_core_pps\": {per_core},\n  \
@@ -1353,6 +1601,9 @@ fn throughput(args: &[String]) -> Result<(), String> {
              \"parallel_scales\": {parallel_scales},\n  \
              \"checked\": {check},\n  \"equivalent\": {equivalent}"
         );
+        cram_json(&mut json, "frozen", receiver_len, &cram_frozen);
+        cram_json(&mut json, "stride", receiver_len, &cram_stride);
+        cram_json(&mut json, "compressed", receiver_len, &cram_compressed);
         if let Some(r) = &serve_report {
             let _ = write!(
                 json,
@@ -2227,6 +2478,63 @@ mod tests {
     }
 
     #[test]
+    fn throughput_backend_matrix_runs_checks_and_exports() {
+        let dir = std::env::temp_dir().join("clue-cli-test11");
+        std::fs::create_dir_all(&dir).unwrap();
+        for backend in ["frozen", "stride", "compressed"] {
+            let json = dir.join(format!("{backend}.json"));
+            let j = json.to_str().unwrap().to_owned();
+            run(&s(&[
+                "throughput", "300", "3", "--table", "900", "--backend", backend, "--check",
+                "--json", &j,
+            ]))
+            .unwrap();
+            let text = std::fs::read_to_string(&json).unwrap();
+            assert!(text.contains("\"equivalent\": true"), "bad export: {text}");
+            assert!(text.contains(&format!("\"backend\": \"{backend}\"")));
+            assert!(text.contains(&format!("\"{backend}_pps\"")));
+            assert!(text.contains(&format!("\"{backend}_bytes_per_prefix\"")));
+            assert!(text.contains(&format!("\"cram_{backend}_arena_bytes\"")));
+            assert!(text.contains(&format!("\"cram_{backend}_l1_miss\"")));
+            // No network legs in matrix mode.
+            assert!(!text.contains("\"parallel_pps\""), "bad export: {text}");
+        }
+        assert!(run(&s(&["throughput", "--backend", "planb"])).is_err());
+        assert!(run(&s(&["throughput", "--backend"])).is_err());
+        assert!(run(&s(&["throughput", "--backend", "frozen", "--runtime"])).is_err());
+    }
+
+    #[test]
+    fn default_throughput_exports_cram_blocks_for_every_backend() {
+        let dir = std::env::temp_dir().join("clue-cli-test12");
+        std::fs::create_dir_all(&dir).unwrap();
+        let json = dir.join("bench.json");
+        let j = json.to_str().unwrap().to_owned();
+        run(&s(&["throughput", "250", "3", "--threads", "2", "--table", "800", "--json", &j]))
+            .unwrap();
+        let text = std::fs::read_to_string(&json).unwrap();
+        for backend in ["frozen", "stride", "compressed"] {
+            assert!(text.contains(&format!("\"{backend}_bytes_per_prefix\"")), "{text}");
+            assert!(text.contains(&format!("\"cram_{backend}_expected_refs\"")), "{text}");
+        }
+        assert!(text.contains("\"compressed_pps\""));
+        assert!(text.contains("\"parallel_pps\""));
+    }
+
+    #[test]
+    fn synth_modern_emits_a_modern_table() {
+        let dir = std::env::temp_dir().join("clue-cli-test13");
+        std::fs::create_dir_all(&dir).unwrap();
+        run(&s(&["synth", "500", "7", "--modern"])).unwrap();
+        assert!(run(&s(&["synth", "500", "7", "--modern", "extra"])).is_err());
+        // Modern output differs from the 1999 preset at the same seed.
+        assert_ne!(
+            clue_tablegen::synthesize_ipv4_modern(500, 7),
+            clue_tablegen::synthesize_ipv4(500, 7)
+        );
+    }
+
+    #[test]
     fn churn_runs_checks_and_exports() {
         let dir = std::env::temp_dir().join("clue-cli-test6");
         std::fs::create_dir_all(&dir).unwrap();
@@ -2359,6 +2667,27 @@ mod tests {
         assert!(run(&s(&["bench-diff", &pa])).is_err());
         assert!(run(&s(&["bench-diff", &pa, "/nonexistent/x.json"])).is_err());
         assert!(run(&s(&["bench-diff", &pa, &pb, "--tolerance"])).is_err());
+    }
+
+    #[test]
+    fn bench_diff_enforces_ceilings() {
+        let dir = std::env::temp_dir().join("clue-cli-test14");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("a.json");
+        let b = dir.join("b.json");
+        std::fs::write(&a, "{\"compressed_bytes_per_prefix\": 3.5}\n").unwrap();
+        std::fs::write(&b, "{\"compressed_bytes_per_prefix\": 3.6}\n").unwrap();
+        let (pa, pb) = (a.to_str().unwrap().to_owned(), b.to_str().unwrap().to_owned());
+        run(&s(&["bench-diff", &pa, &pb, "--max", "compressed_bytes_per_prefix=8"])).unwrap();
+        // Above the ceiling fails even though the drift is in tolerance.
+        assert!(run(&s(&[
+            "bench-diff", &pa, &pb, "--max", "compressed_bytes_per_prefix=3.55"
+        ]))
+        .is_err());
+        // A missing ceiling key fails.
+        assert!(run(&s(&["bench-diff", &pa, &pb, "--max", "nonexistent=1"])).is_err());
+        assert!(run(&s(&["bench-diff", &pa, &pb, "--max", "junk"])).is_err());
+        assert!(run(&s(&["bench-diff", &pa, &pb, "--max"])).is_err());
     }
 
     #[test]

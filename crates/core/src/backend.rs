@@ -1,0 +1,582 @@
+//! The [`CompiledBackend`] abstraction: one trait over every compiled
+//! lookup path.
+//!
+//! The workspace has grown three read-only compilations of a
+//! [`ClueEngine`] — the pointer-flattened [`FrozenEngine`], the
+//! multibit [`crate::StrideEngine`] and the entropy-compressed
+//! [`crate::CompressedEngine`] — and the serving runtime, the parallel
+//! harness and the fleet simulator each want to run on *any* of them.
+//! This trait captures the shared contract those consumers rely on:
+//!
+//! * compilation from a scalar engine (with a backend-specific config);
+//! * the Cost-parity lookup in scalar, split (prepare/finish) and
+//!   batched interleaved forms, plus the tag-resolving finish the
+//!   runtime's precomputed hop tables consume;
+//! * cheap [`CompiledBackend::replicate`] for per-core replicas;
+//! * a layout self-description (arena/bucket/dictionary bytes and a
+//!   per-level visit profile) feeding the [`CramReport`] cache model.
+//!
+//! Every implementation honors the same semantic baseline — identical
+//! BMP, [`LookupClass`] and tick-identical [`Cost`] versus the scalar
+//! engine — so backends are interchangeable *results-wise* and differ
+//! only in bytes touched per lookup. The equivalence property tests
+//! (`tests/*_prop.rs`) enforce this per backend; a future `planb`
+//! backend slots in by implementing this trait.
+
+use std::fmt;
+use std::str::FromStr;
+
+use clue_telemetry::LookupClass;
+use clue_trie::{Address, Cost, Prefix};
+
+use crate::compressed::{CompressedConfig, CompressedEngine};
+use crate::cram::{CramLevel, CramReport};
+use crate::engine::{ClueEngine, EngineStats, Method};
+use crate::frozen::{Decision, FreezeError, FrozenEngine, FrozenNode};
+use crate::stride::{PreparedLookup, StrideConfig, StrideEngine, StrideError};
+
+/// Why a backend could not be compiled from a scalar engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendError {
+    /// The scalar engine's configuration cannot be frozen at all.
+    Freeze(FreezeError),
+    /// The frozen snapshot cannot be stride-expanded as configured.
+    Stride(StrideError),
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Freeze(e) => write!(f, "freeze failed: {e}"),
+            BackendError::Stride(e) => write!(f, "stride compilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+impl From<FreezeError> for BackendError {
+    fn from(e: FreezeError) -> Self {
+        BackendError::Freeze(e)
+    }
+}
+
+impl From<StrideError> for BackendError {
+    fn from(e: StrideError) -> Self {
+        BackendError::Stride(e)
+    }
+}
+
+/// The compiled backends a consumer can select by name (CLI `--backend`
+/// flags, runtime configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The pointer-flattened BFS arena ([`FrozenEngine`]).
+    Frozen,
+    /// The multibit direct-indexed expansion ([`StrideEngine`]).
+    Stride,
+    /// The entropy-compressed bitmap arena ([`CompressedEngine`]).
+    Compressed,
+}
+
+impl BackendKind {
+    /// Every selectable backend, in presentation order.
+    pub const ALL: [BackendKind; 3] =
+        [BackendKind::Frozen, BackendKind::Stride, BackendKind::Compressed];
+
+    /// The canonical lowercase name (`frozen`, `stride`, `compressed`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendKind::Frozen => FrozenEngine::<clue_trie::Ip4>::NAME,
+            BackendKind::Stride => StrideEngine::<clue_trie::Ip4>::NAME,
+            BackendKind::Compressed => CompressedEngine::<clue_trie::Ip4>::NAME,
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for BackendKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "frozen" => Ok(BackendKind::Frozen),
+            "stride" => Ok(BackendKind::Stride),
+            "compressed" => Ok(BackendKind::Compressed),
+            other => Err(format!("unknown backend '{other}' (expected frozen|stride|compressed)")),
+        }
+    }
+}
+
+/// A compiled, read-only lookup engine; see the module docs. All
+/// methods forward to the concrete engines' inherent implementations —
+/// the trait adds no indirection on the hot path when used with a
+/// concrete type or a monomorphized generic.
+pub trait CompiledBackend<A: Address>: Clone + fmt::Debug + Send + Sync + Sized + 'static {
+    /// The canonical lowercase backend name.
+    const NAME: &'static str;
+
+    /// Backend-specific compilation knobs.
+    type Config: Clone + Default + Send + Sync;
+
+    /// Compiles a scalar engine into this backend.
+    fn compile(engine: &ClueEngine<A>, config: &Self::Config) -> Result<Self, BackendError>;
+
+    /// The compiled method flavour.
+    fn method(&self) -> Method;
+
+    /// One lookup; Cost-parity with the scalar engine.
+    fn lookup(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass);
+
+    /// As [`Self::lookup`], packaged as a [`Decision`].
+    fn lookup_decision(&self, dest: A, clue: Option<Prefix<A>>) -> Decision<A> {
+        let mut cost = Cost::new();
+        let (bmp, class) = self.lookup(dest, clue, &mut cost);
+        Decision { bmp, class, cost }
+    }
+
+    /// Decode-and-prefetch half of the split lookup.
+    fn lookup_prepare(&self, dest: A, clue: Option<Prefix<A>>) -> PreparedLookup;
+
+    /// Resolves a prepared lookup to a dense route tag into
+    /// [`Self::tag_prefixes`] ([`crate::NO_TAG`] for no match).
+    fn lookup_finish_tag(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (u32, LookupClass);
+
+    /// The tag → prefix dictionary behind [`Self::lookup_finish_tag`].
+    fn tag_prefixes(&self) -> &[Prefix<A>];
+
+    /// Batched lookup in lockstep prefetch groups of `group` packets
+    /// (a latency treatment only — decisions and stats are identical
+    /// at every group size, including on backends that cannot
+    /// prefetch and ignore it).
+    fn lookup_batch_interleaved(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+        group: usize,
+    ) -> EngineStats;
+
+    /// A telemetry-detached per-core replica sharing the compiled
+    /// arenas (cheap — no deep copy).
+    fn replicate(&self) -> Self;
+
+    /// Total resident bytes of every compiled structure.
+    fn memory_bytes(&self) -> usize;
+
+    /// Bytes of the walk arena (what a clueless lookup traverses).
+    fn arena_bytes(&self) -> u64;
+
+    /// Bytes of the clue-probe structures.
+    fn bucket_bytes(&self) -> u64;
+
+    /// Bytes of the tag → prefix dictionary.
+    fn dict_bytes(&self) -> u64;
+
+    /// The walk arena as `(bytes, expected visits per uniform-random
+    /// clueless lookup)` levels, hottest first — input to the CRAM
+    /// cache-residency model.
+    fn cram_levels(&self) -> Vec<CramLevel>;
+
+    /// Runs the [`CramReport`] cache model over this layout.
+    fn cram(&self) -> CramReport {
+        CramReport::build(
+            self.cram_levels(),
+            self.arena_bytes(),
+            self.bucket_bytes(),
+            self.dict_bytes(),
+        )
+    }
+}
+
+/// Expected visits of a trie level `depth` holding `count` vertices,
+/// under uniform random destinations: a walk reaches depth `d` with
+/// probability (covered address space) `count / 2^d`.
+fn trie_level_visits(depth: usize, count: u64) -> f64 {
+    count as f64 / 2f64.powi(depth as i32)
+}
+
+impl<A: Address> CompiledBackend<A> for FrozenEngine<A> {
+    const NAME: &'static str = "frozen";
+
+    type Config = ();
+
+    fn compile(engine: &ClueEngine<A>, _config: &Self::Config) -> Result<Self, BackendError> {
+        Ok(engine.freeze()?)
+    }
+
+    fn method(&self) -> Method {
+        FrozenEngine::method(self)
+    }
+
+    fn lookup(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        FrozenEngine::lookup(self, dest, clue, cost)
+    }
+
+    fn lookup_prepare(&self, dest: A, clue: Option<Prefix<A>>) -> PreparedLookup {
+        FrozenEngine::lookup_prepare(self, dest, clue)
+    }
+
+    fn lookup_finish_tag(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (u32, LookupClass) {
+        FrozenEngine::lookup_finish_tag(self, op, dest, clue, cost)
+    }
+
+    fn tag_prefixes(&self) -> &[Prefix<A>] {
+        FrozenEngine::tag_prefixes(self)
+    }
+
+    // The frozen batch has no prefetch pass (the hash map's home slot
+    // is not address-computable), so the group size is irrelevant.
+    fn lookup_batch_interleaved(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+        _group: usize,
+    ) -> EngineStats {
+        FrozenEngine::lookup_batch(self, dests, clues, out)
+    }
+
+    fn replicate(&self) -> Self {
+        FrozenEngine::replicate(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        FrozenEngine::memory_bytes(self)
+    }
+
+    fn arena_bytes(&self) -> u64 {
+        (self.node_count() * core::mem::size_of::<FrozenNode>()) as u64
+    }
+
+    /// Entry payloads only; the `FxHashMap` index over them is heap
+    /// storage the byte model cannot see per-level and is excluded
+    /// here (it *is* counted in [`Self::memory_bytes`]).
+    fn bucket_bytes(&self) -> u64 {
+        core::mem::size_of_val(self.raw_entries()) as u64
+    }
+
+    fn dict_bytes(&self) -> u64 {
+        core::mem::size_of_val(self.raw_routes()) as u64
+    }
+
+    fn cram_levels(&self) -> Vec<CramLevel> {
+        self.level_node_counts()
+            .iter()
+            .enumerate()
+            .map(|(d, &count)| CramLevel {
+                bytes: count * core::mem::size_of::<FrozenNode>() as u64,
+                visits: trie_level_visits(d, count),
+            })
+            .collect()
+    }
+}
+
+impl<A: Address> CompiledBackend<A> for StrideEngine<A> {
+    const NAME: &'static str = "stride";
+
+    type Config = StrideConfig;
+
+    fn compile(engine: &ClueEngine<A>, config: &Self::Config) -> Result<Self, BackendError> {
+        Ok(engine.freeze()?.compile_stride(*config)?)
+    }
+
+    fn method(&self) -> Method {
+        StrideEngine::method(self)
+    }
+
+    fn lookup(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        StrideEngine::lookup(self, dest, clue, cost)
+    }
+
+    fn lookup_prepare(&self, dest: A, clue: Option<Prefix<A>>) -> PreparedLookup {
+        StrideEngine::lookup_prepare(self, dest, clue)
+    }
+
+    fn lookup_finish_tag(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (u32, LookupClass) {
+        StrideEngine::lookup_finish_tag(self, op, dest, clue, cost)
+    }
+
+    fn tag_prefixes(&self) -> &[Prefix<A>] {
+        StrideEngine::tag_prefixes(self)
+    }
+
+    fn lookup_batch_interleaved(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+        group: usize,
+    ) -> EngineStats {
+        StrideEngine::lookup_batch_interleaved(self, dests, clues, out, group)
+    }
+
+    fn replicate(&self) -> Self {
+        StrideEngine::replicate(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        StrideEngine::memory_bytes(self)
+    }
+
+    fn arena_bytes(&self) -> u64 {
+        StrideEngine::arena_bytes(self)
+    }
+
+    fn bucket_bytes(&self) -> u64 {
+        StrideEngine::bucket_bytes(self)
+    }
+
+    fn dict_bytes(&self) -> u64 {
+        StrideEngine::dict_bytes(self)
+    }
+
+    fn cram_levels(&self) -> Vec<CramLevel> {
+        self.level_profile()
+            .into_iter()
+            .map(|(bytes, visits)| CramLevel { bytes, visits })
+            .collect()
+    }
+}
+
+impl<A: Address> CompiledBackend<A> for CompressedEngine<A> {
+    const NAME: &'static str = "compressed";
+
+    type Config = CompressedConfig;
+
+    fn compile(engine: &ClueEngine<A>, config: &Self::Config) -> Result<Self, BackendError> {
+        Ok(engine.freeze()?.compile_compressed(*config))
+    }
+
+    fn method(&self) -> Method {
+        CompressedEngine::method(self)
+    }
+
+    fn lookup(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        CompressedEngine::lookup(self, dest, clue, cost)
+    }
+
+    fn lookup_prepare(&self, dest: A, clue: Option<Prefix<A>>) -> PreparedLookup {
+        CompressedEngine::lookup_prepare(self, dest, clue)
+    }
+
+    fn lookup_finish_tag(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (u32, LookupClass) {
+        CompressedEngine::lookup_finish_tag(self, op, dest, clue, cost)
+    }
+
+    fn tag_prefixes(&self) -> &[Prefix<A>] {
+        CompressedEngine::tag_prefixes(self)
+    }
+
+    fn lookup_batch_interleaved(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+        group: usize,
+    ) -> EngineStats {
+        CompressedEngine::lookup_batch_interleaved(self, dests, clues, out, group)
+    }
+
+    fn replicate(&self) -> Self {
+        CompressedEngine::replicate(self)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        CompressedEngine::memory_bytes(self)
+    }
+
+    fn arena_bytes(&self) -> u64 {
+        CompressedEngine::arena_bytes(self)
+    }
+
+    fn bucket_bytes(&self) -> u64 {
+        CompressedEngine::bucket_bytes(self)
+    }
+
+    fn dict_bytes(&self) -> u64 {
+        CompressedEngine::dict_bytes(self)
+    }
+
+    // Per-level bytes prorate the whole arena (quads + rank
+    // directories) by vertex share, so the levels partition exactly
+    // what `arena_bytes` reports.
+    fn cram_levels(&self) -> Vec<CramLevel> {
+        let arena = CompiledBackend::<A>::arena_bytes(self) as f64;
+        let total = self.node_count().max(1) as f64;
+        self.level_node_counts()
+            .iter()
+            .enumerate()
+            .map(|(d, &count)| CramLevel {
+                bytes: (arena * count as f64 / total).round() as u64,
+                visits: trie_level_visits(d, count),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::stride::NO_TAG;
+    use clue_lookup::Family;
+    use clue_trie::Ip4;
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    fn engine() -> ClueEngine<Ip4> {
+        let sender = vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.168.0.0/16")];
+        let receiver = vec![
+            p("10.0.0.0/8"),
+            p("10.1.0.0/16"),
+            p("10.1.2.0/24"),
+            p("10.2.0.0/16"),
+            p("192.168.0.0/16"),
+        ];
+        ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        )
+    }
+
+    fn exercise<E: CompiledBackend<Ip4>>(scalar: &ClueEngine<Ip4>) -> Vec<Decision<Ip4>> {
+        let backend = E::compile(scalar, &E::Config::default()).unwrap();
+        let cases: Vec<(Ip4, Option<Prefix<Ip4>>)> = vec![
+            ("10.1.2.3".parse().unwrap(), None),
+            ("10.1.2.3".parse().unwrap(), Some(p("10.1.0.0/16"))),
+            ("192.168.3.4".parse().unwrap(), Some(p("192.168.0.0/16"))),
+            ("10.1.2.3".parse().unwrap(), Some(p("192.168.0.0/16"))),
+            ("10.1.2.3".parse().unwrap(), Some(p("10.1.2.0/24"))),
+            ("11.1.2.3".parse().unwrap(), None),
+        ];
+        let mut decisions = Vec::new();
+        for &(dest, clue) in &cases {
+            let d = backend.lookup_decision(dest, clue);
+            // The tagged path agrees with the value path.
+            let mut cost = Cost::new();
+            let op = backend.lookup_prepare(dest, clue);
+            let (tag, class) = backend.lookup_finish_tag(op, dest, clue, &mut cost);
+            let tag_bmp = (tag != NO_TAG).then(|| backend.tag_prefixes()[tag as usize]);
+            assert_eq!(tag_bmp, d.bmp, "{} tag path for {dest} {clue:?}", E::NAME);
+            assert_eq!(class, d.class, "{} tag class for {dest} {clue:?}", E::NAME);
+            assert_eq!(cost, d.cost, "{} tag cost for {dest} {clue:?}", E::NAME);
+            decisions.push(d);
+        }
+        // Batched form agrees with the scalar form.
+        let dests: Vec<Ip4> = cases.iter().map(|c| c.0).collect();
+        let clues: Vec<Option<Prefix<Ip4>>> = cases.iter().map(|c| c.1).collect();
+        let mut out = vec![Decision::default(); cases.len()];
+        backend.lookup_batch_interleaved(&dests, &clues, &mut out, 4);
+        assert_eq!(out, decisions, "{} batch parity", E::NAME);
+        // Layout self-description is coherent.
+        assert!(backend.arena_bytes() > 0, "{}", E::NAME);
+        assert!(
+            backend.arena_bytes() + backend.bucket_bytes() + backend.dict_bytes()
+                <= backend.memory_bytes() as u64,
+            "{} byte split exceeds the resident total",
+            E::NAME
+        );
+        let cram = backend.cram();
+        assert!(cram.expected_refs >= 1.0, "{} every walk visits the root", E::NAME);
+        assert!(cram.expected_l1_misses <= cram.expected_refs, "{}", E::NAME);
+        assert!(cram.expected_l2_misses <= cram.expected_l1_misses, "{}", E::NAME);
+        assert!(cram.expected_l3_misses <= cram.expected_l2_misses, "{}", E::NAME);
+        // A table this small is fully L2-resident (the stride root
+        // array alone overflows L1 by design — 8192 direct-indexed
+        // slots at the default 13 initial bits).
+        assert_eq!(cram.expected_l2_misses, 0.0, "{}", E::NAME);
+        let replica = backend.replicate();
+        assert_eq!(
+            replica.lookup_decision(dests[0], clues[0]),
+            decisions[0],
+            "{} replica parity",
+            E::NAME
+        );
+        decisions
+    }
+
+    #[test]
+    fn all_backends_agree_with_each_other() {
+        let scalar = engine();
+        let frozen = exercise::<FrozenEngine<Ip4>>(&scalar);
+        let stride = exercise::<StrideEngine<Ip4>>(&scalar);
+        let compressed = exercise::<CompressedEngine<Ip4>>(&scalar);
+        assert_eq!(frozen, stride);
+        assert_eq!(frozen, compressed);
+    }
+
+    #[test]
+    fn compressed_arena_is_the_smallest() {
+        let scalar = engine();
+        let frozen = FrozenEngine::compile(&scalar, &()).unwrap();
+        let stride = StrideEngine::compile(&scalar, &StrideConfig::default()).unwrap();
+        let compressed = CompressedEngine::compile(&scalar, &CompressedConfig).unwrap();
+        let fa = CompiledBackend::<Ip4>::arena_bytes(&frozen);
+        let sa = CompiledBackend::<Ip4>::arena_bytes(&stride);
+        let ca = CompiledBackend::<Ip4>::arena_bytes(&compressed);
+        assert!(ca * 3 < fa, "compressed {ca} vs frozen {fa}");
+        assert!(ca < sa, "compressed {ca} vs stride {sa}");
+    }
+
+    #[test]
+    fn kinds_round_trip_through_names() {
+        for kind in BackendKind::ALL {
+            assert_eq!(kind.name().parse::<BackendKind>(), Ok(kind));
+        }
+        assert!("planb".parse::<BackendKind>().is_err());
+        assert_eq!(BackendKind::Compressed.to_string(), "compressed");
+    }
+}

@@ -1,0 +1,962 @@
+//! An entropy-compressed third compilation of a [`FrozenEngine`]: the
+//! FIB-scale backend.
+//!
+//! The frozen engine spends 12 bytes per trie vertex; at a modern
+//! 1M-prefix FIB (~5M vertices) that is ~60 MB of walk arena — far
+//! outside any cache. Following the entropy-bound FIB-compression line
+//! of work (Rétvári et al., SIGCOMM 2013), this module re-encodes the
+//! *same* BFS-ordered trie in ~5 bits per vertex:
+//!
+//! * each vertex becomes a 4-bit **nibble** packed 16-to-a-word:
+//!   left-child bit, right-child bit, route-marked bit, Claim-1
+//!   continue bit;
+//! * child pointers are erased entirely and recovered by **popcount
+//!   rank**: the BFS layout assigns children sequentially, so the
+//!   target of the j-th child edge (counting all edges laid out before
+//!   it) is exactly vertex `j + 1`. A small rank directory (one `u32`
+//!   per 64 vertices) makes each child step O(1) with at most four
+//!   popcounts over one or two adjacent words;
+//! * route prefixes are erased from the walk too: a route-marked
+//!   vertex's prefix is always a prefix of the walked destination, so
+//!   the BMP is reconstructed as `Prefix::of_address(dest, depth)` —
+//!   the hot walk touches only the bitmap arena, never the dictionary;
+//! * route *tags* (for [`Self::lookup_finish_tag`]) come from the same
+//!   rank trick over the route-marked bits: the n-th marked vertex in
+//!   BFS order carries tag n, matching the frozen engine's route table
+//!   exactly, so the shared tag → prefix dictionary (and the runtime's
+//!   precomputed hop tables) work unchanged;
+//! * clue buckets are byte-identical to the stride engine's (built by
+//!   the shared `build_buckets`), stored against the compressed arena.
+//!
+//! **The `Decision` contract is unchanged**: same BMP, same
+//! [`LookupClass`], tick-for-tick the same [`Cost`] as the scalar
+//! engine — the walk descends the identical vertices and charges one
+//! [`Cost::trie_node`] per visit, honoring the Claim-1 bit at
+//! single-bit granularity; the bucket probe charges the paper's single
+//! mandatory [`Cost::hash_probe`]. Compression changes bytes touched,
+//! never vertices charged. Equivalence is property-tested in
+//! `tests/compressed_prop.rs`.
+
+use std::sync::Arc;
+
+use clue_telemetry::{CompressedTelemetry, LookupClass, LookupEvent, LookupTelemetry};
+use clue_trie::{Address, Cost, Prefix};
+
+use crate::engine::{ClueEngine, EngineStats, Method};
+use crate::frozen::{bump, search_depth, Decision, FreezeError, FrozenEngine, NONE_NODE, NO_ROUTE};
+use crate::prefetch::prefetch_read;
+use crate::stride::{
+    build_buckets, fold_hash, BucketDesc, BucketSlot, PacketOp, PreparedLookup, EMPTY_SLOT,
+    FINAL_SLOT, MAX_INTERLEAVE, NO_TAG,
+};
+
+/// Vertices per packed 64-bit word (4 bits each).
+const NODES_PER_WORD: u32 = 16;
+
+/// Words per rank-directory block: one cumulative `u32` pair per 4
+/// words (64 vertices), so a rank query scans at most 3 whole words
+/// plus one partial — all within one cache line of quads.
+const RANK_SPAN_WORDS: usize = 4;
+
+/// Nibble bit 0: left child present.
+const L_BIT: u64 = 1;
+/// Nibble bit 2: vertex is route-marked.
+const ROUTE_NIB: u64 = 4;
+/// Nibble bit 3: Claim-1 continue bit.
+const CONT_NIB: u64 = 8;
+
+/// Both child bits of every nibble in a word.
+const CHILD_MASK: u64 = 0x3333_3333_3333_3333;
+/// The route bit of every nibble in a word.
+const ROUTE_MASK: u64 = 0x4444_4444_4444_4444;
+
+/// Shape of the compressed compilation. The bit-packed layout is fully
+/// determined by the snapshot today; the struct exists so the
+/// `CompiledBackend` plumbing stays uniform and future knobs (rank
+/// span, hop-tag width) have a home.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressedConfig;
+
+/// The entropy-compressed engine; see the module docs. Compiled from a
+/// [`FrozenEngine`] via [`FrozenEngine::compile_compressed`],
+/// read-only and `Sync` like its source. All compiled arrays live
+/// behind [`Arc`]s, so [`Self::replicate`] is a refcount bump, not a
+/// deep copy.
+#[derive(Debug, Clone)]
+pub struct CompressedEngine<A: Address> {
+    method: Method,
+    /// Vertices encoded in `quads`.
+    node_count: u32,
+    /// 4-bit vertex nibbles, 16 per word, BFS order.
+    quads: Arc<Vec<u64>>,
+    /// Child-edge rank directory: cumulative child-bit count before
+    /// each [`RANK_SPAN_WORDS`] block.
+    child_rank: Arc<Vec<u32>>,
+    /// Route rank directory: cumulative route-bit count before each
+    /// block (a route-marked vertex's tag is its route rank).
+    route_rank: Arc<Vec<u32>>,
+    /// Tag → prefix dictionary (control plane: `tag_prefixes`,
+    /// hop-table construction). The hot walk never reads it.
+    routes: Arc<Vec<Prefix<A>>>,
+    /// Per-length probe windows into `bucket_slots` (shared layout
+    /// with the stride engine — see `build_buckets`).
+    bucket_desc: Arc<Vec<BucketDesc>>,
+    /// All length windows back to back; slot 0 is the empty sentinel.
+    bucket_slots: Arc<Vec<BucketSlot<A>>>,
+    /// Per-bucket-slot FD tag into `routes`.
+    bucket_fd_tags: Arc<Vec<u32>>,
+    /// Vertices per BFS level (level 0 = root) — the CRAM byte map.
+    level_nodes: Arc<Vec<u64>>,
+    telemetry: Option<LookupTelemetry>,
+    compressed_telemetry: Option<CompressedTelemetry>,
+}
+
+impl<A: Address> ClueEngine<A> {
+    /// [`ClueEngine::freeze`] followed by
+    /// [`FrozenEngine::compile_compressed`], as one call.
+    pub fn freeze_compressed(
+        &self,
+        config: CompressedConfig,
+    ) -> Result<CompressedEngine<A>, FreezeError> {
+        Ok(self.freeze()?.compile_compressed(config))
+    }
+}
+
+impl<A: Address> FrozenEngine<A> {
+    /// Compiles this snapshot into a [`CompressedEngine`]: nibble
+    /// bitmap arena, popcount rank directories, the shared clue
+    /// buckets and tag dictionary. Pure function of the snapshot;
+    /// infallible because every frozen layout compresses.
+    pub fn compile_compressed(&self, _config: CompressedConfig) -> CompressedEngine<A> {
+        let nodes = self.raw_nodes();
+        let n = nodes.len();
+        let words = n.div_ceil(NODES_PER_WORD as usize);
+        let mut quads = vec![0u64; words.max(1)];
+        for (i, node) in nodes.iter().enumerate() {
+            let mut nib = 0u64;
+            if node.children[0] != NONE_NODE {
+                nib |= L_BIT;
+            }
+            if node.children[1] != NONE_NODE {
+                nib |= L_BIT << 1;
+            }
+            if node.route_word & NO_ROUTE != NO_ROUTE {
+                nib |= ROUTE_NIB;
+            }
+            if node.may_continue() {
+                nib |= CONT_NIB;
+            }
+            quads[i / NODES_PER_WORD as usize] |= nib << ((i as u32 % NODES_PER_WORD) * 4);
+        }
+
+        let blocks = quads.len().div_ceil(RANK_SPAN_WORDS);
+        let mut child_rank = Vec::with_capacity(blocks);
+        let mut route_rank = Vec::with_capacity(blocks);
+        let (mut c, mut r) = (0u64, 0u64);
+        for (w, &word) in quads.iter().enumerate() {
+            if w % RANK_SPAN_WORDS == 0 {
+                child_rank.push(u32::try_from(c).expect("child count fits u32"));
+                route_rank.push(u32::try_from(r).expect("route count fits u32"));
+            }
+            c += u64::from((word & CHILD_MASK).count_ones());
+            r += u64::from((word & ROUTE_MASK).count_ones());
+        }
+
+        let buckets = build_buckets(self);
+        let engine = CompressedEngine {
+            method: self.method(),
+            node_count: u32::try_from(n).expect("node count fits u32"),
+            quads: Arc::new(quads),
+            child_rank: Arc::new(child_rank),
+            route_rank: Arc::new(route_rank),
+            routes: Arc::new(self.raw_routes().to_vec()),
+            bucket_desc: Arc::new(buckets.desc),
+            bucket_slots: Arc::new(buckets.slots),
+            bucket_fd_tags: Arc::new(buckets.fd_tags),
+            level_nodes: Arc::new(self.level_node_counts()),
+            telemetry: self.telemetry().cloned(),
+            compressed_telemetry: None,
+        };
+
+        // The whole scheme rests on the BFS child-adjacency invariant
+        // (the j-th child edge targets vertex j+1) and on route tags
+        // equalling route ranks; verify both against the source
+        // snapshot in debug builds.
+        #[cfg(debug_assertions)]
+        for (i, node) in nodes.iter().enumerate() {
+            let i = i as u32;
+            for b in 0..2usize {
+                debug_assert_eq!(
+                    engine.child(i, b),
+                    node.children[b],
+                    "rank-derived child diverges at vertex {i} bit {b}"
+                );
+            }
+            if node.route_word & NO_ROUTE != NO_ROUTE {
+                debug_assert_eq!(
+                    engine.route_rank_of(i),
+                    node.route_word & NO_ROUTE,
+                    "route rank diverges from route index at vertex {i}"
+                );
+            }
+        }
+
+        engine
+    }
+}
+
+impl<A: Address> CompressedEngine<A> {
+    /// The compiled method flavour (inherited through the freeze).
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// Vertices encoded in the arena.
+    pub fn node_count(&self) -> usize {
+        self.node_count as usize
+    }
+
+    /// Bytes of the walk arena: nibble quads plus both rank
+    /// directories — what the compression gate measures. ~0.63
+    /// bytes/vertex versus the frozen engine's 12.
+    pub fn arena_bytes(&self) -> u64 {
+        (self.quads.len() * core::mem::size_of::<u64>()
+            + self.child_rank.len() * core::mem::size_of::<u32>()
+            + self.route_rank.len() * core::mem::size_of::<u32>()) as u64
+    }
+
+    /// Bytes of the clue buckets (descriptors, payload slots, FD
+    /// tags). Identical layout and size to the stride engine's.
+    pub fn bucket_bytes(&self) -> u64 {
+        (self.bucket_desc.len() * core::mem::size_of::<BucketDesc>()
+            + self.bucket_slots.len() * core::mem::size_of::<BucketSlot<A>>()
+            + self.bucket_fd_tags.len() * core::mem::size_of::<u32>()) as u64
+    }
+
+    /// Bytes of the tag → prefix dictionary. Control plane only: the
+    /// hot walk reconstructs BMPs from the destination and never
+    /// touches this array.
+    pub fn dict_bytes(&self) -> u64 {
+        (self.routes.len() * core::mem::size_of::<Prefix<A>>()) as u64
+    }
+
+    /// Total resident bytes of every compiled structure.
+    pub fn memory_bytes(&self) -> usize {
+        (self.arena_bytes() + self.bucket_bytes() + self.dict_bytes()) as usize
+    }
+
+    /// Vertices per BFS level (level 0 is the root) — the per-level
+    /// byte map the CRAM analysis consumes.
+    pub fn level_node_counts(&self) -> &[u64] {
+        &self.level_nodes
+    }
+
+    /// Replaces the inherited per-lookup telemetry bundle.
+    pub fn attach_telemetry(&mut self, telemetry: LookupTelemetry) {
+        self.telemetry = Some(telemetry);
+    }
+
+    /// Attaches the compressed-path bundle (batch counters + layout
+    /// gauges; the layout gauges are set immediately).
+    pub fn attach_compressed_telemetry(&mut self, telemetry: CompressedTelemetry) {
+        telemetry.record_layout(
+            self.arena_bytes(),
+            self.bucket_bytes(),
+            self.dict_bytes(),
+            u64::from(self.node_count),
+            0.0,
+        );
+        self.compressed_telemetry = Some(telemetry);
+    }
+
+    /// The attached per-lookup telemetry, if any.
+    pub fn telemetry(&self) -> Option<&LookupTelemetry> {
+        self.telemetry.as_ref()
+    }
+
+    /// The attached compressed-path telemetry, if any.
+    pub fn compressed_telemetry(&self) -> Option<&CompressedTelemetry> {
+        self.compressed_telemetry.as_ref()
+    }
+
+    /// A per-core replica with both telemetry bundles detached. The
+    /// arenas are `Arc`-shared: constant-time, no deep copy.
+    pub fn replicate(&self) -> CompressedEngine<A> {
+        let mut replica = self.clone();
+        replica.telemetry = None;
+        replica.compressed_telemetry = None;
+        replica
+    }
+
+    /// The tag → prefix dictionary behind [`Self::lookup_finish_tag`]
+    /// — identical content to the frozen/stride tables compiled from
+    /// the same snapshot.
+    pub fn tag_prefixes(&self) -> &[Prefix<A>] {
+        &self.routes
+    }
+
+    /// The 4-bit nibble of vertex `node`.
+    #[inline]
+    fn nibble(&self, node: u32) -> u64 {
+        (self.quads[(node / NODES_PER_WORD) as usize] >> ((node % NODES_PER_WORD) * 4)) & 0xF
+    }
+
+    /// Child-edge rank strictly before vertex `node`'s own left-child
+    /// bit: the number of child edges laid out before this vertex's.
+    #[inline]
+    fn child_rank_before(&self, node: u32) -> u32 {
+        let w = (node / NODES_PER_WORD) as usize;
+        let mut rank = self.child_rank[w / RANK_SPAN_WORDS];
+        for ww in (w - w % RANK_SPAN_WORDS)..w {
+            rank += (self.quads[ww] & CHILD_MASK).count_ones();
+        }
+        let o = (node % NODES_PER_WORD) * 4;
+        let below = self.quads[w] & CHILD_MASK & ((1u64 << o) - 1);
+        rank + below.count_ones()
+    }
+
+    /// The `bit`-side child of vertex `node` ([`NONE_NODE`] if
+    /// absent), recovered by rank: with BFS layout the j-th child edge
+    /// overall targets vertex `j + 1`.
+    #[inline]
+    fn child(&self, node: u32, bit: usize) -> u32 {
+        let nib = self.nibble(node);
+        if (nib >> bit) & 1 == 0 {
+            return NONE_NODE;
+        }
+        // Edges before this one: all edges before this vertex, plus
+        // the vertex's own left edge when descending right.
+        let rank = self.child_rank_before(node) + ((nib as u32) & 1) * bit as u32;
+        rank + 1
+    }
+
+    /// Route rank strictly before vertex `node` — equal to `node`'s
+    /// route tag when `node` is route-marked. Only queried on the
+    /// tagged path (once per resolved walk), never per step.
+    #[inline]
+    fn route_rank_of(&self, node: u32) -> u32 {
+        let w = (node / NODES_PER_WORD) as usize;
+        let mut rank = self.route_rank[w / RANK_SPAN_WORDS];
+        for ww in (w - w % RANK_SPAN_WORDS)..w {
+            rank += (self.quads[ww] & ROUTE_MASK).count_ones();
+        }
+        let o = (node % NODES_PER_WORD) * 4;
+        let below = self.quads[w] & ROUTE_MASK & ((1u64 << o) - 1);
+        rank + below.count_ones()
+    }
+
+    /// The full (clueless) lookup on the compressed arena: the frozen
+    /// engine's root-down bit walk, one [`Cost::trie_node`] per vertex
+    /// visited, with the BMP reconstructed from the destination — a
+    /// route-marked vertex at depth `d` on `dest`'s path *is* the
+    /// prefix `dest/d`.
+    #[inline(never)]
+    fn common_walk(&self, dest: A, cost: &mut Cost) -> Option<Prefix<A>> {
+        cost.trie_node();
+        let mut node = 0u32;
+        let mut best =
+            if self.nibble(0) & ROUTE_NIB != 0 { Some(0u8) } else { None };
+        for depth in 0..A::BITS {
+            let c = self.child(node, dest.bit(depth) as usize);
+            if c == NONE_NODE {
+                break;
+            }
+            node = c;
+            cost.trie_node();
+            if self.nibble(node) & ROUTE_NIB != 0 {
+                best = Some(depth + 1);
+            }
+        }
+        best.map(|len| Prefix::of_address(dest, len))
+    }
+
+    /// The continued walk from a clue vertex at depth `depth`,
+    /// honoring the Claim-1 continue bit at single-bit granularity;
+    /// charges identically to [`FrozenEngine`]'s `walk_from`. Valid
+    /// only when the clue contains `dest` (guaranteed before any
+    /// probe), so reconstructed prefixes lie on `dest`'s path.
+    #[inline(never)]
+    fn walk_from(&self, start: u32, mut depth: u8, dest: A, cost: &mut Cost) -> Option<Prefix<A>> {
+        cost.trie_node();
+        let mut node = start;
+        let mut nib = self.nibble(node);
+        let mut best = if nib & ROUTE_NIB != 0 { Some(depth) } else { None };
+        loop {
+            if nib & CONT_NIB == 0 || depth >= A::BITS {
+                break;
+            }
+            let c = self.child(node, dest.bit(depth) as usize);
+            if c == NONE_NODE {
+                break;
+            }
+            node = c;
+            depth += 1;
+            cost.trie_node();
+            nib = self.nibble(node);
+            if nib & ROUTE_NIB != 0 {
+                best = Some(depth);
+            }
+        }
+        best.map(|len| Prefix::of_address(dest, len))
+    }
+
+    /// [`Self::common_walk`] resolving to the deepest route *tag*
+    /// ([`NO_TAG`] if none) — one rank query at the end instead of a
+    /// dictionary load per deepening step.
+    #[inline(never)]
+    fn common_walk_tag(&self, dest: A, cost: &mut Cost) -> u32 {
+        cost.trie_node();
+        let mut node = 0u32;
+        let mut best = if self.nibble(0) & ROUTE_NIB != 0 { 0u32 } else { NONE_NODE };
+        for depth in 0..A::BITS {
+            let c = self.child(node, dest.bit(depth) as usize);
+            if c == NONE_NODE {
+                break;
+            }
+            node = c;
+            cost.trie_node();
+            if self.nibble(node) & ROUTE_NIB != 0 {
+                best = node;
+            }
+        }
+        if best == NONE_NODE {
+            NO_TAG
+        } else {
+            self.route_rank_of(best)
+        }
+    }
+
+    /// [`Self::walk_from`] resolving to the deepest route tag.
+    #[inline(never)]
+    fn walk_from_tag(&self, start: u32, mut depth: u8, dest: A, cost: &mut Cost) -> u32 {
+        cost.trie_node();
+        let mut node = start;
+        let mut nib = self.nibble(node);
+        let mut best = if nib & ROUTE_NIB != 0 { node } else { NONE_NODE };
+        loop {
+            if nib & CONT_NIB == 0 || depth >= A::BITS {
+                break;
+            }
+            let c = self.child(node, dest.bit(depth) as usize);
+            if c == NONE_NODE {
+                break;
+            }
+            node = c;
+            depth += 1;
+            cost.trie_node();
+            nib = self.nibble(node);
+            if nib & ROUTE_NIB != 0 {
+                best = node;
+            }
+        }
+        if best == NONE_NODE {
+            NO_TAG
+        } else {
+            self.route_rank_of(best)
+        }
+    }
+
+    /// Probes the flat clue window for length `len` from counter `k` —
+    /// the stride engine's probe, verbatim, over the shared layout.
+    #[inline]
+    fn bucket_get_from(&self, len: u8, bits: A, mut k: u32) -> Option<&BucketSlot<A>> {
+        let d = self.bucket_desc[len as usize];
+        loop {
+            let slot = &self.bucket_slots[(d.offset + (k & d.mask)) as usize];
+            if slot.cont == EMPTY_SLOT {
+                return None;
+            }
+            if slot.key == bits {
+                return Some(slot);
+            }
+            k = k.wrapping_add(1);
+        }
+    }
+
+    /// The home probe counter for `bits` in length `len`'s window.
+    #[inline]
+    fn bucket_home(&self, len: u8, bits: A) -> u32 {
+        (fold_hash(bits) >> self.bucket_desc[len as usize].shift) as u32
+    }
+
+    #[inline]
+    fn bucket_get(&self, len: u8, bits: A) -> Option<&BucketSlot<A>> {
+        self.bucket_get_from(len, bits, self.bucket_home(len, bits))
+    }
+
+    /// [`Self::bucket_get_from`] returning the absolute slot index so
+    /// the caller can read the parallel FD tag.
+    #[inline]
+    fn bucket_probe_from(&self, len: u8, bits: A, mut k: u32) -> Option<usize> {
+        let d = self.bucket_desc[len as usize];
+        loop {
+            let i = (d.offset + (k & d.mask)) as usize;
+            let slot = &self.bucket_slots[i];
+            if slot.cont == EMPTY_SLOT {
+                return None;
+            }
+            if slot.key == bits {
+                return Some(i);
+            }
+            k = k.wrapping_add(1);
+        }
+    }
+
+    /// One compressed lookup: the same flow (and the same charges) as
+    /// [`FrozenEngine::lookup`], on the bit-packed arena.
+    #[inline]
+    pub fn lookup(
+        &self,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        let s = match (self.method, clue) {
+            (Method::Common, _) | (_, None) => {
+                return (self.common_walk(dest, cost), LookupClass::Clueless);
+            }
+            (_, Some(s)) => s,
+        };
+        if !s.contains(dest) {
+            return (self.common_walk(dest, cost), LookupClass::Malformed);
+        }
+        cost.hash_probe();
+        match self.bucket_get(s.len(), s.bits()) {
+            Some(slot) => {
+                if slot.cont == FINAL_SLOT {
+                    (slot.fd(), LookupClass::Final)
+                } else {
+                    let found = self.walk_from(slot.cont, s.len(), dest, cost);
+                    (found.or(slot.fd()), LookupClass::Continued)
+                }
+            }
+            None => (self.common_walk(dest, cost), LookupClass::Miss),
+        }
+    }
+
+    /// As [`Self::lookup`], packaged as a [`Decision`].
+    pub fn lookup_decision(&self, dest: A, clue: Option<Prefix<A>>) -> Decision<A> {
+        let mut cost = Cost::new();
+        let (bmp, class) = self.lookup(dest, clue, &mut cost);
+        Decision { bmp, class, cost }
+    }
+
+    /// Decodes one packet, prefetching the first line its lookup will
+    /// touch (the root quad word or the clue-bucket home slot).
+    #[inline]
+    fn decode_packet(&self, dest: A, clue: Option<Prefix<A>>) -> PacketOp {
+        match (self.method, clue) {
+            (Method::Common, _) | (_, None) => {
+                prefetch_read(&self.quads[0]);
+                PacketOp::Walk(LookupClass::Clueless)
+            }
+            (_, Some(s)) => {
+                if s.contains(dest) {
+                    let len = s.len();
+                    let k = self.bucket_home(len, s.bits());
+                    let d = self.bucket_desc[len as usize];
+                    prefetch_read(&self.bucket_slots[(d.offset + (k & d.mask)) as usize]);
+                    PacketOp::Probe { k, len }
+                } else {
+                    prefetch_read(&self.quads[0]);
+                    PacketOp::Walk(LookupClass::Malformed)
+                }
+            }
+        }
+    }
+
+    /// Resolves a packet decoded by [`Self::decode_packet`]; same
+    /// results and charges as [`Self::lookup`].
+    #[inline]
+    fn finish_packet(
+        &self,
+        op: PacketOp,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        match op {
+            PacketOp::Walk(class) => (self.common_walk(dest, cost), class),
+            PacketOp::Probe { k, len } => {
+                cost.hash_probe();
+                let s = clue.expect("a probe op is only decoded from a present clue");
+                match self.bucket_get_from(len, s.bits(), k) {
+                    Some(slot) => {
+                        if slot.cont == FINAL_SLOT {
+                            (slot.fd(), LookupClass::Final)
+                        } else {
+                            let found = self.walk_from(slot.cont, len, dest, cost);
+                            (found.or(slot.fd()), LookupClass::Continued)
+                        }
+                    }
+                    None => (self.common_walk(dest, cost), LookupClass::Miss),
+                }
+            }
+        }
+    }
+
+    /// Decode-and-prefetch half of the split lookup; see
+    /// [`crate::StrideEngine::lookup_prepare`].
+    #[inline]
+    pub fn lookup_prepare(&self, dest: A, clue: Option<Prefix<A>>) -> PreparedLookup {
+        PreparedLookup(self.decode_packet(dest, clue))
+    }
+
+    /// Resolves a prepared lookup; same results and charges as
+    /// [`Self::lookup`] on the same `(dest, clue)`.
+    #[inline]
+    pub fn lookup_finish(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (Option<Prefix<A>>, LookupClass) {
+        self.finish_packet(op.0, dest, clue, cost)
+    }
+
+    /// As [`Self::lookup_finish`], resolving to a dense route tag into
+    /// [`Self::tag_prefixes`] ([`NO_TAG`] for no match) — the form the
+    /// serving runtime's precomputed hop tables consume. Identical
+    /// class and [`Cost`] charges.
+    #[inline]
+    pub fn lookup_finish_tag(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (u32, LookupClass) {
+        match op.0 {
+            PacketOp::Walk(class) => (self.common_walk_tag(dest, cost), class),
+            PacketOp::Probe { k, len } => {
+                cost.hash_probe();
+                let s = clue.expect("a probe op is only decoded from a present clue");
+                match self.bucket_probe_from(len, s.bits(), k) {
+                    Some(i) => {
+                        let slot = &self.bucket_slots[i];
+                        if slot.cont == FINAL_SLOT {
+                            (self.bucket_fd_tags[i], LookupClass::Final)
+                        } else {
+                            let found = self.walk_from_tag(slot.cont, len, dest, cost);
+                            let tag = if found != NO_TAG { found } else { self.bucket_fd_tags[i] };
+                            (tag, LookupClass::Continued)
+                        }
+                    }
+                    None => (self.common_walk_tag(dest, cost), LookupClass::Miss),
+                }
+            }
+        }
+    }
+
+    /// Batched lookup at the default interleave; see
+    /// [`Self::lookup_batch_interleaved`].
+    ///
+    /// # Panics
+    /// Panics unless `dests`, `clues` and `out` have equal lengths.
+    pub fn lookup_batch(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+    ) -> EngineStats {
+        self.lookup_batch_interleaved(dests, clues, out, crate::stride::DEFAULT_INTERLEAVE)
+    }
+
+    /// Batched lookup in lockstep prefetch groups — the stride batch
+    /// loop over the compressed arena. Interleave is a latency
+    /// treatment, not a semantic one: decisions and stats are
+    /// identical at every group size.
+    ///
+    /// # Panics
+    /// Panics unless `dests`, `clues` and `out` have equal lengths.
+    pub fn lookup_batch_interleaved(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+        group: usize,
+    ) -> EngineStats {
+        assert_eq!(dests.len(), clues.len(), "one clue slot per destination");
+        assert_eq!(dests.len(), out.len(), "one decision slot per destination");
+        let group = group.max(1);
+        let (stats, groups, prefetches) = match &self.telemetry {
+            None => self.batch_core(dests, clues, out, group, |_, _, _| {}),
+            Some(t) => self.batch_core(dests, clues, out, group, |clue_len, class, cost| {
+                t.record(&LookupEvent {
+                    clue_len,
+                    class,
+                    search_depth: search_depth(class, cost),
+                    cache_hit: None,
+                    memory_references: cost.total(),
+                });
+            }),
+        };
+        if let Some(ct) = &self.compressed_telemetry {
+            ct.record_batch(dests.len() as u64, groups, prefetches);
+        }
+        stats
+    }
+
+    /// The batch loop body (two passes per group when interleaving).
+    fn batch_core(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut [Decision<A>],
+        group: usize,
+        mut record: impl FnMut(Option<u8>, LookupClass, Cost),
+    ) -> (EngineStats, u64, u64) {
+        let mut stats = EngineStats::default();
+        let mut groups = 0u64;
+        let mut prefetches = 0u64;
+        if group <= 1 {
+            groups = dests.len() as u64;
+            for ((&dest, &clue), slot) in dests.iter().zip(clues).zip(out.iter_mut()) {
+                let mut cost = Cost::new();
+                let (bmp, class) = self.lookup(dest, clue, &mut cost);
+                bump(&mut stats, class);
+                record(clue.map(|s| s.len()), class, cost);
+                *slot = Decision { bmp, class, cost };
+            }
+        } else {
+            let group = group.min(MAX_INTERLEAVE);
+            let mut ops = [PacketOp::Walk(LookupClass::Clueless); MAX_INTERLEAVE];
+            for ((dests, clues), out) in
+                dests.chunks(group).zip(clues.chunks(group)).zip(out.chunks_mut(group))
+            {
+                groups += 1;
+                prefetches += dests.len() as u64;
+                for ((&dest, &clue), op) in dests.iter().zip(clues).zip(ops.iter_mut()) {
+                    *op = self.decode_packet(dest, clue);
+                }
+                for (((&dest, &clue), slot), &op) in
+                    dests.iter().zip(clues).zip(out.iter_mut()).zip(&ops)
+                {
+                    let mut cost = Cost::new();
+                    let (bmp, class) = self.finish_packet(op, dest, clue, &mut cost);
+                    bump(&mut stats, class);
+                    record(clue.map(|s| s.len()), class, cost);
+                    *slot = Decision { bmp, class, cost };
+                }
+            }
+        }
+        (stats, groups, prefetches)
+    }
+
+    /// As [`Self::lookup_batch`], resizing and reusing a
+    /// caller-supplied buffer.
+    pub fn lookup_batch_into(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+        out: &mut Vec<Decision<A>>,
+    ) -> EngineStats {
+        out.clear();
+        out.resize(dests.len(), Decision::default());
+        self.lookup_batch(dests, clues, out)
+    }
+
+    /// Allocating convenience over [`Self::lookup_batch`].
+    pub fn lookup_batch_vec(
+        &self,
+        dests: &[A],
+        clues: &[Option<Prefix<A>>],
+    ) -> (Vec<Decision<A>>, EngineStats) {
+        let mut out = Vec::new();
+        let stats = self.lookup_batch_into(dests, clues, &mut out);
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use clue_lookup::Family;
+    use clue_trie::Ip4;
+
+    fn p(s: &str) -> Prefix<Ip4> {
+        s.parse().unwrap()
+    }
+
+    fn a(s: &str) -> Ip4 {
+        s.parse().unwrap()
+    }
+
+    fn tables() -> (Vec<Prefix<Ip4>>, Vec<Prefix<Ip4>>) {
+        let sender = vec![p("10.0.0.0/8"), p("10.1.0.0/16"), p("192.168.0.0/16")];
+        let receiver = vec![
+            p("10.0.0.0/8"),
+            p("10.1.0.0/16"),
+            p("10.1.2.0/24"),
+            p("10.2.0.0/16"),
+            p("192.168.0.0/16"),
+        ];
+        (sender, receiver)
+    }
+
+    fn check_parity(method: Method, dest: Ip4, clue: Option<Prefix<Ip4>>) {
+        let (sender, receiver) = tables();
+        let mut scalar =
+            ClueEngine::precomputed(&sender, &receiver, EngineConfig::new(Family::Regular, method));
+        let frozen = scalar.freeze().unwrap();
+        let compressed = frozen.compile_compressed(CompressedConfig);
+        let mut sc = Cost::new();
+        let want = scalar.lookup(dest, clue, None, &mut sc);
+        let d = compressed.lookup_decision(dest, clue);
+        assert_eq!(d.bmp, want, "{method} bmp for {dest} clue {clue:?}");
+        assert_eq!(d.cost, sc, "{method} cost for {dest} clue {clue:?}");
+        assert_eq!(d, frozen.lookup_decision(dest, clue), "compressed == frozen decision");
+    }
+
+    #[test]
+    fn parity_across_methods_and_classes() {
+        for method in [Method::Common, Method::Simple, Method::Advance] {
+            check_parity(method, a("10.1.2.3"), None); // clueless
+            check_parity(method, a("10.1.2.3"), Some(p("10.1.0.0/16"))); // continued
+            check_parity(method, a("10.1.99.1"), Some(p("10.1.0.0/16")));
+            check_parity(method, a("192.168.3.4"), Some(p("192.168.0.0/16"))); // final
+            check_parity(method, a("10.9.9.9"), Some(p("10.0.0.0/8")));
+            check_parity(method, a("10.1.2.3"), Some(p("192.168.0.0/16"))); // malformed
+            check_parity(method, a("10.1.2.3"), Some(p("10.1.2.0/24"))); // miss
+            check_parity(method, a("11.1.2.3"), None); // no route
+        }
+    }
+
+    #[test]
+    fn tags_resolve_to_the_same_prefix_as_lookup() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let compressed = scalar.freeze_compressed(CompressedConfig).unwrap();
+        let cases: Vec<(Ip4, Option<Prefix<Ip4>>)> = vec![
+            (a("10.1.2.3"), None),
+            (a("10.1.2.3"), Some(p("10.1.0.0/16"))),
+            (a("192.168.3.4"), Some(p("192.168.0.0/16"))),
+            (a("10.1.2.3"), Some(p("192.168.0.0/16"))),
+            (a("10.1.2.3"), Some(p("10.1.2.0/24"))),
+            (a("11.1.2.3"), None),
+        ];
+        for (dest, clue) in cases {
+            let mut c1 = Cost::new();
+            let (bmp, class) = compressed.lookup(dest, clue, &mut c1);
+            let mut c2 = Cost::new();
+            let op = compressed.lookup_prepare(dest, clue);
+            let (tag, tag_class) = compressed.lookup_finish_tag(op, dest, clue, &mut c2);
+            let tag_bmp =
+                (tag != NO_TAG).then(|| compressed.tag_prefixes()[tag as usize]);
+            assert_eq!(tag_bmp, bmp, "{dest} {clue:?}");
+            assert_eq!(tag_class, class, "{dest} {clue:?}");
+            assert_eq!(c1, c2, "cost parity for {dest} {clue:?}");
+        }
+    }
+
+    #[test]
+    fn interleave_is_semantically_inert() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let compressed = scalar.freeze_compressed(CompressedConfig).unwrap();
+        let dests = vec![a("10.1.2.3"), a("192.168.3.4"), a("10.1.2.3"), a("7.7.7.7")];
+        let clues = vec![
+            Some(p("10.1.0.0/16")),
+            Some(p("192.168.0.0/16")),
+            Some(p("192.168.0.0/16")), // malformed
+            None,
+        ];
+        let (want, want_stats) = compressed.lookup_batch_vec(&dests, &clues);
+        for group in [0, 1, 2, 3, 8, 64] {
+            let mut out = vec![Decision::default(); dests.len()];
+            let stats = compressed.lookup_batch_interleaved(&dests, &clues, &mut out, group);
+            assert_eq!(out, want, "group {group}");
+            assert_eq!(stats, want_stats, "group {group}");
+        }
+        assert_eq!(
+            (want_stats.continued, want_stats.finals, want_stats.malformed, want_stats.clueless),
+            (1, 1, 1, 1)
+        );
+    }
+
+    #[test]
+    fn arena_is_an_order_of_magnitude_smaller_than_frozen() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let frozen = scalar.freeze().unwrap();
+        let compressed = frozen.compile_compressed(CompressedConfig);
+        assert_eq!(compressed.node_count(), frozen.node_count());
+        let frozen_arena = frozen.node_count() * 12;
+        assert!(
+            compressed.arena_bytes() * 3 < frozen_arena as u64,
+            "compressed arena {} vs frozen {}",
+            compressed.arena_bytes(),
+            frozen_arena
+        );
+        let levels = compressed.level_node_counts();
+        assert_eq!(levels[0], 1, "level 0 is the root");
+        assert_eq!(
+            levels.iter().sum::<u64>(),
+            compressed.node_count() as u64,
+            "levels partition the arena"
+        );
+    }
+
+    #[test]
+    fn telemetry_streams_are_recorded() {
+        use clue_telemetry::Registry;
+        let (sender, receiver) = tables();
+        let mut scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let registry = Registry::new();
+        scalar.instrument(&registry);
+        let mut compressed = scalar.freeze_compressed(CompressedConfig).unwrap();
+        assert!(compressed.telemetry().is_some(), "lookup telemetry inherited");
+        compressed.attach_compressed_telemetry(CompressedTelemetry::registered(
+            &registry,
+            "clue_compressed",
+        ));
+        let dests = vec![a("10.1.2.3"), a("192.168.3.4"), a("10.9.9.9")];
+        let clues = vec![Some(p("10.1.0.0/16")), Some(p("192.168.0.0/16")), None];
+        let mut out = vec![Decision::default(); dests.len()];
+        let stats = compressed.lookup_batch_interleaved(&dests, &clues, &mut out, 2);
+        let t = compressed.telemetry().unwrap();
+        assert_eq!(t.lookups_total.get(), 3);
+        assert_eq!(t.class_count(LookupClass::Final), stats.finals);
+        let ct = compressed.compressed_telemetry().unwrap();
+        assert_eq!(ct.batches_total.get(), 1);
+        assert_eq!(ct.packets_total.get(), 3);
+        assert_eq!(ct.groups_total.get(), 2);
+        assert_eq!(ct.arena_bytes.get(), compressed.arena_bytes() as f64);
+    }
+
+    #[test]
+    fn replicate_shares_the_arena() {
+        let (sender, receiver) = tables();
+        let scalar = ClueEngine::precomputed(
+            &sender,
+            &receiver,
+            EngineConfig::new(Family::Regular, Method::Advance),
+        );
+        let compressed = scalar.freeze_compressed(CompressedConfig).unwrap();
+        let replica = compressed.replicate();
+        assert!(Arc::ptr_eq(&compressed.quads, &replica.quads), "arena is shared, not copied");
+        assert!(replica.telemetry().is_none());
+        assert_eq!(
+            replica.lookup_decision(a("10.1.2.3"), Some(p("10.1.0.0/16"))),
+            compressed.lookup_decision(a("10.1.2.3"), Some(p("10.1.0.0/16")))
+        );
+    }
+}

@@ -37,6 +37,7 @@ use clue_trie::{Address, Cost, Prefix};
 use crate::engine::{ClueEngine, EngineStats, Method};
 use crate::fxhash::FxHashMap;
 use crate::profile::{record_walk_split, Span, Stage, StageProfiler};
+use crate::stride::{PacketOp, PreparedLookup};
 use crate::table::{Continuation, TableKind};
 
 /// “No child” sentinel in [`FrozenNode::children`].
@@ -63,11 +64,14 @@ impl FrozenNode {
 }
 
 /// One flattened clue-table entry: the FD fallback plus the
-/// continuation vertex ([`NONE_NODE`] = the paper's “Ptr empty”).
+/// continuation vertex ([`NONE_NODE`] = the paper's “Ptr empty”) and
+/// the FD's dense tag in the extended route table
+/// ([`crate::stride::NO_TAG`] when the entry has no FD).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct FrozenEntry<A: Address> {
     pub(crate) fd: Option<Prefix<A>>,
     pub(crate) cont: u32,
+    pub(crate) fd_tag: u32,
 }
 
 /// Why an engine could not be frozen.
@@ -225,6 +229,15 @@ impl<A: Address> ClueEngine<A> {
         let mut table_entries: Vec<_> = self.table().entries().collect();
         table_entries.sort_by_key(|e| e.clue);
 
+        // Dense tag dictionary: a route word's low bits already index
+        // `routes`, so those indices double as tags; FD prefixes that
+        // are not route-marked vertices get fresh tags appended in
+        // canonical (sorted-clue) order. Every payload a compiled
+        // lookup can resolve to thus has exactly one dense `u32` tag —
+        // the basis of `lookup_finish_tag` on all compiled backends.
+        let mut tag_of: HashMap<Prefix<A>, u32> =
+            routes.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
+
         let mut entries = Vec::with_capacity(self.table().len());
         let mut map = FxHashMap::default();
         for e in table_entries {
@@ -236,8 +249,17 @@ impl<A: Address> ClueEngine<A> {
                 // above is out of sync with `build_entry`.
                 Some(_) => return Err(FreezeError::UnsupportedFamily),
             };
+            let fd_tag = match e.fd {
+                Some(p) => *tag_of.entry(p).or_insert_with(|| {
+                    let t = u32::try_from(routes.len()).expect("tag count fits u32");
+                    assert!(t < NO_ROUTE, "tag count fits 31 bits");
+                    routes.push(p);
+                    t
+                }),
+                None => NO_ROUTE,
+            };
             let i = u32::try_from(entries.len()).expect("clue table fits u32");
-            entries.push(FrozenEntry { fd: e.fd, cont });
+            entries.push(FrozenEntry { fd: e.fd, cont, fd_tag });
             map.insert(e.clue, i);
         }
 
@@ -576,6 +598,151 @@ impl<A: Address> FrozenEngine<A> {
 
     pub(crate) fn raw_map(&self) -> &FxHashMap<Prefix<A>, u32> {
         &self.map
+    }
+
+    /// A per-core replica for the shared-nothing runtime. The frozen
+    /// arrays are owned (this is a deep clone); telemetry is detached
+    /// so replicas never contend on shared counter cells.
+    pub fn replicate(&self) -> Self {
+        let mut replica = self.clone();
+        replica.detach_telemetry();
+        replica
+    }
+
+    /// The dense tag dictionary: every prefix a lookup can resolve to
+    /// (route vertices, then appended FD-only prefixes in canonical
+    /// order). A [`Self::lookup_finish_tag`] result indexes this slice.
+    pub fn tag_prefixes(&self) -> &[Prefix<A>] {
+        &self.routes
+    }
+
+    /// As [`Self::common_walk`], resolving to the deepest route *tag*
+    /// ([`crate::stride::NO_TAG`] when the walk finds no route) with
+    /// identical charging.
+    #[inline]
+    fn common_walk_tag(&self, dest: A, cost: &mut Cost) -> u32 {
+        let mut cur = &self.nodes[0];
+        cost.trie_node();
+        let mut best = cur.route_word & NO_ROUTE;
+        for i in 0..A::BITS {
+            let c = cur.children[dest.bit(i) as usize];
+            if c == NONE_NODE {
+                break;
+            }
+            cur = &self.nodes[c as usize];
+            cost.trie_node();
+            let r = cur.route_word & NO_ROUTE;
+            if r != NO_ROUTE {
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// As [`Self::walk_from`], resolving to the deepest route *tag*
+    /// with identical charging.
+    #[inline]
+    fn walk_from_tag(&self, start: u32, mut depth: u8, dest: A, cost: &mut Cost) -> u32 {
+        let mut cur = &self.nodes[start as usize];
+        cost.trie_node();
+        let mut best = cur.route_word & NO_ROUTE;
+        loop {
+            if !cur.may_continue() || depth >= A::BITS {
+                break;
+            }
+            let c = cur.children[dest.bit(depth) as usize];
+            if c == NONE_NODE {
+                break;
+            }
+            cur = &self.nodes[c as usize];
+            depth += 1;
+            cost.trie_node();
+            let r = cur.route_word & NO_ROUTE;
+            if r != NO_ROUTE {
+                best = r;
+            }
+        }
+        best
+    }
+
+    /// Stage 1 of the split lookup: classify the packet. The frozen
+    /// engine has no useful prefetch target for a table probe (the
+    /// hash map's home slot is not address-computable from outside),
+    /// so this only pins the classification; see
+    /// [`crate::StrideEngine::lookup_prepare`] for the variant that
+    /// prefetches.
+    #[inline]
+    pub fn lookup_prepare(&self, dest: A, clue: Option<Prefix<A>>) -> PreparedLookup {
+        let op = match (self.method, clue) {
+            (Method::Common, _) | (_, None) => PacketOp::Walk(LookupClass::Clueless),
+            (_, Some(s)) => {
+                if s.contains(dest) {
+                    PacketOp::Probe { k: 0, len: s.len() }
+                } else {
+                    PacketOp::Walk(LookupClass::Malformed)
+                }
+            }
+        };
+        PreparedLookup(op)
+    }
+
+    /// Stage 2 of the split lookup: resolve to a dense route tag (an
+    /// index into [`Self::tag_prefixes`], [`crate::stride::NO_TAG`]
+    /// for “no route”) with identical [`Cost`] charging. This is
+    /// the form the serving runtime consumes — a tag indexes a
+    /// precomputed next-hop table with no prefix-map probe.
+    #[inline]
+    pub fn lookup_finish_tag(
+        &self,
+        op: PreparedLookup,
+        dest: A,
+        clue: Option<Prefix<A>>,
+        cost: &mut Cost,
+    ) -> (u32, LookupClass) {
+        match op.0 {
+            PacketOp::Walk(class) => (self.common_walk_tag(dest, cost), class),
+            PacketOp::Probe { len, .. } => {
+                let s = Prefix::of_address(dest, len);
+                debug_assert_eq!(Some(s), clue, "prepare/finish clue mismatch");
+                let _ = clue;
+                cost.hash_probe();
+                match self.map.get(&s) {
+                    Some(&i) => {
+                        let entry = &self.entries[i as usize];
+                        if entry.cont == NONE_NODE {
+                            (entry.fd_tag, LookupClass::Final)
+                        } else {
+                            let t = self.walk_from_tag(entry.cont, len, dest, cost);
+                            let t = if t == NO_ROUTE { entry.fd_tag } else { t };
+                            (t, LookupClass::Continued)
+                        }
+                    }
+                    None => (self.common_walk_tag(dest, cost), LookupClass::Miss),
+                }
+            }
+        }
+    }
+
+    /// Node counts per trie depth (level 0 is the root). The BFS
+    /// layout makes each level a contiguous node range whose length is
+    /// the child count of the previous one — the per-level byte map
+    /// the CRAM analysis consumes.
+    pub(crate) fn level_node_counts(&self) -> Vec<u64> {
+        let mut levels = Vec::new();
+        let mut start = 0usize;
+        let mut len = 1usize;
+        while len > 0 {
+            levels.push(len as u64);
+            let children: usize = self.nodes[start..start + len]
+                .iter()
+                .map(|n| {
+                    usize::from(n.children[0] != NONE_NODE) + usize::from(n.children[1] != NONE_NODE)
+                })
+                .sum();
+            start += len;
+            len = children;
+        }
+        levels
     }
 }
 

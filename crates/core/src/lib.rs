@@ -63,10 +63,13 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod cache;
 pub mod channel;
 mod classify;
 mod clue;
+mod compressed;
+mod cram;
 mod engine;
 pub mod epoch;
 mod frozen;
@@ -81,7 +84,10 @@ mod soundness;
 mod stride;
 mod table;
 
+pub use backend::{BackendError, BackendKind, CompiledBackend};
 pub use cache::{CacheStats, ClueCache, LruCache, PresenceCache};
+pub use compressed::{CompressedConfig, CompressedEngine};
+pub use cram::{CramLevel, CramReport, L1_BYTES, L2_BYTES, L3_BYTES};
 pub use channel::{
     mpsc, spsc, MpscReceiver, MpscSender, SpscReceiver, SpscSender, TryRecvError,
 };

@@ -41,6 +41,7 @@
 //! is property-tested in `tests/stride_prop.rs`.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use clue_telemetry::{LookupClass, LookupEvent, LookupTelemetry, StrideTelemetry};
 use clue_trie::{Address, Cost, Prefix};
@@ -73,7 +74,7 @@ pub const DEFAULT_INTERLEAVE: usize = 8;
 /// fixed stack buffer so the group loop never touches the allocator
 /// (larger requests are clamped, which is semantically inert — see
 /// [`StrideEngine::lookup_batch_interleaved`]).
-const MAX_INTERLEAVE: usize = 64;
+pub(crate) const MAX_INTERLEAVE: usize = 64;
 
 /// Largest accepted initial stride (2^20 root slots, 12 MiB).
 const MAX_INITIAL_BITS: u8 = 20;
@@ -82,13 +83,13 @@ const MAX_INITIAL_BITS: u8 = 20;
 const MAX_INNER_BITS: u8 = 16;
 
 /// Empty-slot sentinel in a clue bucket (the slot's `cont` field).
-const EMPTY_SLOT: u32 = u32::MAX;
+pub(crate) const EMPTY_SLOT: u32 = u32::MAX;
 
 /// Occupied-and-final sentinel in a clue bucket's `cont` field: the
 /// inlined entry has no Claim-1 continuation. Distinct from
 /// [`EMPTY_SLOT`]; real continuation vertices are dense indices far
 /// below either sentinel.
-const FINAL_SLOT: u32 = u32::MAX - 1;
+pub(crate) const FINAL_SLOT: u32 = u32::MAX - 1;
 
 /// Shape of the stride compilation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,18 +210,18 @@ struct InnerNode {
 /// length) keeps the probe to two dependent loads: this 12-byte
 /// descriptor, then the slot itself.
 #[derive(Debug, Clone, Copy)]
-struct BucketDesc {
-    offset: u32,
+pub(crate) struct BucketDesc {
+    pub(crate) offset: u32,
     /// `capacity - 1` of the window (0 for the empty sentinel).
-    mask: u32,
+    pub(crate) mask: u32,
     /// `64 - log2(capacity)` — the multiply-shift downshift.
-    shift: u32,
+    pub(crate) shift: u32,
 }
 
-const EMPTY_DESC: BucketDesc = BucketDesc { offset: 0, mask: 0, shift: 63 };
+pub(crate) const EMPTY_DESC: BucketDesc = BucketDesc { offset: 0, mask: 0, shift: 63 };
 
 /// `fd_len` value marking an absent FD field in a [`BucketSlot`].
-const NO_FD: u8 = u8::MAX;
+pub(crate) const NO_FD: u8 = u8::MAX;
 
 /// One probe slot with the clue entry's payload inlined: a Final-class
 /// lookup — the overwhelming steady-state majority — resolves with a
@@ -230,22 +231,22 @@ const NO_FD: u8 = u8::MAX;
 /// an IPv4 slot is 16 bytes and never straddles a cache line.
 #[derive(Debug, Clone, Copy)]
 #[repr(align(16))]
-struct BucketSlot<A: Address> {
-    key: A,
+pub(crate) struct BucketSlot<A: Address> {
+    pub(crate) key: A,
     /// Bits of the inlined FD field ([`Address::ZERO`] when absent).
-    fd_bits: A,
+    pub(crate) fd_bits: A,
     /// Inlined continuation: a vertex index into the retained binary
     /// nodes, [`FINAL_SLOT`] when the entry is final, or
     /// [`EMPTY_SLOT`] when the slot is vacant.
-    cont: u32,
+    pub(crate) cont: u32,
     /// Length of the inlined FD prefix, [`NO_FD`] when absent.
-    fd_len: u8,
+    pub(crate) fd_len: u8,
 }
 
 impl<A: Address> BucketSlot<A> {
     /// Rebuilds the FD field stored in this slot.
     #[inline]
-    fn fd(&self) -> Option<Prefix<A>> {
+    pub(crate) fn fd(&self) -> Option<Prefix<A>> {
         if self.fd_len == NO_FD {
             None
         } else {
@@ -259,7 +260,7 @@ impl<A: Address> BucketSlot<A> {
 /// whose home counter is precomputed — the resolve pass starts at the
 /// slot the prefetch pointed to instead of re-deriving it.
 #[derive(Clone, Copy)]
-enum PacketOp {
+pub(crate) enum PacketOp {
     /// Clue not consulted: Clueless or Malformed, walk from the root.
     Walk(LookupClass),
     /// Clue consulted: probe length `len`'s window from counter `k`.
@@ -269,9 +270,10 @@ enum PacketOp {
 /// An opaque decoded lookup with its first probe line already
 /// requested from memory — the caller-driven form of the interleaved
 /// batch loop's two passes, for callers that interleave *walks* rather
-/// than flat batches (see [`StrideEngine::lookup_prepare`]).
+/// than flat batches (see [`StrideEngine::lookup_prepare`]). Shared by
+/// every compiled backend's `lookup_prepare`/`lookup_finish_tag` pair.
 #[derive(Clone, Copy)]
-pub struct PreparedLookup(PacketOp);
+pub struct PreparedLookup(pub(crate) PacketOp);
 
 /// “No match” sentinel returned by
 /// [`StrideEngine::lookup_finish_tag`]; every real tag is below it.
@@ -280,7 +282,7 @@ pub const NO_TAG: u32 = NO_ROUTE;
 /// Fibonacci multiply-shift over the (masked) clue bits; the high bits
 /// of the product index the bucket window.
 #[inline]
-fn fold_hash<A: Address>(bits: A) -> u64 {
+pub(crate) fn fold_hash<A: Address>(bits: A) -> u64 {
     let x = bits.to_u128();
     (((x >> 64) as u64) ^ (x as u64)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
@@ -288,36 +290,40 @@ fn fold_hash<A: Address>(bits: A) -> u64 {
 /// The stride-compiled engine; see the module docs. Compiled from a
 /// [`FrozenEngine`] via [`FrozenEngine::compile_stride`], read-only
 /// and `Sync` like its source.
+/// All compiled arrays live behind [`Arc`]s: the engine is immutable
+/// after compilation, so [`StrideEngine::replicate`] hands each worker
+/// core a reference-counted view instead of deep-copying megabytes of
+/// arena — cloning is a handful of refcount bumps.
 #[derive(Debug, Clone)]
 pub struct StrideEngine<A: Address> {
     method: Method,
     config: StrideConfig,
     /// `2^initial_bits` direct-indexed slots.
-    root: Vec<RootSlot>,
+    root: Arc<Vec<RootSlot>>,
     /// Multibit nodes below the root array.
-    inner: Vec<InnerNode>,
+    inner: Arc<Vec<InnerNode>>,
     /// Expanded slots of every inner node, contiguous per node.
-    slots: Vec<InnerSlot>,
+    slots: Arc<Vec<InnerSlot>>,
     /// The frozen binary nodes, retained verbatim: continued walks
     /// honor the Claim-1 bit at single-bit granularity from arbitrary
     /// clue depths, which a fixed-stride layout cannot express.
-    bin_nodes: Vec<FrozenNode>,
+    bin_nodes: Arc<Vec<FrozenNode>>,
     /// Tag → prefix table: the route prefixes referenced by every
     /// route word first (a route word's index *is* its tag), then any
     /// FD prefixes that are not themselves routes, so every payload
     /// the engine can resolve to has exactly one tag. See
     /// [`Self::tag_prefixes`].
-    routes: Vec<Prefix<A>>,
+    routes: Arc<Vec<Prefix<A>>>,
     /// Per-length probe windows into `bucket_slots`, indexed by clue
     /// length (`A::BITS + 1` descriptors — ≤33 for IPv4).
-    bucket_desc: Vec<BucketDesc>,
+    bucket_desc: Arc<Vec<BucketDesc>>,
     /// All length windows back to back; slot 0 is the shared empty
     /// sentinel that zero-clue lengths point at.
-    bucket_slots: Vec<BucketSlot<A>>,
+    bucket_slots: Arc<Vec<BucketSlot<A>>>,
     /// Per-bucket-slot FD tag into `routes` ([`NO_TAG`] when the slot
     /// has none) — the tagged twin of the inlined `fd_bits`/`fd_len`
     /// payload, kept parallel rather than widening the probed slot.
-    bucket_fd_tags: Vec<u32>,
+    bucket_fd_tags: Arc<Vec<u32>>,
     telemetry: Option<LookupTelemetry>,
     stride_telemetry: Option<StrideTelemetry>,
 }
@@ -358,6 +364,72 @@ fn descend(
 #[inline]
 fn has_children(node: &FrozenNode) -> bool {
     node.children[0] != NONE_NODE || node.children[1] != NONE_NODE
+}
+
+/// The flat length-indexed clue buckets compiled from a frozen
+/// snapshot: per-length power-of-two probe windows over one shared
+/// slot array (slot 0 the always-empty sentinel), with a parallel FD
+/// tag array resolving into the snapshot's extended route table. Both
+/// the stride and compressed backends probe this identical structure,
+/// so bucket behaviour (and the single mandatory
+/// [`Cost::hash_probe`] charge) cannot drift between them.
+pub(crate) struct ClueBuckets<A: Address> {
+    pub(crate) desc: Vec<BucketDesc>,
+    pub(crate) slots: Vec<BucketSlot<A>>,
+    pub(crate) fd_tags: Vec<u32>,
+}
+
+/// Builds the clue buckets in canonical (sorted-clue) order so
+/// compilation stays a pure function of the snapshot. FD tags are read
+/// off the frozen entries — the tag dictionary itself is assigned at
+/// freeze time, shared by every backend compiled from the snapshot.
+pub(crate) fn build_buckets<A: Address>(frozen: &FrozenEngine<A>) -> ClueBuckets<A> {
+    let mut by_len: Vec<Vec<(A, u32)>> = vec![Vec::new(); A::BITS as usize + 1];
+    let mut sorted: Vec<_> = frozen.raw_map().iter().map(|(clue, &i)| (*clue, i)).collect();
+    sorted.sort_by_key(|(clue, _)| *clue);
+    for (clue, i) in sorted {
+        by_len[clue.len() as usize].push((clue.bits(), i));
+    }
+    let vacant = BucketSlot { key: A::ZERO, fd_bits: A::ZERO, cont: EMPTY_SLOT, fd_len: NO_FD };
+    let entries = frozen.raw_entries();
+    let mut desc_v = Vec::with_capacity(by_len.len());
+    let mut slots = vec![vacant];
+    let mut fd_tags = vec![NO_TAG];
+    for keys in by_len {
+        if keys.is_empty() {
+            desc_v.push(EMPTY_DESC);
+            continue;
+        }
+        let cap = (keys.len() * 2).next_power_of_two().max(2);
+        let desc = BucketDesc {
+            offset: slots.len() as u32,
+            mask: (cap - 1) as u32,
+            shift: 64 - cap.trailing_zeros(),
+        };
+        slots.resize(slots.len() + cap, vacant);
+        fd_tags.resize(slots.len(), NO_TAG);
+        for (bits, entry) in keys {
+            let e = &entries[entry as usize];
+            let cont = if e.cont == NONE_NODE { FINAL_SLOT } else { e.cont };
+            let (fd_bits, fd_len) = match e.fd {
+                Some(p) => (p.bits(), p.len()),
+                None => (A::ZERO, NO_FD),
+            };
+            let mut k = (fold_hash(bits) >> desc.shift) as u32;
+            loop {
+                let i = (desc.offset + (k & desc.mask)) as usize;
+                if slots[i].cont == EMPTY_SLOT {
+                    slots[i] = BucketSlot { key: bits, fd_bits, cont, fd_len };
+                    fd_tags[i] = e.fd_tag;
+                    break;
+                }
+                debug_assert!(slots[i].key != bits, "duplicate clue in bucket");
+                k = k.wrapping_add(1);
+            }
+        }
+        desc_v.push(desc);
+    }
+    ClueBuckets { desc: desc_v, slots, fd_tags }
 }
 
 impl<A: Address> ClueEngine<A> {
@@ -435,81 +507,21 @@ impl<A: Address> FrozenEngine<A> {
             }
         }
 
-        // Length-indexed probe windows, built in canonical
-        // (sorted-clue) order so compilation is a pure function of the
-        // snapshot. Slot 0 is the shared empty sentinel.
-        let mut by_len: Vec<Vec<(A, u32)>> = vec![Vec::new(); A::BITS as usize + 1];
-        let mut sorted: Vec<_> = self.raw_map().iter().map(|(clue, &i)| (*clue, i)).collect();
-        sorted.sort_by_key(|(clue, _)| *clue);
-        for (clue, i) in sorted {
-            by_len[clue.len() as usize].push((clue.bits(), i));
-        }
-        let vacant =
-            BucketSlot { key: A::ZERO, fd_bits: A::ZERO, cont: EMPTY_SLOT, fd_len: NO_FD };
-        let entries = self.raw_entries();
-        let mut bucket_desc = Vec::with_capacity(by_len.len());
-        let mut bucket_slots = vec![vacant];
-        let mut bucket_fd_tags = vec![NO_TAG];
-        // Tag assignment: route prefixes keep their route-word index;
-        // FD prefixes that are not routes get fresh tags appended.
-        let mut routes = self.raw_routes().to_vec();
-        let mut tag_of: HashMap<Prefix<A>, u32> =
-            routes.iter().enumerate().map(|(i, p)| (*p, i as u32)).collect();
-        for keys in by_len {
-            if keys.is_empty() {
-                bucket_desc.push(EMPTY_DESC);
-                continue;
-            }
-            let cap = (keys.len() * 2).next_power_of_two().max(2);
-            let desc = BucketDesc {
-                offset: bucket_slots.len() as u32,
-                mask: (cap - 1) as u32,
-                shift: 64 - cap.trailing_zeros(),
-            };
-            bucket_slots.resize(bucket_slots.len() + cap, vacant);
-            bucket_fd_tags.resize(bucket_slots.len(), NO_TAG);
-            for (bits, entry) in keys {
-                let e = &entries[entry as usize];
-                let cont = if e.cont == NONE_NODE { FINAL_SLOT } else { e.cont };
-                let (fd_bits, fd_len) = match e.fd {
-                    Some(p) => (p.bits(), p.len()),
-                    None => (A::ZERO, NO_FD),
-                };
-                let fd_tag = match e.fd {
-                    Some(p) => *tag_of.entry(p).or_insert_with(|| {
-                        let t = u32::try_from(routes.len()).expect("tag count fits u32");
-                        assert!(t < NO_TAG, "tag count fits 31 bits");
-                        routes.push(p);
-                        t
-                    }),
-                    None => NO_TAG,
-                };
-                let mut k = (fold_hash(bits) >> desc.shift) as u32;
-                loop {
-                    let i = (desc.offset + (k & desc.mask)) as usize;
-                    if bucket_slots[i].cont == EMPTY_SLOT {
-                        bucket_slots[i] = BucketSlot { key: bits, fd_bits, cont, fd_len };
-                        bucket_fd_tags[i] = fd_tag;
-                        break;
-                    }
-                    debug_assert!(bucket_slots[i].key != bits, "duplicate clue in bucket");
-                    k = k.wrapping_add(1);
-                }
-            }
-            bucket_desc.push(desc);
-        }
+        // Clue buckets and the tag dictionary are shared, canonical
+        // structures of the snapshot — see `build_buckets`.
+        let buckets = build_buckets(self);
 
         Ok(StrideEngine {
             method: self.method(),
             config,
-            root,
-            inner,
-            slots,
-            bin_nodes: nodes.to_vec(),
-            routes,
-            bucket_desc,
-            bucket_slots,
-            bucket_fd_tags,
+            root: Arc::new(root),
+            inner: Arc::new(inner),
+            slots: Arc::new(slots),
+            bin_nodes: Arc::new(nodes.to_vec()),
+            routes: Arc::new(self.raw_routes().to_vec()),
+            bucket_desc: Arc::new(buckets.desc),
+            bucket_slots: Arc::new(buckets.slots),
+            bucket_fd_tags: Arc::new(buckets.fd_tags),
             telemetry: self.telemetry().cloned(),
             stride_telemetry: None,
         })
@@ -551,6 +563,74 @@ impl<A: Address> StrideEngine<A> {
             + self.bucket_fd_tags.len() * core::mem::size_of::<u32>()
     }
 
+    /// Bytes of the walk structures alone: root array, inner
+    /// nodes/slots and the retained binary tail.
+    pub(crate) fn arena_bytes(&self) -> u64 {
+        (self.root.len() * core::mem::size_of::<RootSlot>()
+            + self.inner.len() * core::mem::size_of::<InnerNode>()
+            + self.slots.len() * core::mem::size_of::<InnerSlot>()
+            + self.bin_nodes.len() * core::mem::size_of::<FrozenNode>()) as u64
+    }
+
+    /// Bytes of the clue buckets (descriptors, slots, FD tags).
+    pub(crate) fn bucket_bytes(&self) -> u64 {
+        (self.bucket_desc.len() * core::mem::size_of::<BucketDesc>()
+            + self.bucket_slots.len() * core::mem::size_of::<BucketSlot<A>>()
+            + self.bucket_fd_tags.len() * core::mem::size_of::<u32>()) as u64
+    }
+
+    /// Bytes of the tag → prefix dictionary.
+    pub(crate) fn dict_bytes(&self) -> u64 {
+        (self.routes.len() * core::mem::size_of::<Prefix<A>>()) as u64
+    }
+
+    /// Per-level `(resident bytes, expected visits per uniform-random
+    /// clueless lookup)` of the stride walk, hottest level first:
+    /// level 0 is the direct-indexed root array (always visited once),
+    /// level `k > 0` groups the multibit inner nodes whose `base` is
+    /// `initial + k·inner` bits. Visit probabilities propagate down
+    /// the compiled graph (`P(child) = P(parent) / 2^width` per slot),
+    /// which is exact for uniform destinations and fully deterministic
+    /// — the input the CRAM cache-residency model consumes.
+    pub(crate) fn level_profile(&self) -> Vec<(u64, f64)> {
+        let mut p = vec![0.0f64; self.inner.len()];
+        let root_share = 1.0 / self.root.len() as f64;
+        for slot in self.root.iter() {
+            if slot.next != NONE_NODE {
+                p[slot.next as usize] += root_share;
+            }
+        }
+        // Inner ids are allocated breadth-first, so every node's
+        // parent has a smaller id and a forward scan is a complete DP.
+        for id in 0..self.inner.len() {
+            let n = self.inner[id];
+            let share = p[id] / (1u64 << n.width) as f64;
+            let first = n.first_slot as usize;
+            for slot in &self.slots[first..first + (1usize << n.width)] {
+                if slot.child != NONE_NODE {
+                    p[slot.child as usize] += share;
+                }
+            }
+        }
+        let mut levels =
+            vec![(self.root.len() as u64 * core::mem::size_of::<RootSlot>() as u64, 1.0f64)];
+        let mut by_base: Vec<(u8, u64, f64)> = Vec::new();
+        for (id, n) in self.inner.iter().enumerate() {
+            let bytes = core::mem::size_of::<InnerNode>() as u64
+                + (1u64 << n.width) * core::mem::size_of::<InnerSlot>() as u64;
+            match by_base.iter_mut().find(|(b, _, _)| *b == n.base) {
+                Some((_, lb, lv)) => {
+                    *lb += bytes;
+                    *lv += p[id];
+                }
+                None => by_base.push((n.base, bytes, p[id])),
+            }
+        }
+        by_base.sort_by_key(|(b, _, _)| *b);
+        levels.extend(by_base.into_iter().map(|(_, b, v)| (b, v)));
+        levels
+    }
+
     /// Replaces the inherited per-lookup telemetry bundle.
     pub fn attach_telemetry(&mut self, telemetry: LookupTelemetry) {
         self.telemetry = Some(telemetry);
@@ -561,12 +641,13 @@ impl<A: Address> StrideEngine<A> {
         self.stride_telemetry = Some(telemetry);
     }
 
-    /// A private per-core replica of this engine: the full compiled
-    /// tables, with both telemetry bundles detached so a worker owns no
-    /// handle into shared registries — the serving runtime attributes
-    /// its own counts through sharded cells instead. The compiled
-    /// arrays are plain `Vec`s, so the clone shares nothing with the
-    /// original.
+    /// A per-core replica of this engine with both telemetry bundles
+    /// detached, so a worker owns no handle into shared registries —
+    /// the serving runtime attributes its own counts through sharded
+    /// cells instead. The compiled arrays are immutable and
+    /// `Arc`-shared, so this is a constant-time refcount bump per
+    /// array, not a deep copy — replicating a million-prefix engine
+    /// for N workers costs microseconds, not seconds.
     pub fn replicate(&self) -> StrideEngine<A> {
         let mut replica = self.clone();
         replica.telemetry = None;

@@ -1,0 +1,161 @@
+//! Property tests for the entropy-compressed compiled backend: over
+//! arbitrary table pairs and workloads (honest, missing and malformed
+//! clues alike), [`CompressedEngine`] must be indistinguishable from
+//! both the scalar [`ClueEngine`] and the [`FrozenEngine`] it was
+//! compiled from — same BMPs, same [`LookupClass`], same per-packet
+//! [`Cost`] tick for tick — at every interleave group size. The table
+//! strategy deliberately mixes in the structures the leaf-pushed
+//! bitmap layout finds hardest: the default route, full-length /32
+//! hosts, and aggregable sibling pairs.
+
+use clue_core::{ClueEngine, CompressedConfig, CompressedEngine, EngineConfig, FrozenEngine, Method};
+use clue_lookup::{reference_bmp, Family};
+use clue_trie::{Cost, Ip4, Prefix};
+use proptest::prelude::*;
+
+fn arb_prefix() -> impl Strategy<Value = Prefix<Ip4>> {
+    (0u32..256, prop_oneof![Just(6u8), Just(8), Just(12), Just(16), Just(20), Just(24)])
+        .prop_map(|(bits, len)| Prefix::new(Ip4(bits << 24 | bits << 16 | bits << 4), len))
+}
+
+/// Tables seasoned with the bitmap layout's edge structures: sometimes
+/// a default route (depth-0 route bit), sometimes /32 hosts (deepest
+/// possible vertices), sometimes an aggregable sibling pair (both
+/// children of one vertex routed — the classic leaf-push hazard).
+fn arb_tables() -> impl Strategy<Value = (Vec<Prefix<Ip4>>, Vec<Prefix<Ip4>>)> {
+    (
+        proptest::collection::hash_set(arb_prefix(), 1..40),
+        proptest::collection::hash_set(arb_prefix(), 1..40),
+        proptest::collection::hash_set(arb_prefix(), 0..20),
+        any::<bool>(),
+        proptest::collection::vec(any::<u32>(), 0..3),
+        (any::<u32>(), 0u8..31),
+    )
+        .prop_map(|(shared, s_only, r_only, default_route, hosts, (sib, sib_len))| {
+            let mut sender: Vec<_> = shared.union(&s_only).copied().collect();
+            let mut receiver: Vec<_> = shared.union(&r_only).copied().collect();
+            if default_route {
+                sender.push(Prefix::new(Ip4(0), 0));
+                receiver.push(Prefix::new(Ip4(0), 0));
+            }
+            for h in hosts {
+                receiver.push(Prefix::new(Ip4(h), 32));
+            }
+            // Sibling pair: p0 and p1 differ only in bit `sib_len`.
+            let p0 = Prefix::new(Ip4(sib & !(1 << (31 - sib_len))), sib_len + 1);
+            let p1 = Prefix::new(Ip4(sib | (1 << (31 - sib_len))), sib_len + 1);
+            receiver.push(p0);
+            receiver.push(p1);
+            sender.push(p0);
+            sender.dedup();
+            receiver.dedup();
+            (sender, receiver)
+        })
+}
+
+/// Destinations biased into covered space so every lookup class shows
+/// up, plus honest clues (with occasional raw-bit malformed ones).
+fn workload(sender: &[Prefix<Ip4>], raws: &[u32]) -> (Vec<Ip4>, Vec<Option<Prefix<Ip4>>>) {
+    let mut dests = Vec::with_capacity(raws.len());
+    let mut clues = Vec::with_capacity(raws.len());
+    for (i, &r) in raws.iter().enumerate() {
+        let dest = if i % 2 == 0 {
+            let p = sender[i % sender.len()];
+            let noise = if p.len() == 32 { 0 } else { r >> p.len() };
+            Ip4(p.bits().0 | noise)
+        } else {
+            Ip4(r)
+        };
+        let clue = match i % 5 {
+            // Malformed: a clue string unrelated to the destination.
+            4 => Some(Prefix::new(Ip4(!dest.0), 16)).filter(|c| !c.contains(dest)),
+            _ => reference_bmp(sender, dest).filter(|c| !c.is_empty()),
+        };
+        dests.push(dest);
+        clues.push(clue);
+    }
+    (dests, clues)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Compressed decisions equal both the scalar engine's and the
+    /// frozen engine's — BMP, class and cost — for every method.
+    #[test]
+    fn compressed_matches_scalar_and_frozen(
+        (sender, receiver) in arb_tables(),
+        raws in proptest::collection::vec(any::<u32>(), 1..25),
+    ) {
+        let (dests, clues) = workload(&sender, &raws);
+        for method in [Method::Common, Method::Simple, Method::Advance] {
+            let mut scalar = ClueEngine::precomputed(
+                &sender, &receiver, EngineConfig::new(Family::Regular, method));
+            let frozen: FrozenEngine<Ip4> = scalar.freeze().unwrap();
+            let compressed: CompressedEngine<Ip4> =
+                frozen.compile_compressed(CompressedConfig);
+            let mut out = vec![Default::default(); dests.len()];
+            let stats = compressed.lookup_batch(&dests, &clues, &mut out);
+            for ((&dest, &clue), d) in dests.iter().zip(&clues).zip(&out) {
+                let mut cost = Cost::new();
+                let want = scalar.lookup(dest, clue, None, &mut cost);
+                prop_assert_eq!(
+                    d.bmp, want, "{} dest {} clue {:?}", method, dest, clue);
+                prop_assert_eq!(
+                    d.cost, cost, "{} dest {} clue {:?}", method, dest, clue);
+                let f = frozen.lookup_decision(dest, clue);
+                prop_assert_eq!(d, &f, "compressed != frozen for dest {} clue {:?}", dest, clue);
+            }
+            // Same packets, same classes: the scalar engine's running
+            // tallies must equal the batch's return.
+            prop_assert_eq!(stats, scalar.stats());
+        }
+    }
+
+    /// The interleave group is semantically inert: every group size
+    /// (prefetch off, default, clamped-large) yields bit-identical
+    /// decisions and stats.
+    #[test]
+    fn interleave_group_is_inert(
+        (sender, receiver) in arb_tables(),
+        raws in proptest::collection::vec(any::<u32>(), 1..20),
+        group in prop_oneof![Just(0usize), Just(1), Just(3), Just(8), Just(200)],
+    ) {
+        let (dests, clues) = workload(&sender, &raws);
+        let engine = ClueEngine::precomputed(
+            &sender, &receiver, EngineConfig::new(Family::Regular, Method::Advance));
+        let compressed = engine.freeze_compressed(CompressedConfig).unwrap();
+        let (baseline, s1) = compressed.lookup_batch_vec(&dests, &clues);
+        let mut out = vec![Default::default(); dests.len()];
+        let s2 = compressed.lookup_batch_interleaved(&dests, &clues, &mut out, group);
+        prop_assert_eq!(&baseline, &out, "group {} diverged", group);
+        prop_assert_eq!(s1, s2);
+    }
+
+    /// The route-tag path resolves to the same prefix as the full
+    /// lookup, and tags index the shared dictionary consistently with
+    /// the frozen backend's tags.
+    #[test]
+    fn tags_agree_with_frozen(
+        (sender, receiver) in arb_tables(),
+        raws in proptest::collection::vec(any::<u32>(), 1..15),
+    ) {
+        let (dests, clues) = workload(&sender, &raws);
+        let engine = ClueEngine::precomputed(
+            &sender, &receiver, EngineConfig::new(Family::Regular, Method::Advance));
+        let frozen = engine.freeze().unwrap();
+        let compressed = frozen.compile_compressed(CompressedConfig);
+        prop_assert_eq!(compressed.tag_prefixes(), frozen.tag_prefixes());
+        for (&dest, &clue) in dests.iter().zip(&clues) {
+            let mut cost = Cost::new();
+            let op = compressed.lookup_prepare(dest, clue);
+            let (tag, class) = compressed.lookup_finish_tag(op, dest, clue, &mut cost);
+            let mut fcost = Cost::new();
+            let fop = frozen.lookup_prepare(dest, clue);
+            let (ftag, fclass) = frozen.lookup_finish_tag(fop, dest, clue, &mut fcost);
+            prop_assert_eq!(tag, ftag, "dest {} clue {:?}", dest, clue);
+            prop_assert_eq!(class, fclass);
+            prop_assert_eq!(cost, fcost);
+        }
+    }
+}

@@ -73,10 +73,10 @@ pub use pathvector::{Aggregation, PathVector, Rib, Route};
 pub use network::{
     DetailBands, Hop, HopRecord, Network, NetworkConfig, PathTrace, RouterNode,
 };
-pub use parallel::{run_workload_parallel, run_workload_per_packet, FrozenNetwork};
+pub use parallel::{run_workload_parallel, run_workload_per_packet, FrozenNetwork, PacketNetwork};
 pub use runtime::{
-    available_workers, serve_lookups, CoreStats, RuntimeConfig, RuntimeReport, ServeReport,
-    StrideNetwork,
+    available_workers, serve_lookups, CompiledNetwork, CompressedNetwork, CoreStats,
+    RuntimeConfig, RuntimeReport, ServeReport, StrideNetwork,
 };
 pub use sim::{export_cost_stats, run_workload, run_workload_instrumented, RunStats};
 pub use topology::{EcmpTree, RouteTree, RouterId, Topology};

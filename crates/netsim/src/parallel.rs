@@ -30,7 +30,9 @@
 //! independent: the same property that makes the run parallelizable
 //! makes it deterministic.
 
-use clue_core::{ClueHeader, FreezeError, FrozenEngine, StageProfiler};
+use clue_core::{
+    BackendError, ClueHeader, CompiledBackend, FreezeError, FrozenEngine, StageProfiler,
+};
 use clue_trie::{Address, Cost, CostStats};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -40,10 +42,11 @@ use crate::network::{Hop, HopRecord, Network, PathTrace};
 use crate::sim::RunStats;
 use crate::topology::RouterId;
 
-/// “No per-neighbor engine” sentinel in [`FrozenRouter::by_neighbor`].
+/// “No per-neighbor engine” sentinel in
+/// [`CompiledRouter::by_neighbor`].
 const NO_ENGINE: u32 = u32::MAX;
 
-/// One router's frozen lookup state (the FIB stays borrowed from the
+/// One router's compiled lookup state (the FIB stays borrowed from the
 /// live [`Network`]).
 ///
 /// Per-neighbor engines live in a dense vector behind a
@@ -52,22 +55,28 @@ const NO_ENGINE: u32 = u32::MAX;
 /// money on the forwarding path, and router ids are small dense
 /// integers anyway.
 #[derive(Debug)]
-struct FrozenRouter<A: Address> {
-    base: FrozenEngine<A>,
+struct CompiledRouter<E> {
+    base: E,
     /// Neighbor id → index into `engines`, [`NO_ENGINE`] if none.
     by_neighbor: Vec<u32>,
-    engines: Vec<FrozenEngine<A>>,
+    engines: Vec<E>,
     participates: bool,
 }
 
 /// A read-only view of a [`Network`] with every clue engine compiled
-/// to a [`FrozenEngine`]: routable from `&self`, shareable across
-/// threads.
+/// to one [`CompiledBackend`]: routable from `&self`, shareable across
+/// threads. Every backend routes bit-identically (the Cost-parity
+/// contract); the generic exists so the sharded driver can be pointed
+/// at any compiled layout.
 #[derive(Debug)]
-pub struct FrozenNetwork<'n, A: Address> {
+pub struct PacketNetwork<'n, A: Address, E: CompiledBackend<A>> {
     net: &'n Network<A>,
-    routers: Vec<FrozenRouter<A>>,
+    routers: Vec<CompiledRouter<E>>,
 }
+
+/// The sharded driver on the frozen backend — the historical name, and
+/// the only backend with a stage-profiled routing path.
+pub type FrozenNetwork<'n, A> = PacketNetwork<'n, A, FrozenEngine<A>>;
 
 impl<'n, A: Address> FrozenNetwork<'n, A> {
     /// Freezes every engine in `net`. Fails if any engine is not
@@ -75,6 +84,17 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
     /// caches make per-packet cost history-dependent, which the
     /// deterministic sharded driver cannot reproduce).
     pub fn freeze(net: &'n Network<A>) -> Result<Self, FreezeError> {
+        Self::compile(net, &()).map_err(|e| match e {
+            BackendError::Freeze(e) => e,
+            BackendError::Stride(_) => unreachable!("frozen compilation has no stride stage"),
+        })
+    }
+}
+
+impl<'n, A: Address, E: CompiledBackend<A>> PacketNetwork<'n, A, E> {
+    /// Compiles every engine in `net` to backend `E`. Fails like a
+    /// freeze fails, or if the backend rejects its configuration.
+    pub fn compile(net: &'n Network<A>, config: &E::Config) -> Result<Self, BackendError> {
         let n = net.topology().len();
         let routers = net
             .routers()
@@ -84,17 +104,17 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
                 let mut engines = Vec::with_capacity(r.engines.len());
                 for (&nb, e) in &r.engines {
                     by_neighbor[nb] = engines.len() as u32;
-                    engines.push(e.freeze()?);
+                    engines.push(E::compile(e, config)?);
                 }
-                Ok(FrozenRouter {
-                    base: r.base.freeze()?,
+                Ok(CompiledRouter {
+                    base: E::compile(&r.base, config)?,
                     by_neighbor,
                     engines,
                     participates: r.participates,
                 })
             })
-            .collect::<Result<Vec<_>, FreezeError>>()?;
-        Ok(FrozenNetwork { net, routers })
+            .collect::<Result<Vec<_>, BackendError>>()?;
+        Ok(PacketNetwork { net, routers })
     }
 
     /// The live network this view was frozen from.
@@ -174,14 +194,17 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
         }
         PathTrace { dest, hops, delivered }
     }
+}
 
+impl<'n, A: Address> FrozenNetwork<'n, A> {
     /// As [`Self::route_packet`], additionally attributing every hop's
     /// engine lookup to pipeline stages in `prof` (see
     /// [`StageProfiler`]). Semantically inert: same hops, same
     /// per-hop [`Cost`], same delivery — the profiled engine paths
     /// observe the walk deltas, they never alter them. The Section
     /// 5.4 shifted-work leg is raw FIB trie work rather than an
-    /// engine lookup and stays unprofiled.
+    /// engine lookup and stays unprofiled. Frozen-backend only: the
+    /// stage-profiled lookup exists on [`FrozenEngine`] alone.
     pub fn route_packet_profiled(
         &self,
         src: RouterId,
@@ -255,11 +278,13 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
         }
         PathTrace { dest, hops, delivered }
     }
+}
 
-    /// Routes `packets` random packets through this already-frozen
+impl<'n, A: Address, E: CompiledBackend<A>> PacketNetwork<'n, A, E> {
+    /// Routes `packets` random packets through this already-compiled
     /// view, sharded over `threads` scoped OS threads — the hot half
     /// of [`run_workload_parallel`], with the one-off freeze hoisted
-    /// out. Callers that already hold a `FrozenNetwork` (or want to
+    /// out. Callers that already hold a compiled view (or want to
     /// time the steady state without the setup) use this directly.
     ///
     /// Results are bit-identical for a given `seed` regardless of
@@ -309,7 +334,9 @@ impl<'n, A: Address> FrozenNetwork<'n, A> {
         });
         acc.finish(packets)
     }
+}
 
+impl<'n, A: Address> FrozenNetwork<'n, A> {
     /// As [`Self::run_workload`], additionally aggregating a
     /// [`StageProfiler`] across every hop's engine lookup: per-thread
     /// profilers, merged left to right like the cost shards, so the

@@ -53,12 +53,14 @@
 //! order only permutes commutative accumulator merges.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use clue_core::channel::{mpsc, spsc, MpscSender, SpscReceiver, TryRecvError};
 use clue_core::{
-    ClueHeader, Decision, EngineStats, EpochCell, PreparedLookup, QuarantineGate, StrideConfig,
-    StrideEngine, StrideError, DEFAULT_INTERLEAVE, NO_TAG,
+    BackendError, ClueHeader, CompiledBackend, CompressedEngine, Decision, EngineStats, EpochCell,
+    PreparedLookup, QuarantineGate, StrideConfig, StrideEngine, StrideError, DEFAULT_INTERLEAVE,
+    NO_TAG,
 };
 use clue_telemetry::RuntimeTelemetry;
 use clue_trie::{Address, Cost, Prefix};
@@ -323,7 +325,10 @@ struct TagHop<A: Address> {
 }
 
 /// Resolves every tag of `engine` through the router's hop map.
-fn tag_hops<A: Address>(engine: &StrideEngine<A>, hops: &PrefixHopMap<A>) -> Vec<TagHop<A>> {
+fn tag_hops<A: Address, E: CompiledBackend<A>>(
+    engine: &E,
+    hops: &PrefixHopMap<A>,
+) -> Vec<TagHop<A>> {
     engine
         .tag_prefixes()
         .iter()
@@ -339,60 +344,87 @@ fn tag_hops<A: Address>(engine: &StrideEngine<A>, hops: &PrefixHopMap<A>) -> Vec
 }
 
 // ---------------------------------------------------------------------
-// Stride-compiled network
+// Backend-compiled network
 // ---------------------------------------------------------------------
 
-/// One router's serving state: stride-compiled engines plus the
-/// precompiled hop map.
+/// One router's serving state: backend-compiled engines plus the
+/// precompiled hop map. The hop map and tag tables are immutable after
+/// construction and `Arc`-shared into every worker replica — together
+/// with the engines' own `Arc`-shared arenas this makes
+/// [`Self::replicate`] a handful of refcount bumps even at
+/// million-prefix scale.
 #[derive(Debug, Clone)]
-struct StrideRouter<A: Address> {
-    base: StrideEngine<A>,
+struct CompiledRouter<A: Address, E: CompiledBackend<A>> {
+    base: E,
     /// Neighbor id → index into `engines`, [`EMPTY_HOP`]-style dense
     /// sentinel ([`NO_ENGINE`]).
-    by_neighbor: Vec<u32>,
-    engines: Vec<StrideEngine<A>>,
-    hops: PrefixHopMap<A>,
+    by_neighbor: Arc<Vec<u32>>,
+    engines: Vec<E>,
+    hops: Arc<PrefixHopMap<A>>,
     /// `base`'s tag → forwarding-decision table.
-    base_hops: Vec<TagHop<A>>,
+    base_hops: Arc<Vec<TagHop<A>>>,
     /// Per-neighbor-engine tag tables, parallel to `engines`.
-    engine_hops: Vec<Vec<TagHop<A>>>,
+    engine_hops: Arc<Vec<Vec<TagHop<A>>>>,
     participates: bool,
 }
 
-/// “No per-neighbor engine” sentinel in [`StrideRouter::by_neighbor`].
+/// “No per-neighbor engine” sentinel in
+/// [`CompiledRouter::by_neighbor`].
 const NO_ENGINE: u32 = u32::MAX;
 
-impl<A: Address> StrideRouter<A> {
+impl<A: Address, E: CompiledBackend<A>> CompiledRouter<A, E> {
     /// A worker-private replica: every engine re-cloned with telemetry
-    /// detached (see [`StrideEngine::replicate`]).
-    fn replicate(&self) -> StrideRouter<A> {
-        StrideRouter {
+    /// detached ([`CompiledBackend::replicate`]); the hop state is
+    /// `Arc`-shared.
+    fn replicate(&self) -> CompiledRouter<A, E> {
+        CompiledRouter {
             base: self.base.replicate(),
-            by_neighbor: self.by_neighbor.clone(),
-            engines: self.engines.iter().map(StrideEngine::replicate).collect(),
-            hops: self.hops.clone(),
-            base_hops: self.base_hops.clone(),
-            engine_hops: self.engine_hops.clone(),
+            by_neighbor: Arc::clone(&self.by_neighbor),
+            engines: self.engines.iter().map(E::replicate).collect(),
+            hops: Arc::clone(&self.hops),
+            base_hops: Arc::clone(&self.base_hops),
+            engine_hops: Arc::clone(&self.engine_hops),
             participates: self.participates,
         }
     }
 }
 
 /// A read-only view of a [`Network`] with every clue engine compiled
-/// to a [`StrideEngine`] and every FIB's prefix→hop relation
+/// to one [`CompiledBackend`] and every FIB's prefix→hop relation
 /// flattened into a [`PrefixHopMap`] — the serving-runtime analogue of
-/// [`FrozenNetwork`](crate::FrozenNetwork).
+/// [`FrozenNetwork`](crate::FrozenNetwork), generic over the compiled
+/// layout. Every backend serves bit-identical results (the Cost-parity
+/// contract); they differ only in bytes touched per lookup.
 #[derive(Debug)]
-pub struct StrideNetwork<'n, A: Address> {
+pub struct CompiledNetwork<'n, A: Address, E: CompiledBackend<A>> {
     net: &'n Network<A>,
-    routers: Vec<StrideRouter<A>>,
+    routers: Vec<CompiledRouter<A, E>>,
 }
+
+/// The serving runtime on the multibit stride backend — the historical
+/// name, and still the default the CLI and fleet drive.
+pub type StrideNetwork<'n, A> = CompiledNetwork<'n, A, StrideEngine<A>>;
+
+/// The serving runtime on the entropy-compressed backend.
+pub type CompressedNetwork<'n, A> = CompiledNetwork<'n, A, CompressedEngine<A>>;
 
 impl<'n, A: Address> StrideNetwork<'n, A> {
     /// Stride-compiles every engine in `net`. Fails like a freeze
     /// fails (non-Regular family, indexed table, cache) or if the
     /// stride shape is invalid.
     pub fn freeze(net: &'n Network<A>, stride: StrideConfig) -> Result<Self, StrideError> {
+        Self::compile(net, &stride).map_err(|e| match e {
+            BackendError::Stride(e) => e,
+            BackendError::Freeze(e) => StrideError::Freeze(e),
+        })
+    }
+}
+
+impl<'n, A: Address, E: CompiledBackend<A>> CompiledNetwork<'n, A, E> {
+    /// Compiles every engine in `net` to backend `E`. Fails like a
+    /// freeze fails (non-Regular family, indexed table, cache) or if
+    /// the backend rejects its configuration.
+    pub fn compile(net: &'n Network<A>, config: &E::Config) -> Result<Self, BackendError> {
         let n = net.topology().len();
         let routers = net
             .routers()
@@ -402,24 +434,24 @@ impl<'n, A: Address> StrideNetwork<'n, A> {
                 let mut engines = Vec::with_capacity(r.engines.len());
                 for (&nb, e) in &r.engines {
                     by_neighbor[nb] = engines.len() as u32;
-                    engines.push(e.freeze_stride(stride)?);
+                    engines.push(E::compile(e, config)?);
                 }
-                let base = r.base.freeze_stride(stride)?;
+                let base = E::compile(&r.base, config)?;
                 let hops = PrefixHopMap::build(r.fib.iter().map(|(_, p, &h)| (p, h)));
                 let base_hops = tag_hops(&base, &hops);
                 let engine_hops = engines.iter().map(|e| tag_hops(e, &hops)).collect();
-                Ok(StrideRouter {
+                Ok(CompiledRouter {
                     base,
-                    by_neighbor,
+                    by_neighbor: Arc::new(by_neighbor),
                     engines,
-                    hops,
-                    base_hops,
-                    engine_hops,
+                    hops: Arc::new(hops),
+                    base_hops: Arc::new(base_hops),
+                    engine_hops: Arc::new(engine_hops),
                     participates: r.participates,
                 })
             })
-            .collect::<Result<Vec<_>, StrideError>>()?;
-        Ok(StrideNetwork { net, routers })
+            .collect::<Result<Vec<_>, BackendError>>()?;
+        Ok(CompiledNetwork { net, routers })
     }
 
     /// The live network this view was compiled from.
@@ -488,8 +520,8 @@ impl<'n, A: Address> StrideNetwork<'n, A> {
                 let (this, origins, sources) = (&*self, &origins, sources);
                 scope.spawn(move || {
                     let t0 = Instant::now();
-                    let replicas: Vec<StrideRouter<A>> =
-                        this.routers.iter().map(StrideRouter::replicate).collect();
+                    let replicas: Vec<CompiledRouter<A, E>> =
+                        this.routers.iter().map(CompiledRouter::replicate).collect();
                     let mut stats = CoreStats {
                         worker: w,
                         replica_clones: 1,
@@ -608,8 +640,8 @@ struct Flight<A: Address> {
 /// Decodes the lookup a packet will run at its current router — engine
 /// choice, decoded clue, start line prefetched — without resolving it.
 #[inline]
-fn prepare<A: Address>(
-    routers: &[StrideRouter<A>],
+fn prepare<A: Address, E: CompiledBackend<A>>(
+    routers: &[CompiledRouter<A, E>],
     dest: A,
     header: &ClueHeader,
     prev: Option<RouterId>,
@@ -637,9 +669,9 @@ fn prepare<A: Address>(
 /// and [`Accum`]'s merges are commutative, so the folded [`RunStats`]
 /// is unchanged.
 #[allow(clippy::too_many_arguments)]
-fn route_job_into<A: Address>(
+fn route_job_into<A: Address, E: CompiledBackend<A>>(
     net: &Network<A>,
-    routers: &[StrideRouter<A>],
+    routers: &[CompiledRouter<A, E>],
     sources: &[RouterId],
     origins: &[RouterId],
     seed: u64,
@@ -680,10 +712,10 @@ fn route_job_into<A: Address>(
             let (tag, table) = if f.used_clue {
                 let e = f.engine_slot as usize;
                 let (tag, _) = node.engines[e].lookup_finish_tag(f.op, f.dest, f.clue, &mut cost);
-                (tag, &node.engine_hops[e])
+                (tag, node.engine_hops[e].as_slice())
             } else {
                 let (tag, _) = node.base.lookup_finish_tag(f.op, f.dest, None, &mut cost);
-                (tag, &node.base_hops)
+                (tag, node.base_hops.as_slice())
             };
 
             // Tag → (prefix, decision): one array read where the
@@ -809,7 +841,9 @@ enum ServeMsg<A: Address> {
 }
 
 /// Serves one batch workload from an [`EpochCell`] across per-core
-/// [`StrideEngine`] replicas — the engine-level serving loop.
+/// engine replicas — the engine-level serving loop, generic over any
+/// [`CompiledBackend`] (stride by default; the compressed backend
+/// drops in unchanged).
 ///
 /// Each worker registers an [`clue_core::EpochReader`], clones a
 /// private replica from the pinned snapshot (priming, outside the
@@ -828,8 +862,8 @@ enum ServeMsg<A: Address> {
 ///
 /// # Panics
 /// Panics unless `dests` and `clues` have equal lengths.
-pub fn serve_lookups<A: Address>(
-    cell: &EpochCell<StrideEngine<A>>,
+pub fn serve_lookups<A: Address, E: CompiledBackend<A>>(
+    cell: &EpochCell<E>,
     dests: &[A],
     clues: &[Option<Prefix<A>>],
     out: &mut Vec<Decision<A>>,
@@ -956,8 +990,8 @@ pub fn serve_lookups<A: Address>(
 /// One serving core: private replica, epoch-refresh at job boundaries,
 /// batch lookups, results shipped back over the drain.
 #[allow(clippy::too_many_arguments)]
-fn serve_worker<A: Address>(
-    cell: &EpochCell<StrideEngine<A>>,
+fn serve_worker<A: Address, E: CompiledBackend<A>>(
+    cell: &EpochCell<E>,
     dests: &[A],
     clues: &[Option<Prefix<A>>],
     w: usize,
@@ -1091,6 +1125,32 @@ mod tests {
             let rt = stride.run_workload(&edges, 150, 7, workers);
             assert_eq!(rt, seq, "bit-identity at {workers} workers");
         }
+    }
+
+    #[test]
+    fn every_backend_serves_the_identical_workload() {
+        use clue_core::{CompressedConfig, FrozenEngine};
+        let (mut net, edges) = build(Method::Advance);
+        let seq = run_workload_per_packet(&mut net, &edges, 120, 9);
+        let frozen: CompiledNetwork<Ip4, FrozenEngine<Ip4>> =
+            CompiledNetwork::compile(&net, &()).unwrap();
+        assert_eq!(frozen.run_workload(&edges, 120, 9, 3), seq, "frozen backend");
+        let compressed = CompressedNetwork::compile(&net, &CompressedConfig).unwrap();
+        assert_eq!(compressed.run_workload(&edges, 120, 9, 3), seq, "compressed backend");
+    }
+
+    #[test]
+    fn compressed_serving_matches_the_plain_batch_lookup() {
+        use clue_core::CompressedConfig;
+        let (engine, dests, clues) = engine_fixture();
+        let compressed = engine.freeze_compressed(CompressedConfig).unwrap();
+        let (want, want_stats) = compressed.lookup_batch_vec(&dests, &clues);
+        let cell = EpochCell::new(compressed);
+        let cfg = RuntimeConfig { workers: 3, batch: 128, ..RuntimeConfig::default() };
+        let mut got = Vec::new();
+        let report = serve_lookups(&cell, &dests, &clues, &mut got, &cfg, None);
+        assert_eq!(got, want, "compressed serving decisions");
+        assert_eq!(report.stats, want_stats, "compressed serving class counts");
     }
 
     #[test]

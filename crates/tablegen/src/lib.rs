@@ -39,7 +39,11 @@ pub use neighbor::{derive_neighbor, NeighborConfig};
 pub use ortc::{minimize, minimize_with_hops, NextHop};
 pub use parse::{format_prefixes, parse_prefixes, parse_table, ParseTableError, TableLine};
 pub use stats::{
-    export_length_histogram, intersection_size, length_histogram, problematic_clues, PairStats,
+    export_length_histogram, intersection_size, length_histogram, length_l1_distance,
+    problematic_clues, PairStats,
 };
-pub use synth::{rebase_into_block, synthesize, synthesize_ipv4, synthesize_ipv6, SynthConfig};
+pub use synth::{
+    rebase_into_block, synthesize, synthesize_ipv4, synthesize_ipv4_modern, synthesize_ipv6,
+    SynthConfig,
+};
 pub use traffic::{generate, TrafficConfig, TrafficModel, ZipfSampler};

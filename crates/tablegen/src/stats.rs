@@ -30,6 +30,42 @@ pub fn length_histogram<A: Address>(prefixes: &[Prefix<A>]) -> Vec<usize> {
     h
 }
 
+/// L1 distance between a table's empirical prefix-length distribution
+/// and the distribution a [`SynthConfig`](crate::SynthConfig) asked
+/// for, after clamping each configured weight to the config's length
+/// capacity (a saturated length *cannot* reach its raw weight, and the
+/// clamped mass is renormalized over the rest — so a perfectly-behaved
+/// generator scores near 0 even when short lengths are full). Range
+/// `[0, 2]`; `0` is a perfect match.
+pub fn length_l1_distance<A: Address>(
+    prefixes: &[Prefix<A>],
+    config: &crate::SynthConfig,
+) -> f64 {
+    if prefixes.is_empty() {
+        return 0.0;
+    }
+    let n = prefixes.len() as f64;
+    let total: f64 = config.histogram.iter().map(|(_, w)| w).sum();
+    // Clamp each weight to its capacity share, then renormalize.
+    let clamped: Vec<(u8, f64)> = config
+        .histogram
+        .iter()
+        .map(|&(l, w)| (l, (w / total).min(config.length_capacity(l) as f64 / n)))
+        .collect();
+    let clamped_total: f64 = clamped.iter().map(|(_, w)| w).sum();
+    let h = length_histogram(prefixes);
+    let mut dist = 0.0;
+    for (len, count) in h.iter().enumerate() {
+        let want = clamped
+            .iter()
+            .find(|&&(l, _)| l as usize == len)
+            .map(|&(_, w)| w / clamped_total)
+            .unwrap_or(0.0);
+        dist += (*count as f64 / n - want).abs();
+    }
+    dist
+}
+
 /// Summary of a sender→receiver pair, printable like the paper's tables.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PairStats {
@@ -165,6 +201,20 @@ mod tests {
             .snapshot();
         assert_eq!(h.count, 2);
         assert_eq!(h.sum, 16);
+    }
+
+    #[test]
+    fn length_l1_distance_scores_shape_fidelity() {
+        use crate::synth::{synthesize, SynthConfig};
+        let cfg = SynthConfig::ipv4_modern(50_000, 31);
+        let t = synthesize::<Ip4>(&cfg);
+        let own = length_l1_distance(&t, &cfg);
+        assert!(own < 0.2, "own-config distance {own:.4}");
+        // A 1999-shaped table is visibly far from the modern histogram.
+        let legacy = synthesize_ipv4(50_000, 31);
+        let cross = length_l1_distance(&legacy, &cfg);
+        assert!(cross > own + 0.1, "cross {cross:.4} vs own {own:.4}");
+        assert!(length_l1_distance::<Ip4>(&[], &cfg) == 0.0);
     }
 
     #[test]

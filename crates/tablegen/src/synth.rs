@@ -35,6 +35,18 @@ pub struct SynthConfig {
     pub top_block_len: u8,
     /// RNG seed.
     pub seed: u64,
+    /// Redirect draws away from saturated prefix lengths.
+    ///
+    /// At 1M–10M prefixes the short end of the histogram runs out of
+    /// distinct prefixes (there are at most `top_blocks` /8s), and a
+    /// capacity-blind generator burns its attempt budget re-drawing
+    /// duplicates. With this set, a draw for a saturated length is
+    /// deterministically redirected to the nearest longer length with
+    /// spare capacity — no extra RNG draws, so the stream (and hence
+    /// every unsaturated table) is untouched. The historical
+    /// [`SynthConfig::ipv4`] / [`SynthConfig::ipv6`] presets leave it
+    /// off to keep their seeded outputs byte-identical.
+    pub capacity_aware: bool,
 }
 
 impl SynthConfig {
@@ -68,6 +80,54 @@ impl SynthConfig {
             top_blocks: 64,
             top_block_len: 8,
             seed,
+            capacity_aware: false,
+        }
+    }
+
+    /// IPv4 defaults at modern default-free-zone scale (1M–10M
+    /// prefixes): the contemporary length mix — a dominant /24 mode
+    /// (deaggregation and hijack-defence announcements), a heavy
+    /// /19–/23 CIDR shoulder, and a thin short tail — over the full
+    /// allocated unicast space (224 /8 blocks rather than the 1999
+    /// preset's 64). Capacity-aware: short lengths saturate quickly at
+    /// this scale and redirect into the hump instead of spinning on
+    /// duplicates.
+    pub fn ipv4_modern(target: usize, seed: u64) -> Self {
+        SynthConfig {
+            target,
+            nesting: 0.45,
+            histogram: vec![
+                (8, 0.003),
+                (12, 0.004),
+                (13, 0.006),
+                (14, 0.008),
+                (15, 0.010),
+                (16, 0.027),
+                (17, 0.016),
+                (18, 0.030),
+                (19, 0.052),
+                (20, 0.046),
+                (21, 0.042),
+                (22, 0.090),
+                (23, 0.071),
+                (24, 0.595),
+            ],
+            top_blocks: 224,
+            top_block_len: 8,
+            seed,
+            capacity_aware: true,
+        }
+    }
+
+    /// Number of distinct prefixes of length `len` this configuration
+    /// can ever emit: fresh prefixes shorter than a top-level block are
+    /// unconstrained (`2^len`), everything else lives inside one of the
+    /// `top_blocks` blocks.
+    pub fn length_capacity(&self, len: u8) -> u128 {
+        if len < self.top_block_len {
+            1u128 << len
+        } else {
+            (self.top_blocks as u128) << (len - self.top_block_len).min(127)
         }
     }
 
@@ -95,6 +155,7 @@ impl SynthConfig {
             top_blocks: 64,
             top_block_len: 16,
             seed,
+            capacity_aware: false,
         }
     }
 }
@@ -122,10 +183,52 @@ pub fn synthesize<A: Address>(config: &SynthConfig) -> Vec<Prefix<A>> {
         config.histogram.last().map(|&(l, _)| l).unwrap_or(A::BITS)
     };
 
-    // Pre-pick the active top-level blocks.
-    let blocks: Vec<u128> = (0..config.top_blocks)
-        .map(|_| rng.random_range(0u128..(1u128 << config.top_block_len)))
-        .collect();
+    // Pre-pick the active top-level blocks. Capacity-aware configs
+    // draw them without replacement so `length_capacity` is honest
+    // (duplicated blocks would silently shrink the short-length space);
+    // the legacy path keeps its with-replacement stream byte-for-byte.
+    let blocks: Vec<u128> = if config.capacity_aware {
+        assert!(
+            (config.top_blocks as u128) <= 1u128 << config.top_block_len,
+            "more top-level blocks than the block length can name"
+        );
+        let mut seen = BTreeSet::new();
+        let mut blocks = Vec::with_capacity(config.top_blocks as usize);
+        while blocks.len() < config.top_blocks as usize {
+            let b = rng.random_range(0u128..(1u128 << config.top_block_len));
+            if seen.insert(b) {
+                blocks.push(b);
+            }
+        }
+        blocks
+    } else {
+        (0..config.top_blocks)
+            .map(|_| rng.random_range(0u128..(1u128 << config.top_block_len)))
+            .collect()
+    };
+
+    // Histogram lengths in ascending order, for capacity redirection.
+    let mut lengths: Vec<u8> = config.histogram.iter().map(|&(l, _)| l).collect();
+    lengths.sort_unstable();
+    lengths.dedup();
+    let mut filled = vec![0u128; A::BITS as usize + 1];
+    // Deterministically redirects a draw for a saturated length to the
+    // nearest longer histogram length with spare capacity (falling back
+    // to shorter ones, then to the draw itself). Consumes no RNG, so
+    // capacity-blind configs see an identical stream.
+    let redirect = |len: u8, filled: &[u128]| -> u8 {
+        let spare = |l: u8| filled[l as usize] < config.length_capacity(l);
+        if spare(len) {
+            return len;
+        }
+        lengths
+            .iter()
+            .copied()
+            .filter(|&l| l > len && spare(l))
+            .min()
+            .or_else(|| lengths.iter().copied().filter(|&l| l < len && spare(l)).max())
+            .unwrap_or(len)
+    };
 
     let mut set: BTreeSet<Prefix<A>> = BTreeSet::new();
     let mut pool: Vec<Prefix<A>> = Vec::new(); // for nesting draws
@@ -134,6 +237,7 @@ pub fn synthesize<A: Address>(config: &SynthConfig) -> Vec<Prefix<A>> {
     while set.len() < config.target && attempts < max_attempts {
         attempts += 1;
         let len = sample_len(&mut rng);
+        let len = if config.capacity_aware { redirect(len, &filled) } else { len };
         let prefix = if config.nesting > 0.0
             && !pool.is_empty()
             && rng.random_bool(config.nesting)
@@ -160,10 +264,17 @@ pub fn synthesize<A: Address>(config: &SynthConfig) -> Vec<Prefix<A>> {
             }
         };
         if set.insert(prefix) {
+            filled[prefix.len() as usize] += 1;
             pool.push(prefix);
         }
     }
     set.into_iter().collect()
+}
+
+/// Shorthand: a seeded modern-scale IPv4 table of `n` prefixes (see
+/// [`SynthConfig::ipv4_modern`]).
+pub fn synthesize_ipv4_modern(n: usize, seed: u64) -> Vec<Prefix<Ip4>> {
+    synthesize(&SynthConfig::ipv4_modern(n, seed))
 }
 
 /// Shorthand: a seeded IPv4 table of `n` prefixes.
@@ -286,5 +397,88 @@ mod tests {
     #[test]
     fn zero_target_is_empty() {
         assert!(synthesize_ipv4(0, 1).is_empty());
+    }
+
+    #[test]
+    fn legacy_presets_are_untouched_by_capacity_logic() {
+        // The capacity-aware machinery must be invisible to the
+        // historical presets: flag off, and the seeded stream pinned to
+        // the pre-trait-era output (golden sampled before the flag
+        // existed — any drift here silently invalidates every
+        // committed benchmark baseline).
+        assert!(!SynthConfig::ipv4(10, 9).capacity_aware);
+        assert!(!SynthConfig::ipv6(10, 9).capacity_aware);
+        let legacy = synthesize_ipv4(100, 9);
+        let golden: Vec<Prefix<Ip4>> = [
+            "11.4.132.0/24",
+            "11.21.115.0/24",
+            "11.78.186.0/23",
+            "11.78.186.0/24",
+            "11.182.0.0/16",
+            "12.121.14.0/24",
+            "12.132.16.0/20",
+            "21.44.192.0/21",
+        ]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+        assert_eq!(&legacy[..golden.len()], &golden[..]);
+    }
+
+    #[test]
+    fn modern_histogram_matches_configuration_within_tolerance() {
+        let cfg = SynthConfig::ipv4_modern(100_000, 17);
+        let t = synthesize::<Ip4>(&cfg);
+        assert_eq!(t.len(), 100_000);
+        let total: f64 = cfg.histogram.iter().map(|(_, w)| w).sum();
+        let n = t.len() as f64;
+        for &(len, w) in &cfg.histogram {
+            let want = w / total;
+            let got = t.iter().filter(|p| p.len() == len).count() as f64 / n;
+            let capacity = cfg.length_capacity(len) as f64 / n;
+            if want <= capacity {
+                // Unsaturated lengths track the configured weight.
+                assert!(
+                    (got - want).abs() <= 0.35 * want + 0.002,
+                    "/{len}: wanted {want:.4}, got {got:.4}"
+                );
+            } else {
+                // Saturated lengths never exceed capacity.
+                assert!(got <= capacity + 1e-9, "/{len}: capacity {capacity:.6}, got {got:.6}");
+            }
+        }
+        // The /24 hump dominates, as in a modern default-free table.
+        let n24 = t.iter().filter(|p| p.len() == 24).count() as f64 / n;
+        assert!(n24 > 0.5, "/24 share {n24:.3}");
+    }
+
+    #[test]
+    fn saturated_lengths_redirect_instead_of_spinning() {
+        // 100k prefixes want 300 /8s but only 224 exist; the generator
+        // must still hit the full target without burning its attempt
+        // budget, and the /8 count must respect the capacity bound.
+        let cfg = SynthConfig::ipv4_modern(100_000, 23);
+        let t = synthesize::<Ip4>(&cfg);
+        assert_eq!(t.len(), 100_000);
+        let n8 = t.iter().filter(|p| p.len() == 8).count() as u128;
+        assert!(n8 <= cfg.length_capacity(8));
+        assert!(n8 > 0);
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn million_prefix_table_is_generated_and_shaped() {
+        // At 1M the /8 band is drawn ~3000 times against 224 distinct
+        // blocks: it must saturate exactly, and the overall shape must
+        // stay close to the (capacity-clamped) configured histogram.
+        let cfg = SynthConfig::ipv4_modern(1_000_000, 404);
+        let t = synthesize::<Ip4>(&cfg);
+        assert_eq!(t.len(), 1_000_000);
+        let n8 = t.iter().filter(|p| p.len() == 8).count() as u128;
+        assert_eq!(n8, cfg.length_capacity(8));
+        let n24 = t.iter().filter(|p| p.len() == 24).count() as f64;
+        assert!(n24 > 0.5 * t.len() as f64);
+        let d = crate::stats::length_l1_distance(&t, &cfg);
+        assert!(d < 0.15, "L1 distance from configured histogram: {d:.4}");
     }
 }

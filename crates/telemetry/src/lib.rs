@@ -37,6 +37,7 @@
 
 mod adversary;
 mod churn;
+mod compressed;
 mod export;
 mod fault;
 mod fleet;
@@ -50,6 +51,7 @@ pub mod trace;
 
 pub use adversary::{AdversaryTelemetry, ReputationTelemetry};
 pub use churn::ChurnTelemetry;
+pub use compressed::CompressedTelemetry;
 pub use fault::DegradationTelemetry;
 pub use export::{parse_prometheus, to_json, to_prometheus, PromDocument};
 pub use fleet::FleetTelemetry;

@@ -8,8 +8,9 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Throughput smoke: the batched-frozen, stride-compiled and
-# sharded-parallel pipelines must agree exactly with the scalar engine
+# Throughput smoke: the batched-frozen, stride-compiled,
+# entropy-compressed and sharded-parallel pipelines must agree exactly
+# with the scalar engine
 # (--check aborts on any divergence); also seeds the BENCH_*
 # trajectory. The perf gates are part of the bar: the stride path must
 # beat the frozen batch path on the same (paper-scale table) workload,
@@ -27,7 +28,8 @@ for attempt in 1 2 3; do
   if grep -q '"stride_beats_batch": true' BENCH_throughput.json.new &&
      grep -q '"parallel_scales": true' BENCH_throughput.json.new &&
      target/release/clue bench-diff BENCH_throughput.json BENCH_throughput.json.new \
-       --tolerance 5 --time-tolerance 900 --min parallel_speedup=2.5; then
+       --tolerance 5 --time-tolerance 900 --min parallel_speedup=2.5 \
+       --max compressed_bytes_per_prefix=8; then
     throughput_ok=1
     break
   fi
@@ -41,6 +43,27 @@ done
 # parallel_speedup must clear its 2.5x floor.
 [ "$throughput_ok" -eq 1 ]
 mv BENCH_throughput.json.new BENCH_throughput.json
+
+# Tablegen scale tests only exist in release (the 1M-prefix generation
+# and shape checks are #[cfg(not(debug_assertions))]); run them
+# explicitly so the modern-DFZ histogram contract is part of the gate.
+cargo test -q --release -p clue-tablegen
+
+# Compressed-backend smoke at modern-DFZ scale: build the 1M-prefix
+# entropy-compressed engine (deterministic seed), prove it bit-identical
+# to the scalar reference on the full workload (--check aborts on any
+# divergence), and hold the layout to its budget: the nibble-packed
+# arena must stay at or under 8 bytes per prefix (the frozen arena
+# spends 3x+ that), with every CRAM key pinned to the committed
+# baseline — layout bytes and expected-miss numbers are pure functions
+# of the seeded table, so zero tolerance.
+target/release/clue throughput 50000 1 --backend compressed --table 1000000 \
+  --check --json BENCH_compressed.json.new
+test -s BENCH_compressed.json.new
+grep -q '"equivalent": true' BENCH_compressed.json.new
+target/release/clue bench-diff BENCH_compressed.json BENCH_compressed.json.new \
+  --tolerance 0 --time-tolerance 100000 --max compressed_bytes_per_prefix=8
+mv BENCH_compressed.json.new BENCH_compressed.json
 
 # The serving runtime's whole metric family must be registered and
 # live in one scrape of the default instrumented workload.
